@@ -1,0 +1,35 @@
+// Ablation A1: HDFS block size per engine (§IV: "we have identified the
+// optimal values of HDFS block-size for different interconnects as well
+// as for Hadoop-A and our design" — 256 MB for IPoIB/OSU-IB, 128 MB for
+// Hadoop-A). Sweeps the block size for each engine on a fixed TeraSort.
+#include "fig_common.h"
+#include "mapred/types.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  std::printf("== Ablation A1: HDFS block size (TeraSort 20GB, 4 nodes) ==\n");
+  Table table({"Block size", "IPoIB (32Gbps)", "HadoopA-IB (32Gbps)",
+               "OSU-IB (32Gbps)"});
+  for (const std::uint64_t block_mb : {64, 128, 256, 512}) {
+    std::vector<std::string> row{std::to_string(block_mb) + "MB"};
+    for (auto setup : {EngineSetup::ipoib(), EngineSetup::hadoop_a(),
+                       EngineSetup::osu_ib()}) {
+      RunConfig config;
+      config.setup = setup;
+      config.workload = "terasort";
+      config.sort_modeled_bytes = 20 * kGiB;
+      config.nodes = 4;
+      config.block_size = block_mb * kMiB;
+      std::fprintf(stderr, "  block=%lluMB %s...\n",
+                   static_cast<unsigned long long>(block_mb),
+                   setup.label.c_str());
+      row.push_back(Table::num(run_experiment(config).seconds(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("(Job Execution Time in seconds; lower is better)\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 4(a): TeraSort job execution times on a four-DataNode cluster,
+// sort sizes 20-40 GB, engines {10GigE, IPoIB, Hadoop-A, OSU-IB} with
+// one and two HDDs per node.
+//
+// Paper quotes (single HDD, 30 GB): OSU-IB 9% over Hadoop-A, 35% over
+// IPoIB, 38% over 10GigE. Dual HDD 30 GB: 13% / 38% / 43%; dual HDD
+// 40 GB: 17% / 48% / 51%.
+#include "fig_common.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  FigureSpec spec;
+  spec.title =
+      "Figure 4(a): TeraSort, 4 DataNodes, single and dual HDD";
+  spec.workload = "terasort";
+  spec.nodes = 4;
+  spec.sizes_gb = {20, 30, 40};
+  for (int disks : {1, 2}) {
+    spec.series.push_back({EngineSetup::ten_gige(), disks});
+    spec.series.push_back({EngineSetup::ipoib(), disks});
+    spec.series.push_back({EngineSetup::hadoop_a(), disks});
+    spec.series.push_back({EngineSetup::osu_ib(), disks});
+  }
+  run_figure(spec);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 4(b): TeraSort job execution times on an eight-DataNode
+// cluster, 60-100 GB, engines {1GigE, IPoIB, Hadoop-A, OSU-IB}, one and
+// two HDDs per node.
+//
+// Paper quotes (100 GB): OSU-IB 21% over Hadoop-A with a single HDD and
+// 31% with dual HDDs; 32% over IPoIB (headline of the abstract), rising
+// to 39% with multiple disks.
+#include "fig_common.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  FigureSpec spec;
+  spec.title = "Figure 4(b): TeraSort, 8 DataNodes, single and dual HDD";
+  spec.workload = "terasort";
+  spec.nodes = 8;
+  spec.sizes_gb = {60, 80, 100};
+  for (int disks : {1, 2}) {
+    spec.series.push_back({EngineSetup::one_gige(), disks});
+    spec.series.push_back({EngineSetup::ipoib(), disks});
+    spec.series.push_back({EngineSetup::hadoop_a(), disks});
+    spec.series.push_back({EngineSetup::osu_ib(), disks});
+  }
+  run_figure(spec);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 5: TeraSort with larger sort sizes on larger clusters —
+// 100 GB on 12 compute nodes and 200 GB on 24 compute nodes, engines
+// {1GigE, IPoIB, Hadoop-A, OSU-IB}.
+//
+// Paper quotes (100 GB / 12 nodes): OSU-IB 41% over IPoIB and 7% over
+// Hadoop-A; "for 200GB sort size also, we achieve similar benefits".
+#include "fig_common.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  for (const auto& [gb, nodes] : {std::pair{100, 12}, std::pair{200, 24}}) {
+    FigureSpec spec;
+    spec.title = "Figure 5: TeraSort " + std::to_string(gb) + "GB on " +
+                 std::to_string(nodes) + " nodes";
+    spec.workload = "terasort";
+    spec.nodes = nodes;
+    spec.sizes_gb = {std::uint64_t(gb)};
+    spec.series = {{EngineSetup::one_gige(), 1},
+                   {EngineSetup::ipoib(), 1},
+                   {EngineSetup::hadoop_a(), 1},
+                   {EngineSetup::osu_ib(), 1}};
+    run_figure(spec);
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 6(a): the Sort benchmark (RandomWriter input, variable-size
+// records up to 20,000 bytes) on four DataNodes, 5-20 GB, engines
+// {1GigE, IPoIB, Hadoop-A, OSU-IB}, 64 MB HDFS blocks.
+//
+// Paper quotes (20 GB): OSU-IB 26% over IPoIB and 38% over Hadoop-A —
+// and, notably, "Hadoop-A performs worse than IPoIB" on this benchmark
+// because its fixed kv-count packets ignore the record size.
+#include "fig_common.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  FigureSpec spec;
+  spec.title = "Figure 6(a): Sort, 4 DataNodes, single HDD";
+  spec.workload = "sort";
+  spec.nodes = 4;
+  spec.sizes_gb = {5, 10, 15, 20};
+  spec.series = {{EngineSetup::one_gige(), 1},
+                 {EngineSetup::ipoib(), 1},
+                 {EngineSetup::hadoop_a(), 1},
+                 {EngineSetup::osu_ib(), 1}};
+  run_figure(spec);
+  return 0;
+}

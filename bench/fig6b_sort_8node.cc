@@ -1,0 +1,21 @@
+// Figure 6(b): the Sort benchmark on eight DataNodes, 25-40 GB.
+//
+// Paper quotes (40 GB): OSU-IB 27% over IPoIB and 32% over Hadoop-A.
+#include "fig_common.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  FigureSpec spec;
+  spec.title = "Figure 6(b): Sort, 8 DataNodes, single HDD";
+  spec.workload = "sort";
+  spec.nodes = 8;
+  spec.sizes_gb = {25, 30, 35, 40};
+  spec.series = {{EngineSetup::one_gige(), 1},
+                 {EngineSetup::ipoib(), 1},
+                 {EngineSetup::hadoop_a(), 1},
+                 {EngineSetup::osu_ib(), 1}};
+  run_figure(spec);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 7: the Sort benchmark with SSDs as the HDFS data store,
+// 5-20 GB on four DataNodes.
+//
+// Paper quotes (15 GB): OSU-IB 22% over Hadoop-A and 46% over IPoIB.
+#include "fig_common.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  FigureSpec spec;
+  spec.title = "Figure 7: Sort on SSD data stores, 4 DataNodes";
+  spec.workload = "sort";
+  spec.nodes = 4;
+  spec.ssd = true;
+  spec.sizes_gb = {5, 10, 15, 20};
+  spec.series = {{EngineSetup::one_gige(), 1},
+                 {EngineSetup::ipoib(), 1},
+                 {EngineSetup::hadoop_a(), 1},
+                 {EngineSetup::osu_ib(), 1}};
+  run_figure(spec);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 8: the effect of the intermediate-data caching mechanism —
+// Sort on SSD data stores, 5-20 GB, {IPoIB, OSU-IB without caching,
+// OSU-IB with caching}.
+//
+// Paper quote: caching enabled improves OSU-IB by 18.39% at 20 GB.
+// Extension rows (DESIGN.md §5 ablations): reduce-overlap disabled.
+#include "fig_common.h"
+#include "mapred/types.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  FigureSpec spec;
+  spec.title = "Figure 8: Effect of the caching mechanism (Sort on SSD)";
+  spec.workload = "sort";
+  spec.nodes = 4;
+  spec.ssd = true;
+  spec.sizes_gb = {5, 10, 15, 20};
+  auto no_overlap = workloads::EngineSetup::osu_ib();
+  no_overlap.label = "OSU-IB (No Overlap)";
+  no_overlap.extra.set_bool(mapred::kOverlapReduce, false);
+  spec.series = {{EngineSetup::ipoib(), 1},
+                 {EngineSetup::osu_ib_nocache(), 1},
+                 {EngineSetup::osu_ib(), 1},
+                 {no_overlap, 1}};
+  run_figure(spec);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared scaffolding for the figure-reproduction benches: every binary
+// prints the same series the paper's figure plots (one row per sort
+// size, one column per engine) plus the improvement percentages the
+// paper quotes in the text.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "workloads/experiment.h"
+
+namespace hmr::bench {
+
+using workloads::EngineSetup;
+using workloads::RunConfig;
+using workloads::run_experiment;
+
+struct Series {
+  EngineSetup setup;
+  int disks = 1;
+};
+
+struct FigureSpec {
+  std::string title;
+  std::string workload;  // "terasort" | "sort"
+  int nodes = 4;
+  bool ssd = false;
+  std::vector<std::uint64_t> sizes_gb;
+  std::vector<Series> series;
+  std::uint64_t target_real_bytes = 16 * 1024 * 1024;
+};
+
+inline void run_figure(const FigureSpec& spec) {
+  std::printf("== %s ==\n", spec.title.c_str());
+  std::vector<std::string> headers{"Sort Size (GB)"};
+  for (const auto& series : spec.series) {
+    std::string label = series.setup.label;
+    if (series.disks > 1) {
+      label += " " + std::to_string(series.disks) + "disks";
+    } else if (spec.series.size() > 4) {  // disk-count comparisons
+      label += " 1disk";
+    }
+    headers.push_back(std::move(label));
+  }
+  Table table(std::move(headers));
+  // Matrix of results for the improvement summary.
+  std::vector<std::vector<double>> seconds(spec.sizes_gb.size());
+
+  for (size_t row = 0; row < spec.sizes_gb.size(); ++row) {
+    const auto gb = spec.sizes_gb[row];
+    std::vector<std::string> cells{std::to_string(gb)};
+    for (const auto& series : spec.series) {
+      RunConfig config;
+      config.setup = series.setup;
+      config.workload = spec.workload;
+      config.sort_modeled_bytes = gb * kGiB;
+      config.nodes = spec.nodes;
+      config.disks = series.disks;
+      config.ssd = spec.ssd;
+      config.target_real_bytes = spec.target_real_bytes;
+      std::fprintf(stderr, "  %s %lluGB %s...\n", spec.workload.c_str(),
+                   static_cast<unsigned long long>(gb),
+                   series.setup.label.c_str());
+      const double secs = run_experiment(config).seconds();
+      seconds[row].push_back(secs);
+      cells.push_back(Table::num(secs, 1));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("(Job Execution Time in seconds; lower is better)\n\n");
+  std::fflush(stdout);
+}
+
+// Improvement of column b over column a at one row, in percent.
+inline double improvement(double a, double b) { return (a - b) / a * 100.0; }
+
+}  // namespace hmr::bench

@@ -1,0 +1,93 @@
+// Microbenchmark M3: PrefetchCache operations under the access patterns
+// the TaskTracker sees — insert bursts at map completion, demand skew
+// from hot reducers, and eviction churn when the working set exceeds
+// the budget.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "dataplane/cache.h"
+
+namespace {
+
+using namespace hmr;
+using namespace hmr::dataplane;
+
+std::shared_ptr<const MapOutput> dummy() {
+  return std::make_shared<const MapOutput>();
+}
+
+void BM_CachePutGetResident(benchmark::State& state) {
+  PrefetchCache cache(std::uint64_t(state.range(0)) * 1000);
+  for (int i = 0; i < state.range(0); ++i) {
+    cache.put("map_" + std::to_string(i), dummy(), 1000);
+  }
+  Rng rng(1);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto key = "map_" + std::to_string(rng.below(state.range(0)));
+    hits += cache.get(key) != nullptr;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_CachePutGetResident)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CacheEvictionChurn(benchmark::State& state) {
+  // Working set 4x the budget: every put evicts.
+  const int entries = int(state.range(0));
+  PrefetchCache cache(std::uint64_t(entries) * 1000 / 4);
+  Rng rng(2);
+  int i = 0;
+  for (auto _ : state) {
+    cache.put("map_" + std::to_string(i++ % entries), dummy(), 1000,
+              int(rng.below(3)));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+  state.counters["evictions"] = double(cache.stats().evictions);
+}
+BENCHMARK(BM_CacheEvictionChurn)->Arg(256)->Arg(4096);
+
+void BM_CacheDemandBoost(benchmark::State& state) {
+  PrefetchCache cache(1000 * 1000);
+  for (int i = 0; i < 1000; ++i) {
+    cache.put("map_" + std::to_string(i), dummy(), 1000);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    cache.boost("map_" + std::to_string(rng.below(1000)), int(rng.below(8)));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheDemandBoost);
+
+// Mixed TaskTracker-like workload: 10% inserts, 85% gets (zipf-ish skew
+// toward recent maps), 5% demand boosts.
+void BM_CacheMixedWorkload(benchmark::State& state) {
+  PrefetchCache cache(500 * 1000);
+  Rng rng(4);
+  int next_map = 0;
+  for (auto _ : state) {
+    const auto dice = rng.below(100);
+    if (dice < 10 || next_map == 0) {
+      cache.put("map_" + std::to_string(next_map++), dummy(), 1000);
+    } else if (dice < 95) {
+      // Recent maps are hot: sample from the last 256.
+      const auto lo = next_map > 256 ? next_map - 256 : 0;
+      const auto key = lo + int(rng.below(std::uint64_t(next_map - lo)));
+      benchmark::DoNotOptimize(cache.get("map_" + std::to_string(key)));
+    } else {
+      cache.boost("map_" + std::to_string(rng.below(std::uint64_t(next_map))),
+                  5);
+    }
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+  state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_CacheMixedWorkload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Microbenchmark M4: record codec and sorter throughput — the per-byte
+// CPU costs behind the simulator's map/merge compute model.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "dataplane/kv.h"
+
+namespace {
+
+using namespace hmr;
+using namespace hmr::dataplane;
+
+std::vector<KvPair> records(int n, size_t key_len, size_t val_len,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KvPair> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    KvPair pair;
+    pair.key.resize(key_len);
+    pair.value.resize(val_len);
+    for (auto& b : pair.key) b = std::uint8_t(rng.below(256));
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+void BM_EncodeRun(benchmark::State& state) {
+  auto pairs = records(int(state.range(0)), 10, 90, 1);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes run = encode_run(pairs);
+    benchmark::DoNotOptimize(run.data());
+    bytes += run.size();
+  }
+  state.SetBytesProcessed(std::int64_t(bytes));
+}
+BENCHMARK(BM_EncodeRun)->Arg(1024)->Arg(65536);
+
+void BM_DecodeRun(benchmark::State& state) {
+  auto pairs = records(int(state.range(0)), 10, 90, 2);
+  const Bytes run = encode_run(pairs);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto decoded = decode_run(run);
+    benchmark::DoNotOptimize(decoded.value().size());
+    bytes += run.size();
+  }
+  state.SetBytesProcessed(std::int64_t(bytes));
+}
+BENCHMARK(BM_DecodeRun)->Arg(1024)->Arg(65536);
+
+void BM_SortRecords(benchmark::State& state) {
+  auto pairs = records(int(state.range(0)), 10, 90, 3);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto copy = pairs;
+    std::sort(copy.begin(), copy.end(), KvLess{});
+    benchmark::DoNotOptimize(copy.data());
+    bytes += std::uint64_t(copy.size()) * 102;
+  }
+  state.SetBytesProcessed(std::int64_t(bytes));
+}
+BENCHMARK(BM_SortRecords)->Arg(4096)->Arg(131072);
+
+void BM_Crc32c(benchmark::State& state) {
+  Bytes data(size_t(state.range(0)), 0xa5);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(data));
+    bytes += data.size();
+  }
+  state.SetBytesProcessed(std::int64_t(bytes));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(1 << 20);
+
+void BM_KeyCompare(benchmark::State& state) {
+  auto pairs = records(1024, size_t(state.range(0)), 0, 4);
+  Rng rng(5);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const auto& a = pairs[rng.below(pairs.size())];
+    const auto& b = pairs[rng.below(pairs.size())];
+    acc += std::uint64_t(KvLess::compare_keys(a.key, b.key));
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_KeyCompare)->Arg(10)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Microbenchmark M6: HDFS-lite throughput, TestDFSIO-style — aggregate
+// write and read bandwidth across the cluster for each replication
+// factor and fabric, plus the re-replication cost after a DataNode loss.
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "hdfs/hdfs.h"
+#include "net/cluster.h"
+
+using namespace hmr;
+using namespace hmr::net;
+using namespace hmr::hdfs;
+
+namespace {
+
+struct DfsioResult {
+  double write_mbps;
+  double read_mbps;
+};
+
+DfsioResult run_dfsio(NetProfile profile, int replication, int files) {
+  sim::Engine engine;
+  Cluster cluster(engine, profile, Cluster::uniform(5, 1));
+  Network network(engine, profile);
+  HdfsParams params;
+  params.block_size = 64 * kMiB;
+  params.replication = replication;
+  MiniDfs dfs(cluster, network, params, 0, {1, 2, 3, 4});
+
+  constexpr std::uint64_t kFileModeled = 512 * kMiB;
+  const double scale = double(kFileModeled) / double(256 * 1024);
+
+  const double write_start = engine.now();
+  sim::WaitGroup writers(engine);
+  for (int f = 0; f < files; ++f) {
+    writers.add();
+    engine.spawn([](MiniDfs& dfs, Cluster& cluster, int f, double scale,
+                    sim::WaitGroup& done) -> sim::Task<> {
+      Bytes data(256 * 1024, std::uint8_t(f));
+      const Status st = co_await dfs.write(
+          cluster.host(1 + f % 4), "/dfsio/f" + std::to_string(f),
+          std::move(data), scale);
+      HMR_CHECK(st.ok());
+      done.done();
+    }(dfs, cluster, f, scale, writers));
+  }
+  engine.spawn([](sim::WaitGroup& w) -> sim::Task<> { co_await w.wait(); }(
+      writers));
+  engine.run();
+  const double write_secs = engine.now() - write_start;
+
+  const double read_start = engine.now();
+  sim::WaitGroup readers(engine);
+  for (int f = 0; f < files; ++f) {
+    readers.add();
+    engine.spawn([](MiniDfs& dfs, Cluster& cluster, int f,
+                    sim::WaitGroup& done) -> sim::Task<> {
+      // Read from the "wrong" host so some traffic crosses the wire.
+      auto r = co_await dfs.read(cluster.host(1 + (f + 1) % 4),
+                                 "/dfsio/f" + std::to_string(f));
+      HMR_CHECK(r.ok());
+      done.done();
+    }(dfs, cluster, f, readers));
+  }
+  engine.spawn([](sim::WaitGroup& w) -> sim::Task<> { co_await w.wait(); }(
+      readers));
+  engine.run();
+  const double read_secs = engine.now() - read_start;
+
+  const double total_mb = double(kFileModeled) * files / 1e6;
+  return {total_mb / write_secs, total_mb / read_secs};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== M6: HDFS-lite TestDFSIO (8 x 512MB files, 4 DataNodes, "
+              "1 HDD each) ==\n");
+  Table table({"Fabric", "Replication", "Write (MB/s)", "Read (MB/s)"});
+  for (auto profile : {NetProfile::one_gige(), NetProfile::ipoib_qdr()}) {
+    for (int replication : {1, 2, 3}) {
+      std::fprintf(stderr, "  %s r=%d...\n", profile.name.c_str(),
+                   replication);
+      const auto result = run_dfsio(profile, replication, 8);
+      table.add_row({profile.name, std::to_string(replication),
+                     Table::num(result.write_mbps, 0),
+                     Table::num(result.read_mbps, 0)});
+    }
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("(aggregate cluster throughput; writes scale down with the "
+              "replication factor)\n");
+  return 0;
+}

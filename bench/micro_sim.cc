@@ -1,0 +1,92 @@
+// Microbenchmark M5: the discrete-event engine itself — how many
+// events/sec the coroutine scheduler sustains, since every simulated
+// experiment's wall-clock cost is bounded by it.
+#include <benchmark/benchmark.h>
+
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace {
+
+using namespace hmr;
+using namespace hmr::sim;
+
+void BM_EngineDelayEvents(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Engine engine;
+    engine.spawn([](Engine& e) -> Task<> {
+      for (int i = 0; i < 10000; ++i) co_await e.delay(0.001);
+    }(engine));
+    engine.run();
+    events += engine.events_dispatched();
+  }
+  state.SetItemsProcessed(std::int64_t(events));
+}
+BENCHMARK(BM_EngineDelayEvents);
+
+void BM_EngineManyProcesses(benchmark::State& state) {
+  const int procs = int(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Engine engine;
+    for (int p = 0; p < procs; ++p) {
+      engine.spawn([](Engine& e, int p) -> Task<> {
+        for (int i = 0; i < 100; ++i) co_await e.delay(0.001 * (p + 1));
+      }(engine, p));
+    }
+    engine.run();
+    events += engine.events_dispatched();
+  }
+  state.SetItemsProcessed(std::int64_t(events));
+}
+BENCHMARK(BM_EngineManyProcesses)->Arg(10)->Arg(1000)->Arg(10000);
+
+void BM_ChannelThroughput(benchmark::State& state) {
+  const size_t capacity = size_t(state.range(0));
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    Engine engine;
+    Channel<int> ch(engine, capacity);
+    constexpr int kItems = 20000;
+    engine.spawn([](Channel<int>& ch) -> Task<> {
+      for (int i = 0; i < kItems; ++i) co_await ch.send(i);
+      ch.close();
+    }(ch));
+    engine.spawn([](Channel<int>& ch) -> Task<> {
+      while (co_await ch.recv()) {
+      }
+    }(ch));
+    engine.run();
+    items += kItems;
+  }
+  state.SetItemsProcessed(std::int64_t(items));
+}
+BENCHMARK(BM_ChannelThroughput)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_ResourceContention(benchmark::State& state) {
+  const int waiters = int(state.range(0));
+  std::uint64_t acquisitions = 0;
+  for (auto _ : state) {
+    Engine engine;
+    Resource r(engine, 4, "slots");
+    for (int w = 0; w < waiters; ++w) {
+      engine.spawn([](Engine& e, Resource& r) -> Task<> {
+        for (int i = 0; i < 50; ++i) {
+          co_await r.acquire();
+          co_await e.delay(0.0001);
+          r.release();
+        }
+      }(engine, r));
+    }
+    engine.run();
+    acquisitions += std::uint64_t(waiters) * 50;
+  }
+  state.SetItemsProcessed(std::int64_t(acquisitions));
+}
+BENCHMARK(BM_ResourceContention)->Arg(8)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

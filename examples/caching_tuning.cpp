@@ -1,0 +1,75 @@
+// Tuning walkthrough (§III-C(3), §IV-D): sweeps the RDMA engine's user
+// tunables — prefetch cache on/off, packet size, responder pool — on a
+// Sort workload over SSDs, printing the effect of each knob.
+//
+//   ./examples/caching_tuning [sort_gb]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "mapred/types.h"
+#include "workloads/experiment.h"
+
+using namespace hmr;
+using namespace hmr::workloads;
+
+namespace {
+
+double run_with(Conf extra, std::uint64_t sort_gb) {
+  RunConfig config;
+  config.setup = EngineSetup::osu_ib();
+  config.setup.extra.merge(extra);
+  config.workload = "sort";
+  config.sort_modeled_bytes = sort_gb * kGiB;
+  config.nodes = 4;
+  config.ssd = true;  // the paper's caching study uses SSD data stores
+  return run_experiment(config).seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t sort_gb = argc > 1 ? std::atoll(argv[1]) : 8;
+  Table table({"Configuration", "Job time (s)"});
+
+  std::fprintf(stderr, "baseline (defaults)...\n");
+  const double base = run_with({}, sort_gb);
+  table.add_row({"defaults (cache on, 1MB packets, 4 responders)",
+                 Table::num(base, 1)});
+
+  {
+    std::fprintf(stderr, "caching disabled...\n");
+    Conf conf;
+    conf.set_bool(mapred::kCachingEnabled, false);
+    table.add_row({"mapred.local.caching.enabled=false",
+                   Table::num(run_with(conf, sort_gb), 1)});
+  }
+  for (const char* packet : {"64KB", "4MB"}) {
+    std::fprintf(stderr, "packet %s...\n", packet);
+    Conf conf;
+    conf.set(mapred::kRdmaPacketBytes, packet);
+    table.add_row({std::string("mapred.rdma.packet.bytes=") + packet,
+                   Table::num(run_with(conf, sort_gb), 1)});
+  }
+  for (int responders : {1, 16}) {
+    std::fprintf(stderr, "%d responders...\n", responders);
+    Conf conf;
+    conf.set_int(mapred::kResponderThreads, responders);
+    table.add_row({"mapred.rdma.responder.threads=" +
+                       std::to_string(responders),
+                   Table::num(run_with(conf, sort_gb), 1)});
+  }
+  {
+    std::fprintf(stderr, "overlap disabled...\n");
+    Conf conf;
+    conf.set_bool(mapred::kOverlapReduce, false);
+    table.add_row({"mapred.shuffle.overlap.reduce=false",
+                   Table::num(run_with(conf, sort_gb), 1)});
+  }
+
+  std::printf("Sort %lluGB on 4 DataNodes with SSD, OSU-IB engine\n",
+              static_cast<unsigned long long>(sort_gb));
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Engine shootout: the paper's §IV head-to-head on one cluster size —
+// runs TeraSort across 1GigE, 10GigE, IPoIB, Hadoop-A and OSU-IB and
+// prints the improvement percentages the paper quotes.
+//
+//   ./examples/engine_shootout [sort_gb] [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "workloads/experiment.h"
+
+using namespace hmr;
+using namespace hmr::workloads;
+
+int main(int argc, char** argv) {
+  const std::uint64_t sort_gb = argc > 1 ? std::atoll(argv[1]) : 8;
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  const std::vector<EngineSetup> setups = {
+      EngineSetup::one_gige(), EngineSetup::ten_gige(), EngineSetup::ipoib(),
+      EngineSetup::hadoop_a(), EngineSetup::osu_ib()};
+
+  Table table({"Engine", "Job time (s)", "vs 1GigE", "vs IPoIB"});
+  std::vector<double> seconds;
+  for (const auto& setup : setups) {
+    RunConfig config;
+    config.setup = setup;
+    config.workload = "terasort";
+    config.sort_modeled_bytes = sort_gb * kGiB;
+    config.nodes = nodes;
+    std::fprintf(stderr, "running %s ...\n", setup.label.c_str());
+    seconds.push_back(run_experiment(config).seconds());
+  }
+  for (size_t i = 0; i < setups.size(); ++i) {
+    auto pct = [&](double base) {
+      return Table::num((base - seconds[i]) / base * 100.0, 1) + "%";
+    };
+    table.add_row({setups[i].label, Table::num(seconds[i], 1),
+                   pct(seconds[0]), pct(seconds[2])});
+  }
+  std::printf("TeraSort %lluGB on %d DataNodes (1 HDD each)\n",
+              static_cast<unsigned long long>(sort_gb), nodes);
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace hmr {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected CRC-32C
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  const auto& t = table();
+  for (std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ t[(crc ^ byte) & 0xff];
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
+  return crc32c(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(data.data()), data.size()),
+      seed);
+}
+
+}  // namespace hmr

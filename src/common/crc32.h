@@ -1,0 +1,15 @@
+// CRC-32C (Castagnoli), software table implementation. Used by
+// TeraValidate-style output checking and HDFS-lite block checksums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hmr {
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0);
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace hmr

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace hmr {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const char* tag, const char* fmt, ...) {
+  char body[2048];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+  if (now_) {
+    std::fprintf(stderr, "[%-5s t=%.6fs %s] %s\n", level_name(level), now_(),
+                 tag, body);
+  } else {
+    std::fprintf(stderr, "[%-5s %s] %s\n", level_name(level), tag, body);
+  }
+}
+
+}  // namespace hmr

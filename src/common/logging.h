@@ -1,0 +1,46 @@
+// Minimal leveled logger with printf formatting and an injectable
+// time source so log lines carry *simulated* time inside the DES.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace hmr {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  // When set, each line is prefixed with "t=<now()>s"; used by sim::Engine.
+  void set_time_source(std::function<double()> now) { now_ = std::move(now); }
+  void clear_time_source() { now_ = nullptr; }
+
+  void log(LogLevel level, const char* tag, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<double()> now_;
+};
+
+}  // namespace hmr
+
+#define HMR_LOG(level, tag, ...)                                    \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::hmr::Logger::instance().level())) {      \
+      ::hmr::Logger::instance().log((level), (tag), __VA_ARGS__);   \
+    }                                                               \
+  } while (0)
+
+#define HMR_TRACE(tag, ...) HMR_LOG(::hmr::LogLevel::kTrace, tag, __VA_ARGS__)
+#define HMR_DEBUG(tag, ...) HMR_LOG(::hmr::LogLevel::kDebug, tag, __VA_ARGS__)
+#define HMR_INFO(tag, ...) HMR_LOG(::hmr::LogLevel::kInfo, tag, __VA_ARGS__)
+#define HMR_WARN(tag, ...) HMR_LOG(::hmr::LogLevel::kWarn, tag, __VA_ARGS__)
+#define HMR_ERROR(tag, ...) HMR_LOG(::hmr::LogLevel::kError, tag, __VA_ARGS__)

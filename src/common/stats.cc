@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hmr {
+
+int Histogram::bucket_for(double v) {
+  if (v <= 0.0) return 0;
+  const int b = 1 + std::ilogb(v) + 32;  // center tiny values near bucket 32
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+void Histogram::record(double v) {
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  ++buckets_[bucket_for(v)];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * double(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      // Bucket b holds values in [2^(b-33), 2^(b-32)); report the midpoint,
+      // clamped to the observed range.
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 33);
+      const double hi = std::ldexp(1.0, b - 32);
+      return std::clamp((lo + hi) / 2.0, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() { *this = Histogram{}; }
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+std::int64_t MetricRegistry::counter_value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Histogram* MetricRegistry::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricRegistry::counters()
+    const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::string MetricRegistry::report() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof line, "%-48s %lld\n", name.c_str(),
+                  static_cast<long long>(c.value()));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof line,
+                  "%-48s n=%llu mean=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.mean(), h.min(), h.quantile(0.5), h.quantile(0.99),
+                  h.max());
+    out += line;
+  }
+  return out;
+}
+
+void MetricRegistry::reset() {
+  for (auto& [_, c] : counters_) c.reset();
+  for (auto& [_, h] : histograms_) h.reset();
+}
+
+}  // namespace hmr

@@ -1,0 +1,67 @@
+// Counters and histograms for instrumenting the simulated cluster
+// (bytes shuffled, cache hits/misses, disk seeks, merge rounds, ...).
+// A MetricRegistry groups metrics per run so experiments can diff them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmr {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Streaming summary: count/sum/min/max/mean plus log2-bucketed counts
+// for cheap percentile estimates.
+class Histogram {
+ public:
+  void record(double v);
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  // Estimated quantile from bucket boundaries; q in [0,1].
+  double quantile(double q) const;
+  void reset();
+
+ private:
+  static constexpr int kBuckets = 64;
+  static int bucket_for(double v);
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::int64_t counter_value(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  std::string report() const;
+  void reset();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace hmr

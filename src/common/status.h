@@ -1,0 +1,148 @@
+// Lightweight error-handling primitives.
+//
+// The library distinguishes programmer errors (checked with HMR_CHECK,
+// which aborts) from expected runtime failures (file not found, cache
+// miss, connection refused) which are reported through Status/Result<T>.
+// GCC 12 lacks std::expected, so Result<T> is a minimal local equivalent.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hmr {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kAborted,
+  kInternal,
+};
+
+std::string_view to_string(StatusCode code);
+
+// Value-semantic status: either OK or a code plus a human-readable message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status OutOfRange(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status ResourceExhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status Aborted(std::string m) {
+    return {StatusCode::kAborted, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string to_string() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Either a T or a non-OK Status. Access to value() on error aborts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    check_ok();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    check_ok();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    check_ok();
+    return std::get<T>(std::move(rep_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+  T value_or(T fallback) const& { return ok() ? std::get<T>(rep_) : fallback; }
+
+ private:
+  void check_ok() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result accessed with error: %s\n",
+                   std::get<Status>(rep_).to_string().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> rep_;
+};
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& extra = {});
+
+}  // namespace hmr
+
+#define HMR_CHECK(expr)                                   \
+  do {                                                    \
+    if (!(expr)) [[unlikely]] {                           \
+      ::hmr::check_failed(__FILE__, __LINE__, #expr);     \
+    }                                                     \
+  } while (0)
+
+#define HMR_CHECK_MSG(expr, msg)                             \
+  do {                                                       \
+    if (!(expr)) [[unlikely]] {                              \
+      ::hmr::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                        \
+  } while (0)
+
+#define HMR_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::hmr::Status hmr_status_ = (expr);      \
+    if (!hmr_status_.ok()) return hmr_status_; \
+  } while (0)

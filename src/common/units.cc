@@ -1,0 +1,100 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace hmr {
+
+Result<std::uint64_t> parse_bytes(std::string_view text) {
+  size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  size_t start = i;
+  bool seen_dot = false;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) ||
+          (text[i] == '.' && !seen_dot))) {
+    seen_dot = seen_dot || text[i] == '.';
+    ++i;
+  }
+  if (i == start) {
+    return Status::InvalidArgument("no digits in size: '" + std::string(text) +
+                                   "'");
+  }
+  double value = 0.0;
+  const std::string digits(text.substr(start, i - start));
+  if (std::sscanf(digits.c_str(), "%lf", &value) != 1) {
+    return Status::InvalidArgument("bad number in size: '" +
+                                   std::string(text) + "'");
+  }
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  std::uint64_t mult = 1;
+  if (i < text.size()) {
+    switch (std::tolower(static_cast<unsigned char>(text[i]))) {
+      case 'k': mult = kKiB; ++i; break;
+      case 'm': mult = kMiB; ++i; break;
+      case 'g': mult = kGiB; ++i; break;
+      case 't': mult = kTiB; ++i; break;
+      case 'b': break;
+      default:
+        return Status::InvalidArgument("bad unit in size: '" +
+                                       std::string(text) + "'");
+    }
+    if (i < text.size() &&
+        std::tolower(static_cast<unsigned char>(text[i])) == 'b') {
+      ++i;
+    }
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i != text.size()) {
+      return Status::InvalidArgument("trailing junk in size: '" +
+                                     std::string(text) + "'");
+    }
+  }
+  return static_cast<std::uint64_t>(std::llround(value * double(mult)));
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {kTiB, "TB"}, {kGiB, "GB"}, {kMiB, "MB"}, {kKiB, "KB"}};
+  char buf[64];
+  for (const auto& u : kUnits) {
+    if (bytes >= u.scale) {
+      if (bytes % u.scale == 0) {
+        std::snprintf(buf, sizeof buf, "%llu%s",
+                      static_cast<unsigned long long>(bytes / u.scale),
+                      u.suffix);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.2f%s", double(bytes) / double(u.scale),
+                      u.suffix);
+      }
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  } else {
+    const auto whole = static_cast<long long>(seconds);
+    std::snprintf(buf, sizeof buf, "%lldm%02llds", whole / 60, whole % 60);
+  }
+  return buf;
+}
+
+}  // namespace hmr

@@ -1,0 +1,28 @@
+// Byte-size and time-unit parsing/formatting ("256MB", "4KB", "1.5GB").
+// Sizes use binary units (1 KB = 1024 B) to match Hadoop conventions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hmr {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+// Parses "64", "64K", "64KB", "256MB", "1.5GB", "2TB" (case-insensitive,
+// optional trailing 'b'/'B'). Returns bytes.
+Result<std::uint64_t> parse_bytes(std::string_view text);
+
+// "1536" -> "1.50KB"; exact multiples print without decimals ("256MB").
+std::string format_bytes(std::uint64_t bytes);
+
+// Seconds to "1234.5s" / "12m34s" style human string.
+std::string format_duration(double seconds);
+
+}  // namespace hmr

@@ -1,0 +1,114 @@
+#include "dataplane/cache.h"
+
+#include "common/status.h"
+
+namespace hmr::dataplane {
+
+PrefetchCache::PrefetchCache(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+bool PrefetchCache::make_room(std::uint64_t needed, const Rank& incoming) {
+  if (needed > capacity_) return false;
+  while (capacity_ - used_ < needed) {
+    HMR_CHECK(!ranks_.empty());
+    const Rank& victim_rank = *ranks_.begin();
+    if (!(victim_rank < incoming)) return false;  // everything outranks us
+    const std::string victim_key = std::get<2>(victim_rank);
+    auto it = entries_.find(victim_key);
+    HMR_CHECK(it != entries_.end());
+    used_ -= it->second.bytes;
+    ranks_.erase(ranks_.begin());
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+bool PrefetchCache::put(const std::string& key,
+                        std::shared_ptr<const MapOutput> value,
+                        std::uint64_t charged_bytes, int priority) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh in place, keeping the higher priority.
+    unrank(key, it->second);
+    used_ -= it->second.bytes;
+    it->second.value = std::move(value);
+    it->second.bytes = 0;  // re-charged below
+    priority = std::max(priority, it->second.priority);
+    const Rank incoming{priority, next_tick_, key};
+    if (!make_room(charged_bytes, incoming)) {
+      entries_.erase(it);
+      ++stats_.rejected;
+      return false;
+    }
+    it = entries_.find(key);
+    HMR_CHECK(it != entries_.end());
+    it->second.bytes = charged_bytes;
+    it->second.priority = priority;
+    it->second.tick = next_tick_++;
+    used_ += charged_bytes;
+    ranks_.insert(rank_of(key, it->second));
+    ++stats_.insertions;
+    return true;
+  }
+
+  const Rank incoming{priority, next_tick_, key};
+  if (!make_room(charged_bytes, incoming)) {
+    ++stats_.rejected;
+    return false;
+  }
+  Entry entry;
+  entry.value = std::move(value);
+  entry.bytes = charged_bytes;
+  entry.priority = priority;
+  entry.tick = next_tick_++;
+  used_ += charged_bytes;
+  ranks_.insert(rank_of(key, entry));
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+  return true;
+}
+
+std::shared_ptr<const MapOutput> PrefetchCache::get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  unrank(key, it->second);
+  it->second.tick = next_tick_++;
+  ranks_.insert(rank_of(key, it->second));
+  return it->second.value;
+}
+
+bool PrefetchCache::contains(const std::string& key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+void PrefetchCache::boost(const std::string& key, int priority) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (priority <= it->second.priority) return;
+  unrank(key, it->second);
+  it->second.priority = priority;
+  it->second.tick = next_tick_++;
+  ranks_.insert(rank_of(key, it->second));
+}
+
+bool PrefetchCache::erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  unrank(key, it->second);
+  used_ -= it->second.bytes;
+  entries_.erase(it);
+  return true;
+}
+
+void PrefetchCache::clear() {
+  entries_.clear();
+  ranks_.clear();
+  used_ = 0;
+}
+
+}  // namespace hmr::dataplane

@@ -1,0 +1,92 @@
+// PrefetchCache — the intermediate-data cache at the heart of the
+// paper's contribution (§III-B3).
+//
+// A byte-budgeted cache of map outputs on the TaskTracker side.
+// Eviction picks the lowest (priority, recency) victim, so demand-
+// boosted entries (requested by reducers after a miss) outlive
+// speculatively prefetched ones. The budget is expressed in *modeled*
+// bytes — it models the TaskTracker heap-size limit the paper exposes
+// through mapred.local.caching configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dataplane/segment.h"
+
+namespace hmr::dataplane {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected = 0;
+
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+};
+
+class PrefetchCache {
+ public:
+  explicit PrefetchCache(std::uint64_t capacity_bytes);
+
+  // Inserts (or refreshes) an entry of `charged_bytes` modeled bytes,
+  // evicting lower-ranked entries to fit. Returns false (and counts a
+  // rejection) if the entry alone exceeds the budget or every resident
+  // entry outranks it.
+  bool put(const std::string& key, std::shared_ptr<const MapOutput> value,
+           std::uint64_t charged_bytes, int priority = 0);
+
+  // Hit: bumps recency and returns the value. Miss: returns nullptr.
+  std::shared_ptr<const MapOutput> get(const std::string& key);
+
+  // Peek without touching recency or stats.
+  bool contains(const std::string& key) const;
+
+  // Demand prioritisation: raise the entry's priority (if resident) so
+  // follow-up requests for a hot map output keep hitting (§III-B3: after
+  // a miss, re-cache "with more priority").
+  void boost(const std::string& key, int priority);
+
+  bool erase(const std::string& key);
+  void clear();
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::uint64_t used_bytes() const { return used_; }
+  size_t entries() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const MapOutput> value;
+    std::uint64_t bytes = 0;
+    int priority = 0;
+    std::uint64_t tick = 0;
+  };
+  // Eviction rank: (priority, tick) ascending — coldest first.
+  using Rank = std::tuple<int, std::uint64_t, std::string>;
+
+  Rank rank_of(const std::string& key, const Entry& entry) const {
+    return {entry.priority, entry.tick, key};
+  }
+  void unrank(const std::string& key, const Entry& entry) {
+    ranks_.erase(rank_of(key, entry));
+  }
+  // Evicts victims ranked strictly below `incoming` until `needed` fits.
+  bool make_room(std::uint64_t needed, const Rank& incoming);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t next_tick_ = 1;
+  std::map<std::string, Entry> entries_;
+  std::set<Rank> ranks_;
+  CacheStats stats_;
+};
+
+}  // namespace hmr::dataplane

@@ -1,0 +1,76 @@
+#include "dataplane/kv.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hmr::dataplane {
+
+namespace {
+std::uint64_t varint_size(std::uint64_t v) {
+  std::uint64_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+std::uint64_t KvPair::serialized_size() const {
+  return varint_size(key.size()) + varint_size(value.size()) + key.size() +
+         value.size();
+}
+
+int KvLess::compare_keys(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n > 0) {
+    const int c = std::memcmp(a.data(), b.data(), n);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+KvPair make_kv(std::string_view key, std::string_view value) {
+  return KvPair{Bytes(key.begin(), key.end()), Bytes(value.begin(), value.end())};
+}
+
+void encode_kv(const KvPair& pair, ByteWriter& writer) {
+  writer.put_varint(pair.key.size());
+  writer.put_varint(pair.value.size());
+  writer.put_bytes(pair.key);
+  writer.put_bytes(pair.value);
+}
+
+Result<KvPair> decode_kv(ByteReader& reader) {
+  auto klen = reader.varint();
+  if (!klen.ok()) return klen.status();
+  auto vlen = reader.varint();
+  if (!vlen.ok()) return vlen.status();
+  auto key = reader.bytes(klen.value());
+  if (!key.ok()) return key.status();
+  auto value = reader.bytes(vlen.value());
+  if (!value.ok()) return value.status();
+  return KvPair{Bytes(key.value().begin(), key.value().end()),
+                Bytes(value.value().begin(), value.value().end())};
+}
+
+Bytes encode_run(std::span<const KvPair> pairs) {
+  ByteWriter writer;
+  for (const auto& pair : pairs) encode_kv(pair, writer);
+  return writer.take();
+}
+
+Result<std::vector<KvPair>> decode_run(std::span<const std::uint8_t> data) {
+  std::vector<KvPair> out;
+  ByteReader reader(data);
+  while (!reader.at_end()) {
+    auto pair = decode_kv(reader);
+    if (!pair.ok()) return pair.status();
+    out.push_back(std::move(pair.value()));
+  }
+  return out;
+}
+
+}  // namespace hmr::dataplane

@@ -1,0 +1,50 @@
+// Key-value records and their on-disk/wire codec.
+//
+// The serialized form follows Hadoop's IFile record layout:
+// varint(key_len) varint(value_len) key value, records back to back.
+// Keys compare as unsigned lexicographic byte strings, matching
+// Hadoop's BytesWritable ordering (and TeraSort's 10-byte keys).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hmr::dataplane {
+
+struct KvPair {
+  Bytes key;
+  Bytes value;
+
+  std::uint64_t serialized_size() const;
+  bool operator==(const KvPair& other) const = default;
+};
+
+// Strict-weak ordering on keys (ties broken by value for determinism).
+struct KvLess {
+  bool operator()(const KvPair& a, const KvPair& b) const {
+    return compare_keys(a.key, b.key) < 0 ||
+           (compare_keys(a.key, b.key) == 0 &&
+            compare_keys(a.value, b.value) < 0);
+  }
+  static int compare_keys(std::span<const std::uint8_t> a,
+                          std::span<const std::uint8_t> b);
+};
+
+KvPair make_kv(std::string_view key, std::string_view value);
+
+// Appends the record to `writer`.
+void encode_kv(const KvPair& pair, ByteWriter& writer);
+// Decodes one record; OutOfRange on truncation.
+Result<KvPair> decode_kv(ByteReader& reader);
+
+// Serializes a whole run; `pairs` need not be sorted.
+Bytes encode_run(std::span<const KvPair> pairs);
+// Decodes until the reader is exhausted.
+Result<std::vector<KvPair>> decode_run(std::span<const std::uint8_t> data);
+
+}  // namespace hmr::dataplane

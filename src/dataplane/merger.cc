@@ -1,0 +1,61 @@
+#include "dataplane/merger.h"
+
+#include <algorithm>
+
+namespace hmr::dataplane {
+
+BytesSource::BytesSource(std::shared_ptr<const Bytes> backing)
+    : reader_(backing, backing ? std::span<const std::uint8_t>(*backing)
+                               : std::span<const std::uint8_t>{}) {}
+
+BytesSource::BytesSource(std::shared_ptr<const Bytes> backing,
+                         std::span<const std::uint8_t> slice)
+    : reader_(std::move(backing), slice) {}
+
+bool BytesSource::next(KvPair* out) { return reader_.next(out); }
+
+bool VectorSource::next(KvPair* out) {
+  if (pos_ >= pairs_.size()) return false;
+  *out = std::move(pairs_[pos_++]);
+  return true;
+}
+
+StreamMerger::StreamMerger(std::vector<std::unique_ptr<KvSource>> sources)
+    : sources_(std::move(sources)) {
+  for (size_t i = 0; i < sources_.size(); ++i) refill(i);
+}
+
+void StreamMerger::refill(size_t source) {
+  KvPair pair;
+  if (sources_[source]->next(&pair)) {
+    heap_.push(HeapItem{std::move(pair), source});
+  }
+}
+
+bool StreamMerger::next(KvPair* out) {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the move is safe because we pop
+  // immediately — use const_cast-free copy of the small struct instead.
+  HeapItem item = heap_.top();
+  heap_.pop();
+  *out = std::move(item.pair);
+  ++records_merged_;
+  refill(item.source);
+  return true;
+}
+
+std::vector<KvPair> drain(KvSource& source) {
+  std::vector<KvPair> out;
+  KvPair pair;
+  while (source.next(&pair)) out.push_back(std::move(pair));
+  return out;
+}
+
+bool is_sorted_run(std::span<const KvPair> pairs) {
+  return std::is_sorted(pairs.begin(), pairs.end(),
+                        [](const KvPair& a, const KvPair& b) {
+                          return KvLess::compare_keys(a.key, b.key) < 0;
+                        });
+}
+
+}  // namespace hmr::dataplane

@@ -1,0 +1,89 @@
+// K-way merge over sorted record streams — the reducer's merge phase.
+//
+// StreamMerger is the synchronous k-way heap merge used by the vanilla
+// two-level merger and by final merge passes. The shuffle engines'
+// *streaming* merges (priority queue with asynchronous refills, §III-B2)
+// live in the engine code but reuse these comparators and sources.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "dataplane/kv.h"
+#include "dataplane/segment.h"
+
+namespace hmr::dataplane {
+
+// Pull interface over a sorted run.
+class KvSource {
+ public:
+  virtual ~KvSource() = default;
+  // False at end of stream.
+  virtual bool next(KvPair* out) = 0;
+};
+
+// Source over serialized record bytes.
+class BytesSource final : public KvSource {
+ public:
+  explicit BytesSource(std::shared_ptr<const Bytes> backing);
+  BytesSource(std::shared_ptr<const Bytes> backing,
+              std::span<const std::uint8_t> slice);
+  bool next(KvPair* out) override;
+
+ private:
+  SegmentReader reader_;
+};
+
+// Source over an in-memory vector (already sorted by the caller).
+class VectorSource final : public KvSource {
+ public:
+  explicit VectorSource(std::vector<KvPair> pairs)
+      : pairs_(std::move(pairs)) {}
+  bool next(KvPair* out) override;
+
+ private:
+  std::vector<KvPair> pairs_;
+  size_t pos_ = 0;
+};
+
+// Heap-based k-way merge; yields globally sorted output if every input
+// is sorted. Detects (and aborts on) unsorted inputs in debug use via
+// check_sorted().
+class StreamMerger final : public KvSource {
+ public:
+  explicit StreamMerger(std::vector<std::unique_ptr<KvSource>> sources);
+
+  bool next(KvPair* out) override;
+  std::uint64_t records_merged() const { return records_merged_; }
+
+ private:
+  struct HeapItem {
+    KvPair pair;
+    size_t source;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      // std::priority_queue is a max-heap; invert for min-merge. Ties
+      // break toward the lower source index for determinism.
+      const int c = KvLess::compare_keys(a.pair.key, b.pair.key);
+      if (c != 0) return c > 0;
+      return a.source > b.source;
+    }
+  };
+
+  void refill(size_t source);
+
+  std::vector<std::unique_ptr<KvSource>> sources_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapGreater> heap_;
+  std::uint64_t records_merged_ = 0;
+};
+
+// Drains a source; convenience for tests and final passes.
+std::vector<KvPair> drain(KvSource& source);
+// True if `pairs` is sorted by KvLess key order.
+bool is_sorted_run(std::span<const KvPair> pairs);
+
+}  // namespace hmr::dataplane

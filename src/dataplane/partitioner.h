@@ -1,0 +1,50 @@
+// Partitioners: key -> reduce-task index.
+//
+// HashPartitioner mirrors Hadoop's default (used by Sort/WordCount);
+// RangePartitioner mirrors TeraSort's TotalOrderPartitioner under
+// TeraGen's uniform keyspace: contiguous key ranges map to contiguous
+// reducers, so concatenated reducer outputs are globally sorted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+
+namespace hmr::dataplane {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual int partition(std::span<const std::uint8_t> key,
+                        int num_partitions) const = 0;
+};
+
+class HashPartitioner final : public Partitioner {
+ public:
+  int partition(std::span<const std::uint8_t> key,
+                int num_partitions) const override {
+    const std::uint64_t h =
+        fnv1a({reinterpret_cast<const char*>(key.data()), key.size()});
+    return int(h % std::uint64_t(num_partitions));
+  }
+};
+
+class RangePartitioner final : public Partitioner {
+ public:
+  // Interprets the first 8 key bytes as a big-endian integer and splits
+  // the 64-bit space evenly.
+  int partition(std::span<const std::uint8_t> key,
+                int num_partitions) const override {
+    std::uint64_t prefix = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      prefix = (prefix << 8) | (i < key.size() ? key[i] : 0);
+    }
+    // Map via 128-bit multiply to avoid overflow and keep ranges exact.
+    return int((static_cast<__uint128_t>(prefix) *
+                static_cast<std::uint64_t>(num_partitions)) >>
+               64);
+  }
+};
+
+}  // namespace hmr::dataplane

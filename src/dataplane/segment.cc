@@ -1,0 +1,134 @@
+#include "dataplane/segment.h"
+
+#include <algorithm>
+
+namespace hmr::dataplane {
+
+Bytes MapOutput::encode_index() const {
+  ByteWriter writer;
+  writer.put_varint(index.size());
+  for (const auto& entry : index) {
+    writer.put_varint(entry.offset);
+    writer.put_varint(entry.length);
+    writer.put_varint(entry.kv_count);
+  }
+  return writer.take();
+}
+
+Result<std::vector<IndexEntry>> MapOutput::decode_index(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  auto count = reader.varint();
+  if (!count.ok()) return count.status();
+  std::vector<IndexEntry> out;
+  out.reserve(count.value());
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    IndexEntry entry;
+    auto offset = reader.varint();
+    auto length = reader.varint();
+    auto kv_count = reader.varint();
+    if (!offset.ok() || !length.ok() || !kv_count.ok()) {
+      return Status::OutOfRange("truncated map-output index");
+    }
+    entry.offset = offset.value();
+    entry.length = length.value();
+    entry.kv_count = kv_count.value();
+    out.push_back(entry);
+  }
+  return out;
+}
+
+MapOutputBuilder::MapOutputBuilder(int num_partitions,
+                                   const Partitioner& partitioner)
+    : partitioner_(partitioner), partitions_(num_partitions) {
+  HMR_CHECK_MSG(num_partitions > 0, "need at least one partition");
+}
+
+void MapOutputBuilder::add(KvPair pair) {
+  pending_bytes_ += pair.serialized_size();
+  const int p =
+      partitioner_.partition(pair.key, int(partitions_.size()));
+  partitions_.at(p).push_back(std::move(pair));
+}
+
+std::uint64_t MapOutputBuilder::pending_records() const {
+  std::uint64_t n = 0;
+  for (const auto& partition : partitions_) n += partition.size();
+  return n;
+}
+
+MapOutput MapOutputBuilder::build(const CombineFn* combiner) {
+  MapOutput out;
+  ByteWriter writer;
+  out.index.reserve(partitions_.size());
+  for (auto& partition : partitions_) {
+    std::sort(partition.begin(), partition.end(), KvLess{});
+    if (combiner != nullptr && !partition.empty()) {
+      std::vector<KvPair> combined;
+      const std::function<void(KvPair)> emit = [&combined](KvPair pair) {
+        combined.push_back(std::move(pair));
+      };
+      std::vector<Bytes> values;
+      size_t i = 0;
+      while (i < partition.size()) {
+        const Bytes& key = partition[i].key;
+        values.clear();
+        while (i < partition.size() && partition[i].key == key) {
+          values.push_back(std::move(partition[i].value));
+          ++i;
+        }
+        (*combiner)(key, values, emit);
+      }
+      // Combiner output may be unsorted if it emits new keys; re-sort.
+      std::sort(combined.begin(), combined.end(), KvLess{});
+      partition = std::move(combined);
+    }
+    IndexEntry entry;
+    entry.offset = writer.size();
+    entry.kv_count = partition.size();
+    for (const auto& pair : partition) encode_kv(pair, writer);
+    entry.length = writer.size() - entry.offset;
+    out.index.push_back(entry);
+    partition.clear();
+  }
+  out.data = std::make_shared<const Bytes>(writer.take());
+  pending_bytes_ = 0;
+  return out;
+}
+
+SegmentReader::SegmentReader(std::shared_ptr<const Bytes> backing,
+                             std::span<const std::uint8_t> slice)
+    : backing_(std::move(backing)), slice_(slice) {}
+
+bool SegmentReader::next(KvPair* out) {
+  if (exhausted()) return false;
+  ByteReader reader(slice_.subspan(pos_));
+  auto pair = decode_kv(reader);
+  HMR_CHECK_MSG(pair.ok(), "corrupt segment record");
+  pos_ += reader.position();
+  *out = std::move(pair.value());
+  return true;
+}
+
+std::span<const std::uint8_t> SegmentReader::take_chunk(
+    std::uint64_t max_pairs, std::uint64_t max_bytes,
+    std::uint64_t* pairs_out) {
+  const size_t start = pos_;
+  std::uint64_t pairs = 0;
+  while (pairs < max_pairs && pos_ < slice_.size()) {
+    ByteReader reader(slice_.subspan(pos_));
+    auto pair = decode_kv(reader);
+    HMR_CHECK_MSG(pair.ok(), "corrupt segment record");
+    const size_t record_len = reader.position();
+    // Never cross the byte budget, except that the first record always
+    // ships (a chunk must make progress even for jumbo pairs).
+    if (pairs > 0 && (pos_ - start) + record_len > max_bytes) break;
+    pos_ += record_len;
+    ++pairs;
+    if (pos_ - start >= max_bytes) break;
+  }
+  if (pairs_out != nullptr) *pairs_out = pairs;
+  return slice_.subspan(start, pos_ - start);
+}
+
+}  // namespace hmr::dataplane

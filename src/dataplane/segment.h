@@ -1,0 +1,88 @@
+// Map-output files: sorted, partitioned runs with a per-partition index,
+// the moral equivalent of Hadoop's file.out + file.out.index pair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dataplane/kv.h"
+#include "dataplane/partitioner.h"
+
+namespace hmr::dataplane {
+
+struct IndexEntry {
+  std::uint64_t offset = 0;    // byte offset into data
+  std::uint64_t length = 0;    // serialized bytes
+  std::uint64_t kv_count = 0;  // records in this partition
+};
+
+// One map task's complete output: every partition sorted by key.
+struct MapOutput {
+  std::shared_ptr<const Bytes> data;
+  std::vector<IndexEntry> index;
+
+  std::uint64_t total_bytes() const { return data ? data->size() : 0; }
+  std::span<const std::uint8_t> partition_bytes(int p) const {
+    const auto& e = index.at(p);
+    return std::span<const std::uint8_t>(*data).subspan(e.offset, e.length);
+  }
+  // Serializes/parses the index itself (the .index side file).
+  Bytes encode_index() const;
+  static Result<std::vector<IndexEntry>> decode_index(
+      std::span<const std::uint8_t> bytes);
+};
+
+// Map-side combiner: called once per distinct key with all its values;
+// emits the (usually smaller) combined records.
+using CombineFn = std::function<void(
+    const Bytes& key, const std::vector<Bytes>& values,
+    const std::function<void(KvPair)>& emit)>;
+
+// Collects a map task's emitted pairs, then sorts each partition and
+// serializes (the in-memory sort half of Hadoop's MapOutputBuffer).
+class MapOutputBuilder {
+ public:
+  MapOutputBuilder(int num_partitions, const Partitioner& partitioner);
+
+  void add(KvPair pair);
+  std::uint64_t pending_bytes() const { return pending_bytes_; }
+  std::uint64_t pending_records() const;
+
+  // Sorts and serializes; the builder resets to empty. A non-null
+  // combiner runs over each sorted partition first (Hadoop's map-side
+  // combine), shrinking what the shuffle must move.
+  MapOutput build(const CombineFn* combiner = nullptr);
+
+ private:
+  const Partitioner& partitioner_;
+  std::vector<std::vector<KvPair>> partitions_;
+  std::uint64_t pending_bytes_ = 0;
+};
+
+// Sequential reader over one partition's serialized bytes. Keeps shared
+// ownership of the backing buffer so callers can slice freely.
+class SegmentReader {
+ public:
+  SegmentReader(std::shared_ptr<const Bytes> backing,
+                std::span<const std::uint8_t> slice);
+  // Reads the next record; false at end. Aborts on corrupt data.
+  bool next(KvPair* out);
+  // Reads up to max_pairs or max_bytes (whichever first) raw record bytes
+  // starting at the cursor — the unit the OSU-IB responder ships.
+  std::span<const std::uint8_t> take_chunk(std::uint64_t max_pairs,
+                                           std::uint64_t max_bytes,
+                                           std::uint64_t* pairs_out);
+  bool exhausted() const { return pos_ == slice_.size(); }
+  std::uint64_t remaining_bytes() const { return slice_.size() - pos_; }
+
+ private:
+  std::shared_ptr<const Bytes> backing_;
+  std::span<const std::uint8_t> slice_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hmr::dataplane

@@ -1,0 +1,26 @@
+// Hadoop-A (Wang et al., SC'11 "Hadoop Acceleration through Network
+// Levitated Merge") — the paper's closest comparator, reconstructed from
+// its published description (§III-C):
+//
+//  * native-verbs shuffle and a priority-queue merge over remote
+//    segments (shared with the OSU-IB engine),
+//  * a fixed number of key-value pairs per packet regardless of their
+//    size — the behaviour §IV-C blames for its Sort-benchmark losses,
+//  * no TaskTracker-side prefetch/cache: every responder request reads
+//    the map output from disk (its DataEngine "doesn't provide data
+//    caching to decrease the disk access"),
+//  * fewer tuning knobs (the kv count is its only packet control).
+#pragma once
+
+#include "rdmashuffle/engine.h"
+
+namespace hmr::hadoopa {
+
+class HadoopAEngine final : public rdmashuffle::RdmaShuffleEngine {
+ public:
+  explicit HadoopAEngine(const Conf& conf)
+      : RdmaShuffleEngine("hadoop-a",
+                          rdmashuffle::RdmaShuffleOptions::hadoop_a(conf)) {}
+};
+
+}  // namespace hmr::hadoopa

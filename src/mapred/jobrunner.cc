@@ -1,0 +1,184 @@
+#include "mapred/jobrunner.h"
+
+#include <algorithm>
+
+#include "mapred/maptask.h"
+#include "mapred/reducetask.h"
+#include "mapred/vanilla.h"
+
+namespace hmr::mapred {
+
+JobRunner::JobRunner(Cluster& cluster, Network& network, hdfs::MiniDfs& dfs,
+                     std::vector<int> tracker_hosts)
+    : cluster_(cluster),
+      network_(network),
+      dfs_(dfs),
+      tracker_hosts_(std::move(tracker_hosts)) {
+  register_engine("vanilla", [](const Conf&) {
+    return std::make_unique<VanillaShuffleEngine>();
+  });
+}
+
+void JobRunner::register_engine(std::string name, EngineFactory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+std::string JobRunner::engine_name(const Conf& conf) {
+  if (auto name = conf.get(kShuffleEngine)) return *name;
+  return conf.get_bool(kRdmaEnabled, false) ? "osu-ib" : "vanilla";
+}
+
+sim::Task<> JobRunner::jt_rpc(Host& from) {
+  co_await network_.transmit(from, dfs_.master(), 256);
+  co_await network_.transmit(dfs_.master(), from, 256);
+}
+
+sim::Task<> JobRunner::map_worker(JobRuntime& job,
+                                  TaskTrackerState& tracker,
+                                  std::vector<bool>& assigned,
+                                  sim::WaitGroup& done) {
+  const double failure_prob =
+      job.spec.conf.get_double(kMapFailureProb, 0.0);
+  const int max_attempts = int(job.spec.conf.get_int(kMaxTaskAttempts, 4));
+  const double straggler_prob =
+      job.spec.conf.get_double(kStragglerProb, 0.0);
+  const double straggler_slowdown =
+      job.spec.conf.get_double(kStragglerSlowdown, 4.0);
+  const bool speculative =
+      job.spec.conf.get_bool(kSpeculativeExecution, false);
+  auto rng = job.engine.make_rng("map.fault." +
+                                 std::to_string(tracker.host->id()));
+  while (true) {
+    // Locality-aware pick: prefer a split with a replica on this host,
+    // otherwise steal the lowest-id remote split.
+    int pick = -1;
+    for (const auto& map : job.maps) {
+      if (assigned[map.map_id]) continue;
+      if (std::find(map.replica_hosts.begin(), map.replica_hosts.end(),
+                    tracker.host->id()) != map.replica_hosts.end()) {
+        pick = map.map_id;
+        break;
+      }
+      if (pick < 0) pick = map.map_id;
+    }
+    if (pick < 0) break;
+    assigned[pick] = true;
+    // Concurrent jobs share the tracker: a task occupies a slot.
+    auto slot = co_await sim::hold(tracker.map_slots);
+    co_await jt_rpc(*tracker.host);  // heartbeat + task assignment
+    // Fault injection (§VI future work): an attempt may die partway;
+    // the JobTracker reschedules it, up to mapred.map.max.attempts.
+    int attempt = 1;
+    while (failure_prob > 0.0 && rng.chance(failure_prob) &&
+           attempt < max_attempts) {
+      co_await run_failed_map_attempt(job, pick, tracker, rng.uniform());
+      co_await jt_rpc(*tracker.host);  // report failure, get re-assignment
+      ++attempt;
+    }
+    HMR_CHECK_MSG(attempt <= max_attempts,
+                  "map task exceeded mapred.map.max.attempts");
+    double slowdown = 1.0;
+    if (straggler_prob > 0.0 && rng.chance(straggler_prob)) {
+      slowdown = straggler_slowdown;
+      job.maps.at(pick).straggling = true;
+    }
+    job.maps.at(pick).attempts_running = 1;
+    job.maps.at(pick).first_started_at = job.engine.now();
+    co_await run_map_task(job, pick, tracker, slowdown);
+    job.maps.at(pick).attempts_running = 0;
+  }
+
+  // Speculative execution: idle slots launch backup attempts for the
+  // longest-running unfinished maps (Hadoop's backup tasks); the first
+  // attempt to finish wins, the other is discarded.
+  while (speculative) {
+    int candidate = -1;
+    double earliest = 0;
+    for (const auto& map : job.maps) {
+      if (map.done || map.attempts_running != 1) continue;
+      if (map.first_started_at < 0) continue;
+      if (candidate < 0 || map.first_started_at < earliest) {
+        candidate = map.map_id;
+        earliest = map.first_started_at;
+      }
+    }
+    if (candidate < 0) break;
+    ++job.maps.at(candidate).attempts_running;
+    ++job.result.speculative_attempts;
+    auto slot = co_await sim::hold(tracker.map_slots);
+    co_await jt_rpc(*tracker.host);
+    co_await run_map_task(job, candidate, tracker);
+    --job.maps.at(candidate).attempts_running;
+    if (job.maps.at(candidate).ran_on == tracker.host->id()) {
+      ++job.result.speculative_wins;
+    }
+  }
+  done.done();
+}
+
+sim::Task<> JobRunner::reduce_worker(JobRuntime& job,
+                                     TaskTrackerState& tracker,
+                                     std::deque<int>& pending,
+                                     sim::WaitGroup& done) {
+  co_await job.slowstart_reached.wait();
+  while (!pending.empty()) {
+    const int reduce_id = pending.front();
+    pending.pop_front();
+    auto slot = co_await sim::hold(tracker.reduce_slots);
+    co_await jt_rpc(*tracker.host);
+    co_await run_reduce_task(job, reduce_id, tracker);
+  }
+  done.done();
+}
+
+sim::Task<JobResult> JobRunner::run(JobSpec spec) {
+  if (trackers_.empty()) {
+    const int map_slots = int(spec.conf.get_int(kMapSlots, 4));
+    const int reduce_slots = int(spec.conf.get_int(kReduceSlots, 4));
+    for (int host_id : tracker_hosts_) {
+      trackers_.push_back(std::make_unique<TaskTrackerState>(
+          cluster_.engine(), cluster_.host(host_id), map_slots,
+          reduce_slots));
+    }
+  }
+  std::vector<TaskTrackerState*> trackers;
+  trackers.reserve(trackers_.size());
+  for (auto& tracker : trackers_) trackers.push_back(tracker.get());
+  auto job = std::make_unique<JobRuntime>(cluster_, network_, dfs_,
+                                          std::move(spec), std::move(trackers),
+                                          next_job_id_++);
+  const std::string engine = engine_name(job->spec.conf);
+  auto factory = factories_.find(engine);
+  HMR_CHECK_MSG(factory != factories_.end(),
+                "unknown shuffle engine: " + engine);
+  auto shuffle = factory->second(job->spec.conf);
+  job->shuffle = shuffle.get();
+
+  job->result.submit_time = job->engine.now();
+  co_await shuffle->start(*job);
+
+  std::vector<bool> assigned(job->maps.size(), false);
+  std::deque<int> pending_reduces;
+  for (int r = 0; r < job->num_reduces; ++r) pending_reduces.push_back(r);
+
+  sim::WaitGroup workers(job->engine);
+  const int map_slots = int(job->spec.conf.get_int(kMapSlots, 4));
+  const int reduce_slots = int(job->spec.conf.get_int(kReduceSlots, 4));
+  for (auto& tracker : job->trackers) {
+    for (int s = 0; s < map_slots; ++s) {
+      workers.add();
+      job->engine.spawn(map_worker(*job, *tracker, assigned, workers));
+    }
+    for (int s = 0; s < reduce_slots; ++s) {
+      workers.add();
+      job->engine.spawn(
+          reduce_worker(*job, *tracker, pending_reduces, workers));
+    }
+  }
+  co_await workers.wait();
+  job->result.finish_time = job->engine.now();
+  co_await shuffle->stop(*job);
+  co_return job->result;
+}
+
+}  // namespace hmr::mapred

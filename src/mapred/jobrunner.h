@@ -1,0 +1,55 @@
+// JobRunner: the JobTracker/TaskTracker pair of the simulated cluster.
+//
+// Plans splits, schedules map tasks with replica locality, gates
+// reducers on the slowstart fraction, and runs the configured shuffle
+// engine. Engines register through a factory so the framework does not
+// depend on the RDMA modules (they depend on it).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapred/runtime.h"
+
+namespace hmr::mapred {
+
+class JobRunner {
+ public:
+  using EngineFactory =
+      std::function<std::unique_ptr<ShuffleEngine>(const Conf&)>;
+
+  // `tracker_hosts`: host ids that run a TaskTracker (normally the
+  // DataNode hosts). Registers the "vanilla" engine automatically.
+  JobRunner(Cluster& cluster, Network& network, hdfs::MiniDfs& dfs,
+            std::vector<int> tracker_hosts);
+
+  void register_engine(std::string name, EngineFactory factory);
+  // "vanilla" unless mapred.shuffle.engine / mapred.rdma.enabled says
+  // otherwise.
+  static std::string engine_name(const Conf& conf);
+
+  // Runs the job to completion; deterministic given the engine seed.
+  sim::Task<JobResult> run(JobSpec spec);
+
+ private:
+  sim::Task<> map_worker(JobRuntime& job, TaskTrackerState& tracker,
+                         std::vector<bool>& assigned, sim::WaitGroup& done);
+  sim::Task<> reduce_worker(JobRuntime& job, TaskTrackerState& tracker,
+                            std::deque<int>& pending, sim::WaitGroup& done);
+  sim::Task<> jt_rpc(Host& from);
+
+  Cluster& cluster_;
+  Network& network_;
+  hdfs::MiniDfs& dfs_;
+  std::vector<int> tracker_hosts_;
+  std::map<std::string, EngineFactory> factories_;
+  // TaskTrackers persist across jobs; concurrent jobs contend for their
+  // slots. Created lazily on the first run() from that job's slot conf.
+  std::vector<std::unique_ptr<TaskTrackerState>> trackers_;
+  int next_job_id_ = 1;
+};
+
+}  // namespace hmr::mapred

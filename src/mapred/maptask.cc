@@ -1,0 +1,132 @@
+#include "mapred/maptask.h"
+
+#include <algorithm>
+
+#include "sim/trace.h"
+#include "storage/localfs.h"
+
+namespace hmr::mapred {
+
+sim::Task<> run_map_task(JobRuntime& job, int map_id,
+                         TaskTrackerState& tracker, double slowdown) {
+  MapTaskInfo& task = job.maps.at(map_id);
+  Host& host = *tracker.host;
+  auto span = sim::maybe_span(job.engine.tracer(), host.name(), "map",
+                              "map_" + std::to_string(map_id));
+
+  // Task JVM launch / localization.
+  co_await host.compute(job.cost.task_startup);
+
+  // Read the split. Input part files are written block-sized, so this is
+  // one block in practice; locality decides whether it touches the
+  // network.
+  auto split = co_await job.dfs.read(host, task.input_file);
+  HMR_CHECK_MSG(split.ok(), "map input read failed: " + split.status().to_string());
+
+  // Decode records and run the user map function into the sort buffer.
+  auto records = dataplane::decode_run(*split);
+  HMR_CHECK_MSG(records.ok(), "corrupt input split: " + task.input_file);
+  dataplane::MapOutputBuilder builder(job.num_reduces, *job.spec.partitioner);
+  const Emit emit = [&builder](KvPair pair) { builder.add(std::move(pair)); };
+  job.result.counters["MAP_INPUT_RECORDS"] +=
+      std::int64_t(records->size());
+  if (job.spec.map_fn) {
+    for (const auto& record : *records) job.spec.map_fn(record, emit);
+  } else {
+    for (auto& record : *records) emit(std::move(record));
+  }
+  job.result.counters["MAP_OUTPUT_RECORDS"] +=
+      std::int64_t(builder.pending_records());
+  job.result.counters["MAP_OUTPUT_BYTES"] += static_cast<std::int64_t>(
+      double(builder.pending_bytes()) * job.data_scale);
+
+  // CPU: record parsing + map function + in-memory sort.
+  const auto output_real = builder.pending_bytes();
+  const auto output_modeled =
+      static_cast<std::uint64_t>(double(output_real) * job.data_scale);
+  co_await job.charge_cpu(host, task.modeled_bytes + output_modeled,
+                          job.cost.map_cpu_bw / slowdown);
+
+  dataplane::CombineFn combiner;
+  if (job.spec.combine_fn) {
+    combiner = [&job](const Bytes& key, const std::vector<Bytes>& values,
+                      const std::function<void(KvPair)>& emit) {
+      job.spec.combine_fn(key, values, emit);
+    };
+  }
+  const auto combine_in = builder.pending_records();
+  dataplane::MapOutput output =
+      builder.build(job.spec.combine_fn ? &combiner : nullptr);
+  if (job.spec.combine_fn) {
+    std::uint64_t combine_out = 0;
+    for (const auto& entry : output.index) combine_out += entry.kv_count;
+    job.result.counters["COMBINE_INPUT_RECORDS"] += std::int64_t(combine_in);
+    job.result.counters["COMBINE_OUTPUT_RECORDS"] +=
+        std::int64_t(combine_out);
+  }
+
+  // Spill accounting: every spill writes the full buffer once; more than
+  // one spill adds a read-merge-write pass over the whole output.
+  const std::uint64_t sort_mb =
+      job.spec.conf.get_bytes(kIoSortMb, 100 * 1024 * 1024);
+  const auto spills = std::max<std::uint64_t>(
+      1, (output_modeled + sort_mb - 1) / std::max<std::uint64_t>(1, sort_mb));
+  job.result.spills += spills;
+  job.result.counters["SPILLED_RECORDS"] +=
+      std::int64_t(double(records->size()) * double(spills));
+
+  const std::string path = "mapout/" + job.spec.name + "/map_" +
+                           std::to_string(map_id) + "_h" +
+                           std::to_string(host.id());
+  if (spills > 1) {
+    // Intermediate spill files + merge pass.
+    const auto spill_stream = storage::next_stream_id();
+    co_await host.fs().write_file(path + ".spills", Bytes(1),
+                                  double(output_modeled));
+    (void)spill_stream;
+    co_await host.fs().read_file(path + ".spills");
+    co_await job.charge_cpu(host, output_modeled, job.cost.merge_cpu_bw);
+    HMR_CHECK(host.fs().remove(path + ".spills").ok());
+  }
+
+  // Final partitioned output file; the served MapOutput shares the
+  // buffer the LocalFS stores.
+  Bytes file_bytes(*output.data);
+  const Status written = co_await host.fs().write_file(
+      path, std::move(file_bytes), job.data_scale);
+  HMR_CHECK(written.ok());
+  output.data = host.fs().peek(path).value().data;
+
+  MapOutputInfo info;
+  info.map_id = map_id;
+  info.host_id = host.id();
+  info.local_path = path;
+  info.created_at = job.engine.now();
+  info.output = std::make_shared<const dataplane::MapOutput>(std::move(output));
+  info.scale = job.data_scale;
+  job.record_map_output(std::move(info));
+}
+
+sim::Task<> run_failed_map_attempt(JobRuntime& job, int map_id,
+                                   TaskTrackerState& tracker,
+                                   double progress) {
+  MapTaskInfo& task = job.maps.at(map_id);
+  Host& host = *tracker.host;
+  co_await host.compute(job.cost.task_startup);
+  // The attempt reads and processes `progress` of the split, then dies.
+  // read() of the partial split is approximated by a ranged read charge.
+  auto info = job.dfs.stat(task.input_file);
+  HMR_CHECK(info.ok());
+  const auto real_len = static_cast<std::uint64_t>(
+      double(info->real_size) * progress);
+  if (real_len > 0) {
+    (void)co_await job.dfs.read_block(host, task.input_file, 0);
+    co_await job.charge_cpu(
+        host,
+        static_cast<std::uint64_t>(double(task.modeled_bytes) * progress),
+        job.cost.map_cpu_bw);
+  }
+  ++job.result.failed_map_attempts;
+}
+
+}  // namespace hmr::mapred

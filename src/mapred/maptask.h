@@ -1,0 +1,25 @@
+// MapTask execution (§II-A / §III): read the split from HDFS, run the
+// user map function, sort & spill through MapOutputBuffer semantics, and
+// publish the final partitioned output file to the TaskTracker.
+#pragma once
+
+#include "mapred/runtime.h"
+
+namespace hmr::mapred {
+
+// Runs map task `map_id` on `tracker`'s host. Charges split read,
+// map+sort CPU, spill and merge disk traffic; registers the output via
+// JobRuntime::record_map_output.
+// `slowdown` > 1 models a straggling attempt (degraded node): its CPU
+// work runs that many times slower.
+sim::Task<> run_map_task(JobRuntime& job, int map_id,
+                         TaskTrackerState& tracker, double slowdown = 1.0);
+
+// A failed attempt: the task dies after `progress` (0..1) of its work —
+// the JVM crash / node fault path. Charges the wasted startup, split
+// read and CPU, registers nothing.
+sim::Task<> run_failed_map_attempt(JobRuntime& job, int map_id,
+                                   TaskTrackerState& tracker,
+                                   double progress);
+
+}  // namespace hmr::mapred

@@ -1,0 +1,130 @@
+#include "mapred/reducetask.h"
+
+#include <cstdio>
+
+#include "hdfs/hdfs.h"
+#include "sim/trace.h"
+
+namespace hmr::mapred {
+
+std::string reduce_output_path(const JobSpec& spec, int reduce_id) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof suffix, "part-%05d", reduce_id);
+  return spec.output_dir + "/" + suffix;
+}
+
+namespace {
+
+// Applies the user reduce function over a sorted stream with
+// group-by-key semantics, carrying groups across batch boundaries.
+class ReduceDriver {
+ public:
+  ReduceDriver(JobRuntime& job, hdfs::MiniDfs::Writer& out)
+      : job_(job), out_(out) {}
+
+  sim::Task<> consume(KvBatch batch) {
+    ByteWriter encoded;
+    const Emit emit = [this, &encoded](KvPair pair) {
+      dataplane::encode_kv(pair, encoded);
+      ++records_out_;
+    };
+    for (auto& pair : batch) {
+      if (!job_.spec.reduce_fn) {
+        emit(std::move(pair));
+        continue;
+      }
+      if (!has_group_ || pair.key != group_key_) {
+        flush_group(emit);
+        group_key_ = pair.key;
+        has_group_ = true;
+      }
+      group_values_.push_back(std::move(pair.value));
+    }
+    if (encoded.size() > 0) {
+      co_await out_.append(encoded.data());
+    }
+  }
+
+  sim::Task<> finish() {
+    ByteWriter encoded;
+    const Emit emit = [this, &encoded](KvPair pair) {
+      dataplane::encode_kv(pair, encoded);
+      ++records_out_;
+    };
+    flush_group(emit);
+    if (encoded.size() > 0) {
+      co_await out_.append(encoded.data());
+    }
+  }
+
+  std::uint64_t records_out() const { return records_out_; }
+
+ private:
+  void flush_group(const Emit& emit) {
+    if (!has_group_) return;
+    job_.spec.reduce_fn(group_key_, group_values_, emit);
+    group_values_.clear();
+    has_group_ = false;
+  }
+
+  JobRuntime& job_;
+  hdfs::MiniDfs::Writer& out_;
+  bool has_group_ = false;
+  Bytes group_key_;
+  std::vector<Bytes> group_values_;
+  std::uint64_t records_out_ = 0;
+};
+
+}  // namespace
+
+sim::Task<> run_reduce_task(JobRuntime& job, int reduce_id,
+                            TaskTrackerState& tracker) {
+  Host& host = *tracker.host;
+  auto span = sim::maybe_span(job.engine.tracer(), host.name(), "reduce",
+                              "reduce_" + std::to_string(reduce_id));
+  co_await host.compute(job.cost.task_startup);
+
+  KvSink sink(job.engine, /*capacity=*/16);
+  sim::WaitGroup fetch_done(job.engine);
+  fetch_done.add();
+  job.engine.spawn([](JobRuntime& job, int reduce_id, Host& host,
+                      KvSink& sink, sim::WaitGroup& done) -> sim::Task<> {
+    co_await job.shuffle->fetch_and_merge(job, reduce_id, host, sink);
+    done.done();
+  }(job, reduce_id, host, sink, fetch_done));
+
+  const int output_replication =
+      int(job.spec.conf.get_int(kOutputReplication, 1));
+  hdfs::MiniDfs::Writer out(job.dfs, host,
+                            reduce_output_path(job.spec, reduce_id),
+                            job.data_scale, output_replication);
+  ReduceDriver driver(job, out);
+
+  std::uint64_t consumed_real = 0;
+  std::uint64_t input_records = 0;
+  while (auto batch = co_await sink.recv()) {
+    std::uint64_t batch_real = 0;
+    for (const auto& pair : *batch) batch_real += pair.serialized_size();
+    consumed_real += batch_real;
+    input_records += batch->size();
+    // Reduce-function CPU over this batch.
+    co_await job.charge_cpu(
+        host, static_cast<std::uint64_t>(double(batch_real) * job.data_scale),
+        job.cost.reduce_cpu_bw);
+    co_await driver.consume(std::move(*batch));
+  }
+  co_await driver.finish();
+  co_await fetch_done.wait();
+
+  const Status closed = co_await out.close();
+  HMR_CHECK_MSG(closed.ok(), "reduce output write failed: " +
+                                 closed.to_string());
+  job.result.output_modeled_bytes +=
+      static_cast<std::uint64_t>(double(out.real_written()) * job.data_scale);
+  job.result.output_records += driver.records_out();
+  job.result.counters["REDUCE_INPUT_RECORDS"] += std::int64_t(input_records);
+  job.result.counters["REDUCE_OUTPUT_RECORDS"] +=
+      std::int64_t(driver.records_out());
+}
+
+}  // namespace hmr::mapred

@@ -1,0 +1,18 @@
+// ReduceTask execution: drives the engine's fetch/merge into the
+// DataToReduceQueue, groups keys, applies the user reduce function, and
+// streams the output into HDFS.
+#pragma once
+
+#include "mapred/runtime.h"
+
+namespace hmr::mapred {
+
+// Runs reduce task `reduce_id` on `tracker`'s host, using
+// job.shuffle->fetch_and_merge for the shuffle/merge phases.
+sim::Task<> run_reduce_task(JobRuntime& job, int reduce_id,
+                            TaskTrackerState& tracker);
+
+// Output file name for a reduce (Hadoop's part-00000 convention).
+std::string reduce_output_path(const JobSpec& spec, int reduce_id);
+
+}  // namespace hmr::mapred

@@ -1,0 +1,103 @@
+#include "mapred/runtime.h"
+
+#include <algorithm>
+
+namespace hmr::mapred {
+
+JobRuntime::JobRuntime(Cluster& cluster, Network& network,
+                       hdfs::MiniDfs& dfs, JobSpec spec_in,
+                       std::vector<TaskTrackerState*> trackers_in,
+                       int job_id_in)
+    : engine(cluster.engine()),
+      cluster(cluster),
+      network(network),
+      dfs(dfs),
+      spec(std::move(spec_in)),
+      cost(CostModel::from_conf(spec.conf)),
+      job_id(job_id_in),
+      trackers(std::move(trackers_in)),
+      completion_pulse(engine),
+      all_maps_done(engine),
+      slowstart_reached(engine) {
+
+  // One split per input file (workload writers emit block-sized parts).
+  int map_id = 0;
+  for (const auto& path : spec.input_files) {
+    auto info = dfs.stat(path);
+    HMR_CHECK_MSG(info.ok(), "missing input file: " + path);
+    MapTaskInfo task;
+    task.map_id = map_id++;
+    task.input_file = path;
+    task.modeled_bytes = info->modeled_size();
+    data_scale = info->scale;
+    for (const auto& block : info->blocks) {
+      for (int replica : block.replicas) {
+        if (std::find(task.replica_hosts.begin(), task.replica_hosts.end(),
+                      replica) == task.replica_hosts.end()) {
+          task.replica_hosts.push_back(replica);
+        }
+      }
+    }
+    result.input_modeled_bytes += task.modeled_bytes;
+    maps.push_back(std::move(task));
+  }
+  map_done.reserve(maps.size());
+  for (size_t i = 0; i < maps.size(); ++i) {
+    map_done.push_back(std::make_unique<sim::Event>(engine));
+  }
+
+  num_reduces = int(spec.conf.get_int(
+      kNumReduces,
+      std::int64_t(trackers.size()) * spec.conf.get_int(kReduceSlots, 4)));
+  HMR_CHECK_MSG(num_reduces > 0, "job needs at least one reduce");
+  result.num_maps = int(maps.size());
+  result.num_reduces = num_reduces;
+}
+
+TaskTrackerState& JobRuntime::tracker_for_host(int host_id) {
+  for (auto& tracker : trackers) {
+    if (tracker->host->id() == host_id) return *tracker;
+  }
+  HMR_CHECK_MSG(false, "no TaskTracker on host " + std::to_string(host_id));
+  __builtin_unreachable();
+}
+
+TaskTrackerState& JobRuntime::tracker_of_map(int map_id) {
+  return tracker_for_host(maps.at(map_id).ran_on);
+}
+
+void JobRuntime::record_map_output(MapOutputInfo info) {
+  const int map_id = info.map_id;
+  const int host_id = info.host_id;
+  if (maps.at(map_id).done) {
+    // A speculative duplicate lost the race; its output is discarded
+    // (the JobTracker kills the slower attempt in real Hadoop).
+    return;
+  }
+  tracker_for_host(host_id).map_outputs.emplace(
+      std::pair{job_id, map_id}, std::move(info));
+  maps.at(map_id).done = true;
+  maps.at(map_id).ran_on = host_id;  // the attempt that won serves the data
+  ++maps_completed;
+  completion_log.push_back(map_id);
+  map_done.at(map_id)->set();
+  completion_pulse.set();
+  completion_pulse.reset();
+  if (shuffle != nullptr) shuffle->on_map_finished(*this, map_id, host_id);
+
+  const double slowstart = spec.conf.get_double(kSlowstart, 0.05);
+  if (maps_completed >= int(std::max(1.0, slowstart * double(maps.size())))) {
+    slowstart_reached.set();
+  }
+  if (maps_completed == int(maps.size())) {
+    result.maps_done_time = engine.now();
+    all_maps_done.set();
+  }
+}
+
+sim::Task<> JobRuntime::charge_cpu(Host& host, std::uint64_t modeled_bytes,
+                                   double bw) {
+  co_await host.compute(double(modeled_bytes) / bw);
+}
+
+}  // namespace hmr::mapred

@@ -1,0 +1,157 @@
+// Shared per-job runtime state and the pluggable shuffle-engine
+// interface. One JobRuntime exists per running job; TaskTracker state is
+// per compute host. Shuffle engines (vanilla HTTP, OSU-IB RDMA,
+// Hadoop-A) plug in through ShuffleEngine without the framework knowing
+// their transport.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/segment.h"
+#include "hdfs/hdfs.h"
+#include "mapred/types.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "sim/channel.h"
+#include "sim/sync.h"
+
+namespace hmr::mapred {
+
+using dataplane::KvPair;
+using dataplane::MapOutput;
+using net::Cluster;
+using net::Host;
+using net::Network;
+
+// Batches keep per-record channel overhead off the hot path.
+using KvBatch = std::vector<KvPair>;
+// The reducer's input stream: sorted batches, closed at end of merge.
+using KvSink = sim::Channel<KvBatch>;
+
+// A finished map task's output as the TaskTracker serves it: the real
+// MapOutput (backed by the same buffer as the local file) plus where it
+// lives.
+struct MapOutputInfo {
+  int map_id = -1;
+  int host_id = -1;
+  std::string local_path;  // file in the host's LocalFS
+  std::shared_ptr<const MapOutput> output;
+  double scale = 1.0;
+  double created_at = 0.0;  // sim time the file hit the local disk
+
+  std::uint64_t modeled_partition_bytes(int reduce) const {
+    return static_cast<std::uint64_t>(
+        double(output->index.at(reduce).length) * scale);
+  }
+};
+
+// A TaskTracker persists across jobs: its slot resources are the
+// cluster-wide contention point when several jobs run concurrently, and
+// its served outputs are keyed by (job_id, map_id).
+struct TaskTrackerState {
+  TaskTrackerState(sim::Engine& engine, Host& host, int map_slots,
+                   int reduce_slots)
+      : host(&host),
+        map_slots(engine, map_slots, host.name() + ".mapslots"),
+        reduce_slots(engine, reduce_slots, host.name() + ".redslots") {}
+
+  Host* host;
+  sim::Resource map_slots;
+  sim::Resource reduce_slots;
+  // (job_id, map_id) -> output served from this tracker.
+  std::map<std::pair<int, int>, MapOutputInfo> map_outputs;
+};
+
+struct MapTaskInfo {
+  int map_id = -1;
+  std::string input_file;
+  std::uint64_t modeled_bytes = 0;
+  std::vector<int> replica_hosts;  // candidate local hosts
+  int ran_on = -1;
+  bool done = false;
+  // Speculation bookkeeping.
+  int attempts_running = 0;
+  double first_started_at = -1.0;
+  bool straggling = false;  // fault injection marked an attempt slow
+};
+
+class ShuffleEngine;
+
+// Everything a task or engine needs to reach the simulated world.
+struct JobRuntime {
+  JobRuntime(Cluster& cluster, Network& network, hdfs::MiniDfs& dfs,
+             JobSpec spec, std::vector<TaskTrackerState*> trackers,
+             int job_id);
+
+  sim::Engine& engine;
+  Cluster& cluster;
+  Network& network;
+  hdfs::MiniDfs& dfs;
+  JobSpec spec;
+  CostModel cost;
+  int job_id = 0;
+  double data_scale = 1.0;  // from the input files
+
+  std::vector<MapTaskInfo> maps;
+  int num_reduces = 0;
+  // Owned by the JobRunner; shared with concurrently running jobs.
+  std::vector<TaskTrackerState*> trackers;
+  ShuffleEngine* shuffle = nullptr;  // set by the JobRunner
+
+  // Map-completion plumbing (the Map Completion Fetcher reads these).
+  int maps_completed = 0;
+  std::vector<std::unique_ptr<sim::Event>> map_done;
+  // Map ids in completion order; completion_pulse fires on every append.
+  std::vector<int> completion_log;
+  sim::Event completion_pulse;
+  sim::Event all_maps_done;
+  sim::Event slowstart_reached;
+
+  JobResult result;
+
+  TaskTrackerState& tracker_for_host(int host_id);
+  TaskTrackerState& tracker_of_map(int map_id);
+  // Registers a finished map's output and fires completion events.
+  void record_map_output(MapOutputInfo info);
+  // Charges `modeled_bytes` of CPU at the given per-core throughput on
+  // `host` (holds one core).
+  sim::Task<> charge_cpu(Host& host, std::uint64_t modeled_bytes, double bw);
+
+  std::uint64_t real_from_modeled(std::uint64_t modeled) const {
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(double(modeled) / data_scale));
+  }
+};
+
+// TaskTracker- and ReduceTask-side halves of a shuffle implementation.
+class ShuffleEngine {
+ public:
+  virtual ~ShuffleEngine() = default;
+  virtual std::string name() const = 0;
+
+  // Called once before any task runs: start listeners/daemons.
+  virtual sim::Task<> start(JobRuntime& job) = 0;
+  // A map finished on `host_id` (prefetcher hook, §III-B3).
+  virtual void on_map_finished(JobRuntime& job, int map_id, int host_id) {
+    (void)job, (void)map_id, (void)host_id;
+  }
+  // Reduce-side: fetch every map's partition `reduce_id`, merge to sorted
+  // order, and deliver batches into `sink` (closing it at the end).
+  virtual sim::Task<> fetch_and_merge(JobRuntime& job, int reduce_id,
+                                      Host& host, KvSink& sink) = 0;
+  // True when the engine pipelines merged output into a concurrently
+  // running reduce (§III-B4); false enforces the vanilla barrier.
+  virtual bool overlaps_reduce(const JobRuntime& job) const = 0;
+  // Called after the job completes: shut down and *join* every daemon the
+  // engine spawned, so destroying the engine afterwards is safe.
+  virtual sim::Task<> stop(JobRuntime& job) {
+    (void)job;
+    co_return;
+  }
+};
+
+}  // namespace hmr::mapred

@@ -1,0 +1,152 @@
+// Job definition and result types, plus the configuration keys the
+// framework understands (the paper's tunables included).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/conf.h"
+#include "dataplane/kv.h"
+#include "dataplane/partitioner.h"
+
+namespace hmr::mapred {
+
+// --- configuration keys -------------------------------------------------
+// Engine selection (§III: mapred.rdma.enabled picks the RDMA design; the
+// string key below also distinguishes the Hadoop-A comparator).
+inline constexpr const char* kRdmaEnabled = "mapred.rdma.enabled";
+inline constexpr const char* kShuffleEngine = "mapred.shuffle.engine";
+//   values: "vanilla" (socket/HTTP), "osu-ib" (this paper), "hadoop-a"
+inline constexpr const char* kCachingEnabled =
+    "mapred.local.caching.enabled";                       // §III-B3
+inline constexpr const char* kCacheBytes = "mapred.local.caching.bytes";
+inline constexpr const char* kRdmaPacketBytes = "mapred.rdma.packet.bytes";
+inline constexpr const char* kRdmaKvPerPacket = "mapred.rdma.kv.per.packet";
+inline constexpr const char* kResponderThreads =
+    "mapred.rdma.responder.threads";
+inline constexpr const char* kOverlapReduce = "mapred.shuffle.overlap.reduce";
+// UCR large-message protocol: "read" (receiver RDMA-READs, default) or
+// "write" (receiver advertises, sender RDMA-WRITEs).
+inline constexpr const char* kRdmaRendezvous = "mapred.rdma.rendezvous";
+// Modeled-record inflation of the workload (see workloads::DataGenSpec);
+// engines divide real-world kv-count budgets by it. Defaults to the data
+// scale (records carried at their real-world size, TeraGen style).
+inline constexpr const char* kKvInflation = "mapred.workload.kv.inflation";
+// Largest modeled record of the workload (engines provision fixed-count
+// receive buffers from it).
+inline constexpr const char* kMaxRecordBytes =
+    "mapred.workload.max.record.bytes";
+
+// Framework knobs (Hadoop 0.20-era names where they exist).
+inline constexpr const char* kNumReduces = "mapred.reduce.tasks";
+inline constexpr const char* kMapSlots = "mapred.tasktracker.map.tasks.maximum";
+inline constexpr const char* kReduceSlots =
+    "mapred.tasktracker.reduce.tasks.maximum";
+inline constexpr const char* kIoSortMb = "io.sort.mb";
+inline constexpr const char* kIoSortFactor = "io.sort.factor";
+inline constexpr const char* kParallelCopies = "mapred.reduce.parallel.copies";
+inline constexpr const char* kShuffleBufferBytes =
+    "mapred.job.shuffle.input.buffer.bytes";
+inline constexpr std::uint64_t kDefaultShuffleBufferBytes =
+    700ull * 1024 * 1024;  // ~70% of a 1 GB reduce-task heap
+inline constexpr const char* kSlowstart =
+    "mapred.reduce.slowstart.completed.maps";
+inline constexpr const char* kOutputReplication = "mapred.output.replication";
+inline constexpr const char* kTaskStartupSec = "mapred.task.startup.sec";
+inline constexpr const char* kHttpOverheadBytes = "mapred.http.overhead.bytes";
+
+// Fault injection & recovery (the paper's §VI future work: "extend our
+// design to handle faster recovery in case of task failures").
+inline constexpr const char* kMapFailureProb = "mapred.fault.map.failure.prob";
+inline constexpr const char* kMaxTaskAttempts = "mapred.map.max.attempts";
+// Straggler injection + speculative execution (Hadoop's backup tasks).
+inline constexpr const char* kStragglerProb = "mapred.fault.straggler.prob";
+inline constexpr const char* kStragglerSlowdown =
+    "mapred.fault.straggler.slowdown";
+inline constexpr const char* kSpeculativeExecution =
+    "mapred.map.tasks.speculative.execution";
+
+// Compute-cost model (modeled bytes per second per core).
+inline constexpr const char* kMapCpuBw = "mapred.cpu.map.bytes_per_sec";
+inline constexpr const char* kReduceCpuBw = "mapred.cpu.reduce.bytes_per_sec";
+inline constexpr const char* kMergeCpuBw = "mapred.cpu.merge.bytes_per_sec";
+
+// --- user functions ------------------------------------------------------
+using Emit = std::function<void(dataplane::KvPair)>;
+// Map: input record -> emitted records. Identity when null.
+using MapFn = std::function<void(const dataplane::KvPair&, const Emit&)>;
+// Reduce: (key, all values for the key) -> emitted records. Identity
+// (re-emit each pair) when null.
+using ReduceFn = std::function<void(const Bytes& key,
+                                    const std::vector<Bytes>& values,
+                                    const Emit&)>;
+
+struct JobSpec {
+  std::string name = "job";
+  std::vector<std::string> input_files;  // HDFS paths, one split per file
+  std::string output_dir;                // HDFS prefix for part-<r> files
+  Conf conf;
+  MapFn map_fn;          // null = identity
+  ReduceFn reduce_fn;    // null = identity
+  ReduceFn combine_fn;   // optional map-side combiner
+  std::shared_ptr<const dataplane::Partitioner> partitioner =
+      std::make_shared<dataplane::HashPartitioner>();
+};
+
+struct JobResult {
+  double submit_time = 0;
+  double maps_done_time = 0;    // last map finished
+  double shuffle_done_time = 0; // last reducer finished fetching
+  double finish_time = 0;
+
+  int num_maps = 0;
+  int num_reduces = 0;
+  std::uint64_t input_modeled_bytes = 0;
+  std::uint64_t shuffled_modeled_bytes = 0;
+  std::uint64_t output_modeled_bytes = 0;
+  std::uint64_t output_records = 0;
+
+  // Paper-facing counters.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t failed_map_attempts = 0;
+  std::uint64_t speculative_attempts = 0;
+  std::uint64_t speculative_wins = 0;  // backup finished before original
+
+  // Classic Hadoop job counters (MAP_INPUT_RECORDS, SPILLED_RECORDS, ...).
+  std::map<std::string, std::int64_t> counters;
+  std::int64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  double elapsed() const { return finish_time - submit_time; }
+};
+
+// Resolved numeric knobs, one decode of the Conf per job.
+struct CostModel {
+  // Era-realistic Hadoop 0.20 throughputs: the Java map path (record
+  // reader + map + sort + spill serialization) moves well under 100 MB/s
+  // per core, which is why socket-stack CPU contention shows up in the
+  // paper's interconnect comparisons.
+  double map_cpu_bw = 60e6;
+  double reduce_cpu_bw = 90e6;
+  double merge_cpu_bw = 150e6;
+  double task_startup = 1.0;
+
+  static CostModel from_conf(const Conf& conf) {
+    CostModel m;
+    m.map_cpu_bw = conf.get_double(kMapCpuBw, m.map_cpu_bw);
+    m.reduce_cpu_bw = conf.get_double(kReduceCpuBw, m.reduce_cpu_bw);
+    m.merge_cpu_bw = conf.get_double(kMergeCpuBw, m.merge_cpu_bw);
+    m.task_startup = conf.get_double(kTaskStartupSec, m.task_startup);
+    return m;
+  }
+};
+
+}  // namespace hmr::mapred

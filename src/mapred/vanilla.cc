@@ -1,0 +1,331 @@
+#include "mapred/vanilla.h"
+
+#include <algorithm>
+
+#include "dataplane/merger.h"
+
+namespace hmr::mapred {
+namespace {
+
+constexpr std::uint64_t kTagRequest = 1;
+constexpr std::uint64_t kTagResponse = 2;
+constexpr std::uint64_t kRequestWireBytes = 150;  // HTTP GET + headers
+
+Bytes encode_request(int map_id, int reduce_id) {
+  ByteWriter w;
+  w.put_u32(std::uint32_t(map_id));
+  w.put_u32(std::uint32_t(reduce_id));
+  return w.take();
+}
+
+std::pair<int, int> decode_request(const Bytes& data) {
+  ByteReader r(data);
+  const int map_id = int(r.u32().value());
+  const int reduce_id = int(r.u32().value());
+  return {map_id, reduce_id};
+}
+
+}  // namespace
+
+// Per-reduce shuffle state shared by the copier pool.
+struct VanillaShuffleEngine::ReduceShuffleState {
+  ReduceShuffleState(JobRuntime& job, int reduce_id, Host& host)
+      : engine(job.engine),
+        reduce_id(reduce_id),
+        host(host),
+        ready(job.engine, std::max<size_t>(1, job.maps.size())),
+        merge_lock(job.engine, 1, "inmem.merge"),
+        dial_lock(job.engine, 1, "copier.dial"),
+        budget(job.spec.conf.get_bytes(kShuffleBufferBytes,
+                                       kDefaultShuffleBufferBytes)) {}
+
+  sim::Engine& engine;
+  int reduce_id;
+  Host& host;
+  sim::Channel<int> ready;  // map ids in completion order
+  std::map<int, std::unique_ptr<net::Socket>> connections;  // by host id
+  sim::Resource merge_lock;
+  // Serializes connection setup per tracker host, and request/response
+  // exchange per connection: HTTP keep-alive connections are not
+  // multiplexed.
+  sim::Resource dial_lock;
+  std::map<int, std::unique_ptr<sim::Resource>> conn_locks;
+
+  std::uint64_t budget;
+  std::uint64_t in_mem_modeled = 0;
+  std::vector<Segment> in_mem;
+  std::vector<Segment> on_disk;
+  int spill_seq = 0;
+};
+
+sim::Task<> VanillaShuffleEngine::start(JobRuntime& job) {
+  daemons_ = std::make_unique<sim::WaitGroup>(job.engine);
+  for (auto& tracker : job.trackers) {
+    const int host_id = tracker->host->id();
+    auto listener =
+        std::make_unique<net::Listener>(job.network, *tracker->host);
+    daemons_->add();
+    job.engine.spawn(servlet_accept_loop(job, *listener, host_id));
+    listeners_.emplace(host_id, std::move(listener));
+  }
+  co_return;
+}
+
+sim::Task<> VanillaShuffleEngine::stop(JobRuntime& job) {
+  (void)job;
+  for (auto& [_, listener] : listeners_) listener->close();
+  co_await daemons_->wait();
+}
+
+sim::Task<> VanillaShuffleEngine::servlet_accept_loop(JobRuntime& job,
+                                                      net::Listener& listener,
+                                                      int host_id) {
+  while (auto sock = co_await listener.accept()) {
+    daemons_->add();
+    job.engine.spawn(servlet_conn_loop(job, std::move(sock), host_id));
+  }
+  daemons_->done();
+}
+
+sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
+    JobRuntime& job, std::unique_ptr<net::Socket> sock, int host_id) {
+  const std::uint64_t http_overhead =
+      job.spec.conf.get_bytes(kHttpOverheadBytes, 300);
+  TaskTrackerState& tracker = job.tracker_for_host(host_id);
+  while (auto request = co_await sock->recv()) {
+    HMR_CHECK(request->tag == kTagRequest && request->payload != nullptr);
+    const auto [map_id, reduce_id] = decode_request(*request->payload);
+    auto it = tracker.map_outputs.find({job.job_id, map_id});
+    HMR_CHECK_MSG(it != tracker.map_outputs.end(),
+                  "servlet asked for unknown map output");
+    const MapOutputInfo& info = it->second;
+    const auto& entry = info.output->index.at(reduce_id);
+
+    // The servlet reads the partition from local disk for every request —
+    // this is the I/O the paper's PrefetchCache removes in the RDMA design.
+    auto view = co_await tracker.host->fs().read_range(
+        info.local_path, entry.offset, entry.length);
+    HMR_CHECK(view.ok());
+
+    auto slice = info.output->partition_bytes(reduce_id);
+    Bytes body(slice.begin(), slice.end());
+    const auto modeled = info.modeled_partition_bytes(reduce_id);
+    net::Message response = net::Message::data(std::move(body), 1.0,
+                                               kTagResponse);
+    response.modeled_bytes = modeled + http_overhead;
+    co_await sock->send(std::move(response));
+  }
+  daemons_->done();
+}
+
+sim::Task<> VanillaShuffleEngine::in_memory_merge(JobRuntime& job,
+                                                  ReduceShuffleState& state) {
+  auto lock = co_await sim::hold(state.merge_lock);
+  if (state.in_mem.empty()) co_return;
+  std::vector<Segment> segments = std::move(state.in_mem);
+  state.in_mem.clear();
+  std::uint64_t modeled = state.in_mem_modeled;
+  state.in_mem_modeled = 0;
+
+  // Merge in memory, then spill the merged run to local disk.
+  std::vector<std::unique_ptr<dataplane::KvSource>> sources;
+  Bytes merged;
+  for (auto& segment : segments) {
+    sources.push_back(std::make_unique<dataplane::BytesSource>(segment.data));
+  }
+  dataplane::StreamMerger merger(std::move(sources));
+  ByteWriter writer(&merged);
+  KvPair pair;
+  while (merger.next(&pair)) dataplane::encode_kv(pair, writer);
+
+  co_await job.charge_cpu(state.host, modeled, job.cost.merge_cpu_bw);
+  const std::string path = "shuffle/" + job.spec.name + "/r" +
+                           std::to_string(state.reduce_id) + "/spill" +
+                           std::to_string(state.spill_seq++);
+  const Status written = co_await state.host.fs().write_file(
+      path, std::move(merged), job.data_scale);
+  HMR_CHECK(written.ok());
+  state.on_disk.push_back(Segment{nullptr, path, modeled});
+}
+
+sim::Task<> VanillaShuffleEngine::copier_loop(JobRuntime& job,
+                                              ReduceShuffleState& state) {
+  while (auto map_id = co_await state.ready.recv()) {
+    const MapTaskInfo& map = job.maps.at(*map_id);
+    const int server_host = map.ran_on;
+
+    {
+      auto dialing = co_await sim::hold(state.dial_lock);
+      if (!state.connections.contains(server_host)) {
+        auto sock =
+            co_await net::connect(job.network, state.host,
+                                  *listeners_.at(server_host));
+        state.connections.emplace(server_host, std::move(sock));
+        state.conn_locks.emplace(
+            server_host, std::make_unique<sim::Resource>(
+                             state.engine, 1, "copier.conn"));
+      }
+    }
+    net::Socket& sock = *state.connections.at(server_host);
+
+    // One request/response in flight per connection.
+    auto exchange = co_await sim::hold(*state.conn_locks.at(server_host));
+    net::Message request = net::Message::data(
+        encode_request(*map_id, state.reduce_id), 1.0, kTagRequest);
+    request.modeled_bytes = kRequestWireBytes;
+    co_await sock.send(std::move(request));
+    auto response = co_await sock.recv();
+    exchange.release();
+    HMR_CHECK_MSG(response.has_value() && response->tag == kTagResponse,
+                  "shuffle connection dropped");
+
+    const std::uint64_t modeled = response->modeled_bytes;
+    job.result.shuffled_modeled_bytes += modeled;
+    Segment segment;
+    segment.data = response->payload;
+    segment.modeled = modeled;
+
+    if (modeled > state.budget / 4) {
+      // Too big for the in-memory buffer: straight to disk (Copier
+      // behaviour for oversized map outputs).
+      const std::string path = "shuffle/" + job.spec.name + "/r" +
+                               std::to_string(state.reduce_id) + "/big" +
+                               std::to_string(state.spill_seq++);
+      Bytes body = segment.data ? Bytes(*segment.data) : Bytes{};
+      const Status written = co_await state.host.fs().write_file(
+          path, std::move(body), job.data_scale);
+      HMR_CHECK(written.ok());
+      segment.data = nullptr;
+      segment.disk_path = path;
+      state.on_disk.push_back(std::move(segment));
+      continue;
+    }
+
+    state.in_mem.push_back(std::move(segment));
+    state.in_mem_modeled += modeled;
+    if (state.in_mem_modeled > (state.budget * 2) / 3) {
+      co_await in_memory_merge(job, state);
+    }
+  }
+}
+
+sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
+                                                  int reduce_id, Host& host,
+                                                  KvSink& sink) {
+  ReduceShuffleState state(job, reduce_id, host);
+
+  // Map Completion Fetcher: feed map ids to the copiers in completion
+  // order.
+  sim::WaitGroup fetch_done(job.engine);
+  fetch_done.add();
+  job.engine.spawn([](JobRuntime& job, ReduceShuffleState& state,
+                      sim::WaitGroup& done) -> sim::Task<> {
+    size_t seen = 0;
+    while (seen < job.maps.size()) {
+      while (seen < job.completion_log.size()) {
+        co_await state.ready.send(int(job.completion_log[seen++]));
+      }
+      if (seen < job.maps.size()) co_await job.completion_pulse.wait();
+    }
+    state.ready.close();
+    done.done();
+  }(job, state, fetch_done));
+
+  const int copies =
+      int(job.spec.conf.get_int(kParallelCopies, 5));
+  sim::WaitGroup copiers(job.engine);
+  for (int c = 0; c < copies; ++c) {
+    copiers.add();
+    job.engine.spawn([](VanillaShuffleEngine& self, JobRuntime& job,
+                        ReduceShuffleState& state,
+                        sim::WaitGroup& done) -> sim::Task<> {
+      co_await self.copier_loop(job, state);
+      done.done();
+    }(*this, job, state, copiers));
+  }
+  co_await fetch_done.wait();
+  co_await copiers.wait();
+  job.result.shuffle_done_time = job.engine.now();
+
+  // --- merge phase: reduce starts only after this setup completes ------
+  // Local-FS merge passes keep at most io.sort.factor disk segments.
+  const int factor = int(job.spec.conf.get_int(kIoSortFactor, 10));
+  while (int(state.on_disk.size()) > factor) {
+    std::vector<Segment> group(state.on_disk.begin(),
+                               state.on_disk.begin() + factor);
+    state.on_disk.erase(state.on_disk.begin(),
+                        state.on_disk.begin() + factor);
+    std::vector<std::unique_ptr<dataplane::KvSource>> sources;
+    std::uint64_t modeled = 0;
+    for (const auto& segment : group) {
+      auto view = co_await host.fs().read_file(segment.disk_path);
+      HMR_CHECK(view.ok());
+      sources.push_back(std::make_unique<dataplane::BytesSource>(view->data));
+      modeled += segment.modeled;
+    }
+    dataplane::StreamMerger merger(std::move(sources));
+    Bytes merged;
+    ByteWriter writer(&merged);
+    KvPair pair;
+    while (merger.next(&pair)) dataplane::encode_kv(pair, writer);
+    co_await job.charge_cpu(host, modeled, job.cost.merge_cpu_bw);
+    const std::string path = "shuffle/" + job.spec.name + "/r" +
+                             std::to_string(reduce_id) + "/pass" +
+                             std::to_string(state.spill_seq++);
+    const Status written = co_await host.fs().write_file(
+        path, std::move(merged), job.data_scale);
+    HMR_CHECK(written.ok());
+    for (const auto& segment : group) {
+      HMR_CHECK(host.fs().remove(segment.disk_path).ok());
+    }
+    state.on_disk.push_back(Segment{nullptr, path, modeled});
+  }
+
+  // Final merge: disk segments (read back) + memory remainder, streamed
+  // into the reduce sink.
+  std::vector<std::unique_ptr<dataplane::KvSource>> sources;
+  for (const auto& segment : state.on_disk) {
+    auto view = co_await host.fs().read_file(segment.disk_path);
+    HMR_CHECK(view.ok());
+    sources.push_back(std::make_unique<dataplane::BytesSource>(view->data));
+  }
+  for (const auto& segment : state.in_mem) {
+    sources.push_back(std::make_unique<dataplane::BytesSource>(segment.data));
+  }
+  dataplane::StreamMerger merger(std::move(sources));
+
+  constexpr size_t kBatchPairs = 256;
+  KvBatch batch;
+  batch.reserve(kBatchPairs);
+  KvPair pair;
+  std::uint64_t batch_real = 0;
+  while (merger.next(&pair)) {
+    batch_real += pair.serialized_size();
+    batch.push_back(std::move(pair));
+    if (batch.size() >= kBatchPairs) {
+      co_await job.charge_cpu(
+          host,
+          static_cast<std::uint64_t>(double(batch_real) * job.data_scale),
+          job.cost.merge_cpu_bw);
+      co_await sink.send(std::move(batch));
+      batch = KvBatch{};
+      batch.reserve(kBatchPairs);
+      batch_real = 0;
+    }
+  }
+  if (!batch.empty()) {
+    co_await job.charge_cpu(
+        host, static_cast<std::uint64_t>(double(batch_real) * job.data_scale),
+        job.cost.merge_cpu_bw);
+    co_await sink.send(std::move(batch));
+  }
+
+  // Clean up shuffle spill files and close connections.
+  for (const auto& segment : state.on_disk) {
+    (void)host.fs().remove(segment.disk_path);
+  }
+  for (auto& [_, sock] : state.connections) sock->close();
+  sink.close();
+}
+
+}  // namespace hmr::mapred

@@ -1,0 +1,52 @@
+// The default Hadoop shuffle (§III-A): HTTP servlets on every
+// TaskTracker serve whole map-output partitions over the socket
+// transport; reducer-side parallel copiers buffer them in memory or on
+// disk, with the two-level (in-memory + local-FS) merge and the implicit
+// reduce barrier. This is the engine behind the 1GigE / 10GigE / IPoIB
+// series in every figure.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "mapred/runtime.h"
+#include "net/socket.h"
+
+namespace hmr::mapred {
+
+class VanillaShuffleEngine final : public ShuffleEngine {
+ public:
+  std::string name() const override { return "vanilla"; }
+
+  sim::Task<> start(JobRuntime& job) override;
+  sim::Task<> fetch_and_merge(JobRuntime& job, int reduce_id, Host& host,
+                              KvSink& sink) override;
+  bool overlaps_reduce(const JobRuntime& job) const override {
+    (void)job;
+    return false;  // reduce starts only after all merges complete
+  }
+  sim::Task<> stop(JobRuntime& job) override;
+
+ private:
+  // One fetched partition, either memory-resident or spilled.
+  struct Segment {
+    std::shared_ptr<const Bytes> data;  // set when in memory
+    std::string disk_path;              // set when spilled
+    std::uint64_t modeled = 0;
+  };
+  struct ReduceShuffleState;
+
+  sim::Task<> servlet_accept_loop(JobRuntime& job, net::Listener& listener,
+                                  int host_id);
+  sim::Task<> servlet_conn_loop(JobRuntime& job,
+                                std::unique_ptr<net::Socket> sock,
+                                int host_id);
+  sim::Task<> copier_loop(JobRuntime& job, ReduceShuffleState& state);
+  sim::Task<> in_memory_merge(JobRuntime& job, ReduceShuffleState& state);
+
+  std::map<int, std::unique_ptr<net::Listener>> listeners_;  // by host id
+  std::unique_ptr<sim::WaitGroup> daemons_;  // accept + connection loops
+};
+
+}  // namespace hmr::mapred

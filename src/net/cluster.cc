@@ -1,0 +1,63 @@
+#include "net/cluster.h"
+
+namespace hmr::net {
+
+Host::Host(sim::Engine& engine, int id, const HostSpec& spec,
+           const NetProfile& profile)
+    : engine_(engine),
+      id_(id),
+      name_(spec.name),
+      cores_(spec.cores),
+      cpu_(engine, spec.cores, spec.name + ".cpu") {
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  disks.reserve(spec.disks.size());
+  for (const auto& disk_spec : spec.disks) {
+    auto named = disk_spec;
+    named.name = spec.name + "." + disk_spec.name;
+    disks.push_back(std::make_unique<storage::Disk>(engine, std::move(named)));
+  }
+  fs_ = std::make_unique<storage::LocalFS>(engine, std::move(disks));
+  egress_.bw = profile.effective_bw();
+  ingress_.bw = profile.effective_bw();
+}
+
+sim::Task<> Host::compute(double seconds) {
+  auto guard = co_await sim::hold(cpu_);
+  co_await engine_.delay(seconds);
+}
+
+Cluster::Cluster(sim::Engine& engine, const NetProfile& profile,
+                 const std::vector<HostSpec>& specs)
+    : engine_(engine), profile_(profile) {
+  int id = 0;
+  for (const auto& spec : specs) {
+    hosts_.push_back(std::make_unique<Host>(engine, id++, spec, profile_));
+  }
+}
+
+std::vector<Host*> Cluster::hosts() {
+  std::vector<Host*> out;
+  out.reserve(hosts_.size());
+  for (auto& h : hosts_) out.push_back(h.get());
+  return out;
+}
+
+std::vector<HostSpec> Cluster::uniform(int n, int disks_per_host, bool ssd,
+                                       int cores) {
+  std::vector<HostSpec> specs;
+  specs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    HostSpec spec;
+    spec.name = "host" + std::to_string(i);
+    spec.cores = cores;
+    spec.disks.clear();
+    for (int d = 0; d < disks_per_host; ++d) {
+      spec.disks.push_back(ssd ? storage::DiskSpec::ssd("ssd" + std::to_string(d))
+                               : storage::DiskSpec::hdd("hdd" + std::to_string(d)));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace hmr::net

@@ -1,0 +1,195 @@
+#include "net/ibfab.h"
+
+#include <algorithm>
+
+namespace hmr::ibv {
+
+sim::Task<Completion> CompletionQueue::wait() {
+  auto completion = co_await entries_.recv();
+  HMR_CHECK_MSG(completion.has_value(), "completion queue torn down");
+  co_return *completion;
+}
+
+sim::Task<std::optional<Completion>> CompletionQueue::wait_opt() {
+  co_return co_await entries_.recv();
+}
+
+std::optional<Completion> CompletionQueue::poll() {
+  return entries_.try_recv();
+}
+
+sim::Task<> CompletionQueue::push(Completion completion) {
+  if (!entries_.closed()) co_await entries_.send(std::move(completion));
+}
+
+ProtectionDomain::ProtectionDomain(sim::Engine& engine, Host& host)
+    : engine_(engine), host_(host) {}
+
+sim::Task<MemoryRegion*> ProtectionDomain::register_memory(
+    MemoryRegionSpec spec) {
+  HMR_CHECK_MSG(spec.buffer != nullptr, "registering null buffer");
+  auto region = std::make_unique<MemoryRegion>();
+  region->rkey_ = next_rkey_++;
+  region->spec_ = std::move(spec);
+  const double mib = double(region->modeled_size()) / (1024.0 * 1024.0);
+  co_await engine_.delay(reg_cost_.base + reg_cost_.per_mib * mib);
+  MemoryRegion* raw = region.get();
+  regions_.emplace(raw->rkey_, std::move(region));
+  co_return raw;
+}
+
+Status ProtectionDomain::deregister(std::uint32_t rkey) {
+  if (regions_.erase(rkey) == 0) {
+    return Status::NotFound("no such rkey: " + std::to_string(rkey));
+  }
+  return Status::Ok();
+}
+
+const MemoryRegion* ProtectionDomain::find(std::uint32_t rkey) const {
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+MemoryRegion* ProtectionDomain::find_mutable(std::uint32_t rkey) {
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+QueuePair::QueuePair(Network& network, ProtectionDomain& pd,
+                     CompletionQueue& send_cq, CompletionQueue& recv_cq)
+    : network_(network),
+      pd_(pd),
+      send_cq_(send_cq),
+      recv_cq_(recv_cq),
+      recv_posted_(network.engine()),
+      send_lock_(network.engine(), 1, "qp.send") {}
+
+Status QueuePair::connect(QueuePair& a, QueuePair& b) {
+  if (a.state_ != QpState::kReset || b.state_ != QpState::kReset) {
+    return Status::FailedPrecondition("QP not in RESET");
+  }
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.state_ = QpState::kRts;
+  b.state_ = QpState::kRts;
+  return Status::Ok();
+}
+
+Host& QueuePair::local_host() { return pd_.host(); }
+
+Host& QueuePair::remote_host() {
+  HMR_CHECK_MSG(peer_ != nullptr, "QP not connected");
+  return peer_->pd_.host();
+}
+
+Status QueuePair::post_send(SendWr wr) {
+  if (state_ != QpState::kRts) {
+    return Status::FailedPrecondition("post_send on non-RTS QP");
+  }
+  network_.engine().spawn(run_send(std::move(wr)));
+  return Status::Ok();
+}
+
+Status QueuePair::post_recv(RecvWr wr) {
+  if (state_ == QpState::kReset || state_ == QpState::kError) {
+    return Status::FailedPrecondition("post_recv on RESET/ERROR QP");
+  }
+  recv_queue_.push_back(wr);
+  recv_posted_.set();
+  recv_posted_.reset();
+  return Status::Ok();
+}
+
+Status QueuePair::post_rdma_read(RdmaReadWr wr) {
+  if (state_ != QpState::kRts) {
+    return Status::FailedPrecondition("post_rdma_read on non-RTS QP");
+  }
+  network_.engine().spawn(run_rdma_read(wr));
+  return Status::Ok();
+}
+
+Status QueuePair::post_rdma_write(RdmaWriteWr wr) {
+  if (state_ != QpState::kRts) {
+    return Status::FailedPrecondition("post_rdma_write on non-RTS QP");
+  }
+  network_.engine().spawn(run_rdma_write(std::move(wr)));
+  return Status::Ok();
+}
+
+sim::Task<> QueuePair::run_send(SendWr wr) {
+  auto order = co_await sim::hold(send_lock_);
+  // RNR: park until the peer posts a receive (infinite rnr_retry).
+  while (peer_->recv_queue_.empty()) {
+    co_await peer_->recv_posted_.wait();
+  }
+  RecvWr recv = peer_->recv_queue_.front();
+  peer_->recv_queue_.pop_front();
+
+  const std::uint64_t bytes = wr.message.modeled_bytes;
+  co_await network_.transmit(local_host(), remote_host(), bytes);
+
+  Completion rx;
+  rx.wr_id = recv.wr_id;
+  rx.opcode = Opcode::kRecv;
+  rx.byte_len = bytes;
+  rx.message = std::move(wr.message);
+  co_await peer_->recv_cq_.push(std::move(rx));
+
+  Completion tx;
+  tx.wr_id = wr.wr_id;
+  tx.opcode = Opcode::kSend;
+  tx.byte_len = bytes;
+  co_await send_cq_.push(std::move(tx));
+}
+
+sim::Task<> QueuePair::run_rdma_read(RdmaReadWr wr) {
+  auto order = co_await sim::hold(send_lock_);
+  Completion completion;
+  completion.wr_id = wr.wr_id;
+  completion.opcode = Opcode::kRdmaRead;
+
+  const MemoryRegion* region = peer_->pd_.find(wr.remote_rkey);
+  if (region == nullptr ||
+      wr.real_offset + wr.real_len > region->real_size()) {
+    completion.status = WcStatus::kRemoteAccessError;
+    state_ = QpState::kError;
+    co_await send_cq_.push(std::move(completion));
+    co_return;
+  }
+  // Read request travels to the responder (latency-only), data streams
+  // back DMA-to-DMA: no CPU at either end.
+  const auto modeled = static_cast<std::uint64_t>(
+      double(wr.real_len) * region->spec().scale);
+  co_await network_.transmit(remote_host(), local_host(), modeled);
+
+  Bytes slice(region->spec().buffer->begin() + wr.real_offset,
+              region->spec().buffer->begin() + wr.real_offset + wr.real_len);
+  completion.byte_len = modeled;
+  completion.message =
+      Message::share(std::make_shared<const Bytes>(std::move(slice)), modeled);
+  co_await send_cq_.push(std::move(completion));
+}
+
+sim::Task<> QueuePair::run_rdma_write(RdmaWriteWr wr) {
+  auto order = co_await sim::hold(send_lock_);
+  Completion completion;
+  completion.wr_id = wr.wr_id;
+  completion.opcode = Opcode::kRdmaWrite;
+
+  MemoryRegion* region = peer_->pd_.find_mutable(wr.remote_rkey);
+  const std::uint64_t real_len = wr.message.real_size();
+  if (region == nullptr || real_len > region->real_size()) {
+    completion.status = WcStatus::kRemoteAccessError;
+    state_ = QpState::kError;
+    co_await send_cq_.push(std::move(completion));
+    co_return;
+  }
+  co_await network_.transmit(local_host(), remote_host(),
+                             wr.message.modeled_bytes);
+  std::copy(wr.message.payload->begin(), wr.message.payload->end(),
+            region->spec().buffer->begin());
+  completion.byte_len = wr.message.modeled_bytes;
+  co_await send_cq_.push(std::move(completion));
+}
+
+}  // namespace hmr::ibv

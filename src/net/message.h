@@ -1,0 +1,44 @@
+// Wire message: a real payload (shared, zero-copy through the sim) plus
+// the modeled on-wire size. `tag` is a protocol discriminator private to
+// each transport user (shuffle request/response, HDFS ops, ...).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace hmr::net {
+
+struct Message {
+  std::shared_ptr<const Bytes> payload;  // may be null (control-only)
+  std::uint64_t modeled_bytes = 0;       // bytes charged on the wire
+  std::uint64_t tag = 0;
+
+  static Message control(std::uint64_t tag, std::uint64_t modeled_bytes) {
+    return Message{nullptr, modeled_bytes, tag};
+  }
+  static Message data(Bytes bytes, double scale = 1.0,
+                      std::uint64_t tag = 0) {
+    const auto modeled =
+        static_cast<std::uint64_t>(double(bytes.size()) * scale);
+    return Message{std::make_shared<const Bytes>(std::move(bytes)), modeled,
+                   tag};
+  }
+  static Message share(std::shared_ptr<const Bytes> bytes,
+                       std::uint64_t modeled_bytes, std::uint64_t tag = 0) {
+    return Message{std::move(bytes), modeled_bytes, tag};
+  }
+
+  std::uint64_t real_size() const { return payload ? payload->size() : 0; }
+
+  // Overrides the wire charge (e.g. framing overhead on small control
+  // payloads).
+  Message&& with_modeled(std::uint64_t bytes) && {
+    modeled_bytes = bytes;
+    return std::move(*this);
+  }
+};
+
+}  // namespace hmr::net

@@ -1,0 +1,46 @@
+// Flow-level network model.
+//
+// All hosts hang off one non-blocking switch; contention happens at the
+// NIC links. A transfer is chunked, and each chunk moves at
+// min(sender-egress share, receiver-ingress share) sampled when the
+// chunk starts — the standard fluid approximation of max-min fairness.
+//
+// Socket-path transfers additionally occupy a CPU core alternately on
+// the sending and receiving host for the wire duration (kernel copies,
+// checksums, interrupts), so they contend with map/reduce compute.
+// OS-bypass (verbs) transfers never touch the cores; the HCA DMAs.
+#pragma once
+
+#include <cstdint>
+
+#include "net/cluster.h"
+#include "net/profile.h"
+#include "sim/engine.h"
+
+namespace hmr::net {
+
+class Network {
+ public:
+  Network(sim::Engine& engine, NetProfile profile);
+
+  const NetProfile& profile() const { return profile_; }
+  sim::Engine& engine() { return engine_; }
+
+  // Moves `modeled_bytes` from src to dst as one message: one base-latency
+  // charge plus chunked bandwidth. Honors the profile's CPU model.
+  sim::Task<> transmit(Host& src, Host& dst, std::uint64_t modeled_bytes);
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+  double cpu_seconds_charged() const { return cpu_seconds_; }
+
+ private:
+  sim::Engine& engine_;
+  NetProfile profile_;
+  std::uint64_t chunk_bytes_ = 1 * 1024 * 1024;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  double cpu_seconds_ = 0.0;
+};
+
+}  // namespace hmr::net

@@ -1,0 +1,42 @@
+// Fabric profiles for the interconnects evaluated in the paper (§IV):
+// 1GigE, 10GigE (Chelsio T320 w/ TOE), IPoIB on a 32 Gbps QDR HCA, and
+// native IB verbs on the same HCA.
+//
+// The decisive differences the models encode:
+//  * effective bandwidth: the socket path on IB (IPoIB) reaches only a
+//    fraction of QDR line rate; verbs reaches most of it;
+//  * small-message latency: verbs is OS-bypassed (microseconds), sockets
+//    pay the kernel stack (tens of microseconds);
+//  * CPU involvement: sockets consume a core while streaming (copies,
+//    checksums, interrupts), so transfers contend with map/reduce
+//    compute; RDMA offloads to the HCA and leaves the cores alone.
+#pragma once
+
+#include <string>
+
+namespace hmr::net {
+
+struct NetProfile {
+  std::string name;
+  double link_bw;        // bytes/sec per NIC direction at line rate
+  double efficiency;     // achievable fraction of link_bw for this stack
+  double base_latency;   // one-way first-byte latency, seconds
+  double stack_bw;       // CPU-limited throughput of the socket stack
+                         // (bytes/sec per core); 0 = OS-bypass (no core held)
+  double per_msg_cpu;    // fixed CPU seconds per message (syscalls, irq)
+  // TCP incast: goodput collapse under fan-in (switch buffer overruns +
+  // retransmission timeouts). Effective receive rate is divided by
+  // (1 + incast_penalty * (inbound_flows - 1)). Zero for RDMA transports
+  // (credit-based link-level flow control).
+  double incast_penalty = 0.0;
+
+  bool os_bypass() const { return stack_bw == 0.0; }
+  double effective_bw() const { return link_bw * efficiency; }
+
+  static NetProfile one_gige();
+  static NetProfile ten_gige();
+  static NetProfile ipoib_qdr();   // "IPoIB (32Gbps)" in the figures
+  static NetProfile verbs_qdr();   // native RDMA path ("OSU-IB", Hadoop-A)
+};
+
+}  // namespace hmr::net

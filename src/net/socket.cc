@@ -1,0 +1,70 @@
+#include "net/socket.h"
+
+namespace hmr::net {
+
+namespace {
+constexpr size_t kReceiveWindowMessages = 8;
+constexpr size_t kListenBacklog = 128;
+}  // namespace
+
+Socket::Socket(Network& network, Host& local, Host& remote,
+               std::shared_ptr<Conn> conn, bool is_a)
+    : network_(network),
+      local_(local),
+      remote_(remote),
+      conn_(std::move(conn)),
+      is_a_(is_a) {}
+
+Socket::~Socket() { close(); }
+
+sim::Task<> Socket::send(Message msg) {
+  HMR_CHECK_MSG(!closed_, "send on closed socket");
+  Direction& dir = is_a_ ? conn_->a_to_b : conn_->b_to_a;
+  auto lock = co_await sim::hold(dir.lock);
+  co_await network_.transmit(local_, remote_, msg.modeled_bytes);
+  co_await dir.buffer.send(std::move(msg));
+}
+
+sim::Task<std::optional<Message>> Socket::recv() {
+  Direction& dir = is_a_ ? conn_->b_to_a : conn_->a_to_b;
+  co_return co_await dir.buffer.recv();
+}
+
+void Socket::close() {
+  if (closed_) return;
+  closed_ = true;
+  Direction& dir = is_a_ ? conn_->a_to_b : conn_->b_to_a;
+  dir.buffer.close();
+}
+
+Listener::Listener(Network& network, Host& host)
+    : network_(network), host_(host), pending_(network.engine(), kListenBacklog) {}
+
+sim::Task<std::unique_ptr<Socket>> Listener::accept() {
+  auto pending = co_await pending_.recv();
+  if (!pending) co_return nullptr;
+  // SYN-ACK back to the client completes the handshake.
+  co_await network_.transmit(host_, *pending->client, 0);
+  pending->established->set();
+  co_return std::unique_ptr<Socket>(new Socket(
+      network_, host_, *pending->client, pending->conn, /*is_a=*/false));
+}
+
+sim::Task<std::unique_ptr<Socket>> connect(Network& network, Host& from,
+                                           Listener& listener) {
+  auto conn = std::make_shared<Socket::Conn>(network.engine(),
+                                             kReceiveWindowMessages);
+  sim::Event established(network.engine());
+  // SYN.
+  co_await network.transmit(from, listener.host(), 0);
+  // Built as a named local, not inline in the co_await operand: GCC 12
+  // miscompiles aggregate construction inside co_await arguments (the
+  // shared_ptr copy is elided into a bitwise move, splitting ownership).
+  Listener::Pending pending{&from, conn, &established};
+  co_await listener.pending_.send(std::move(pending));
+  co_await established.wait();
+  co_return std::unique_ptr<Socket>(
+      new Socket(network, from, listener.host(), conn, /*is_a=*/true));
+}
+
+}  // namespace hmr::net

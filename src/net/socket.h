@@ -1,0 +1,100 @@
+// Connection-oriented socket transport (the vanilla Hadoop data path).
+//
+// Gives TCP-ish semantics over the Network model: connect/accept with a
+// handshake RTT, in-order message streams per direction, sender
+// serialization, and bounded receive buffering (back-pressure). All
+// byte movement goes through Network::transmit, so socket users pay the
+// profile's CPU costs — this is what makes IPoIB/10GigE/1GigE runs
+// behave like the paper's socket numbers.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/cluster.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/channel.h"
+#include "sim/sync.h"
+
+namespace hmr::net {
+
+class Listener;
+
+class Socket {
+ public:
+  // Sockets are created in connected pairs by Listener/connect().
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  // In-order, serialized per direction; blocks when the peer's receive
+  // buffer is full (flow control).
+  sim::Task<> send(Message msg);
+  // Next message, or nullopt once the peer closed and the stream drained.
+  sim::Task<std::optional<Message>> recv();
+  // Closes this end's outgoing direction (like shutdown(SHUT_WR)).
+  void close();
+
+  Host& local_host() { return local_; }
+  Host& remote_host() { return remote_; }
+
+ private:
+  friend class Listener;
+  friend sim::Task<std::unique_ptr<Socket>> connect(Network& network,
+                                                    Host& from,
+                                                    Listener& listener);
+  struct Direction {
+    explicit Direction(sim::Engine& engine, size_t window)
+        : buffer(engine, window), lock(engine, 1, "sock.dir") {}
+    sim::Channel<Message> buffer;
+    sim::Resource lock;
+  };
+  struct Conn {
+    Conn(sim::Engine& engine, size_t window)
+        : a_to_b(engine, window), b_to_a(engine, window) {}
+    Direction a_to_b;
+    Direction b_to_a;
+  };
+
+  Socket(Network& network, Host& local, Host& remote,
+         std::shared_ptr<Conn> conn, bool is_a);
+
+  Network& network_;
+  Host& local_;
+  Host& remote_;
+  std::shared_ptr<Conn> conn_;
+  bool is_a_;
+  bool closed_ = false;
+};
+
+class Listener {
+ public:
+  Listener(Network& network, Host& host);
+
+  // Blocks until a client connects.
+  sim::Task<std::unique_ptr<Socket>> accept();
+  Host& host() { return host_; }
+  // Stop accepting; parked accept() calls resolve to nullptr... they
+  // return a null unique_ptr after close().
+  void close() { pending_.close(); }
+
+ private:
+  friend sim::Task<std::unique_ptr<Socket>> connect(Network& network,
+                                                    Host& from,
+                                                    Listener& listener);
+  struct Pending {
+    Host* client;
+    std::shared_ptr<Socket::Conn> conn;
+    sim::Event* established;
+  };
+  Network& network_;
+  Host& host_;
+  sim::Channel<Pending> pending_;
+};
+
+// Client side: pays a handshake round trip, returns the connected socket.
+sim::Task<std::unique_ptr<Socket>> connect(Network& network, Host& from,
+                                           Listener& listener);
+
+}  // namespace hmr::net

@@ -1,0 +1,555 @@
+#include "rdmashuffle/engine.h"
+
+#include <algorithm>
+
+#include "dataplane/merger.h"
+
+namespace hmr::rdmashuffle {
+
+using dataplane::KvPair;
+using mapred::KvBatch;
+using mapred::MapOutputInfo;
+using mapred::TaskTrackerState;
+
+RdmaShuffleOptions RdmaShuffleOptions::osu_ib(const Conf& conf) {
+  RdmaShuffleOptions opt;
+  opt.use_cache = conf.get_bool(mapred::kCachingEnabled, true);
+  opt.cache_bytes = conf.get_bytes(mapred::kCacheBytes, opt.cache_bytes);
+  opt.packet_bytes =
+      conf.get_bytes(mapred::kRdmaPacketBytes, opt.packet_bytes);
+  opt.kv_per_packet = std::uint64_t(
+      conf.get_int(mapred::kRdmaKvPerPacket, 0));  // byte-budgeted
+  opt.responder_threads =
+      int(conf.get_int(mapred::kResponderThreads, opt.responder_threads));
+  opt.overlap_reduce = conf.get_bool(mapred::kOverlapReduce, true);
+  if (conf.get_string(mapred::kRdmaRendezvous, "read") == "write") {
+    opt.ucr.rendezvous = ucr::RendezvousMode::kWrite;
+  }
+  return opt;
+}
+
+RdmaShuffleOptions RdmaShuffleOptions::hadoop_a(const Conf& conf) {
+  RdmaShuffleOptions opt;
+  // Per SC'11 and §III-C: verbs shuffle and levitated merge, but no
+  // TaskTracker cache and a fixed number of kv pairs per packet that
+  // ignores pair size.
+  opt.use_cache = false;
+  opt.packet_bytes = 0;  // unlimited; the kv count is the budget
+  opt.kv_per_packet =
+      std::uint64_t(conf.get_int(mapred::kRdmaKvPerPacket, 1024));
+  opt.responder_threads =
+      int(conf.get_int(mapred::kResponderThreads, opt.responder_threads));
+  opt.overlap_reduce = true;
+  opt.pipelined_refill = false;  // levitated merge fetches on demand
+  opt.charge_by_count = true;    // buffers provisioned by pair count
+  return opt;
+}
+
+// ---------------------------------------------------------------------
+// TaskTracker side
+// ---------------------------------------------------------------------
+
+sim::Task<> RdmaShuffleEngine::start(JobRuntime& job) {
+  daemons_ = std::make_unique<sim::WaitGroup>(job.engine);
+  for (auto& tracker : job.trackers) {
+    const int host_id = tracker->host->id();
+    auto service = std::make_unique<TrackerService>(job.engine,
+                                                    options_.cache_bytes);
+    service->listener = std::make_unique<ucr::Listener>(
+        job.network, *tracker->host, options_.ucr);
+    daemons_->add();
+    job.engine.spawn(rdma_listener(job, *service));
+    for (int r = 0; r < options_.responder_threads; ++r) {
+      daemons_->add();
+      job.engine.spawn(rdma_responder(job, *service, host_id));
+    }
+    for (int p = 0; p < options_.prefetch_daemons; ++p) {
+      daemons_->add();
+      job.engine.spawn(prefetcher(job, *service, host_id));
+    }
+    services_.emplace(host_id, std::move(service));
+  }
+  co_return;
+}
+
+sim::Task<> RdmaShuffleEngine::rdma_listener(JobRuntime& job,
+                                             TrackerService& service) {
+  while (auto endpoint = co_await service.listener->accept()) {
+    daemons_->add();
+    ucr::Endpoint& ref = *endpoint;
+    service.endpoints.push_back(std::move(endpoint));
+    job.engine.spawn(rdma_receiver(job, service, ref));
+  }
+  daemons_->done();
+}
+
+sim::Task<> RdmaShuffleEngine::rdma_receiver(JobRuntime& job,
+                                             TrackerService& service,
+                                             ucr::Endpoint& endpoint) {
+  (void)job;
+  while (auto msg = co_await endpoint.recv()) {
+    HMR_CHECK(msg->tag == kTagDataRequest && msg->payload != nullptr);
+    PendingRequest pending{DataRequest::decode(*msg->payload), &endpoint};
+    co_await service.request_queue.send(std::move(pending));
+  }
+  // Peer closed: complete the symmetric close so the peer's inbox drains.
+  endpoint.close();
+  daemons_->done();
+}
+
+sim::Task<> RdmaShuffleEngine::rdma_responder(JobRuntime& job,
+                                              TrackerService& service,
+                                              int host_id) {
+  while (auto pending = co_await service.request_queue.recv()) {
+    co_await respond(job, service, host_id, std::move(*pending));
+  }
+  daemons_->done();
+}
+
+sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
+                                       TrackerService& service, int host_id,
+                                       PendingRequest pending) {
+  const DataRequest& req = pending.request;
+  TaskTrackerState& tracker = job.tracker_for_host(host_id);
+  auto it = tracker.map_outputs.find({int(req.job_id), int(req.map_id)});
+  HMR_CHECK_MSG(it != tracker.map_outputs.end(),
+                "responder asked for unknown map output");
+  const MapOutputInfo& info = it->second;
+  const auto& entry = info.output->index.at(int(req.reduce_id));
+
+  // PrefetchCache lookup (§III-B3); a miss serves from disk immediately
+  // and re-queues the output for caching with raised priority.
+  const std::string cache_key = "j" + std::to_string(req.job_id) +
+                                "_map_" + std::to_string(req.map_id);
+  bool from_disk = true;
+  std::shared_ptr<const dataplane::MapOutput> source = info.output;
+  if (options_.use_cache) {
+    if (auto hit = service.cache.get(cache_key)) {
+      source = std::move(hit);
+      from_disk = false;
+    } else {
+      (void)service.prefetch_queue.try_send(int(req.map_id) | (1 << 24));
+    }
+  }
+
+  auto partition = source->partition_bytes(int(req.reduce_id));
+  HMR_CHECK(req.cursor_real <= partition.size());
+  dataplane::SegmentReader reader(source->data,
+                                  partition.subspan(req.cursor_real));
+  std::uint64_t n_pairs = 0;
+  const auto chunk = reader.take_chunk(
+      req.max_pairs == 0 ? UINT64_MAX : req.max_pairs,
+      req.max_real_bytes == 0 ? UINT64_MAX : req.max_real_bytes, &n_pairs);
+
+  if (from_disk && !chunk.empty()) {
+    const double dt0 = job.engine.now();
+    auto view = co_await tracker.host->fs().read_range(
+        info.local_path, entry.offset + req.cursor_real, chunk.size());
+    HMR_CHECK(view.ok());
+    job.engine.metrics().histogram("osu.respond.disk").record(
+        job.engine.now() - dt0);
+  }
+
+  DataResponse header;
+  header.job_id = req.job_id;
+  header.map_id = req.map_id;
+  header.reduce_id = req.reduce_id;
+  header.n_pairs = n_pairs;
+  header.chunk_real_bytes = chunk.size();
+  header.eof = req.cursor_real + chunk.size() >= partition.size();
+
+  Bytes body = header.encode_header();
+  body.insert(body.end(), chunk.begin(), chunk.end());
+  const auto modeled =
+      kResponseHeaderBytes +
+      static_cast<std::uint64_t>(double(chunk.size()) * info.scale);
+  job.result.shuffled_modeled_bytes +=
+      static_cast<std::uint64_t>(double(chunk.size()) * info.scale);
+  const double st0 = job.engine.now();
+  co_await pending.endpoint->send(net::Message::share(
+      std::make_shared<const Bytes>(std::move(body)), modeled,
+      kTagDataResponse));
+  job.engine.metrics().histogram("osu.respond.send").record(
+      job.engine.now() - st0);
+}
+
+sim::Task<> RdmaShuffleEngine::prefetcher(JobRuntime& job,
+                                          TrackerService& service,
+                                          int host_id) {
+  TaskTrackerState& tracker = job.tracker_for_host(host_id);
+  while (auto tagged = co_await service.prefetch_queue.recv()) {
+    const int map_id = *tagged & 0xffffff;
+    const int priority = *tagged >> 24;
+    const std::string cache_key =
+        "j" + std::to_string(job.job_id) + "_map_" + std::to_string(map_id);
+    if (service.cache.contains(cache_key)) {
+      service.cache.boost(cache_key, priority);
+      continue;
+    }
+    // Anti-thrash: never fetch the same output concurrently, and give up
+    // re-caching outputs the cache keeps evicting.
+    if (service.prefetch_inflight.contains(map_id)) continue;
+    if (service.prefetch_attempts[map_id] >=
+        1 + options_.max_recache_attempts) {
+      continue;
+    }
+    ++service.prefetch_attempts[map_id];
+    service.prefetch_inflight.insert(map_id);
+    struct InflightGuard {
+      TrackerService& service;
+      int map_id;
+      ~InflightGuard() { service.prefetch_inflight.erase(map_id); }
+    } inflight_guard{service, map_id};
+    auto it = tracker.map_outputs.find({job.job_id, map_id});
+    if (it == tracker.map_outputs.end()) continue;
+    const MapOutputInfo& info = it->second;
+    const auto modeled = static_cast<std::uint64_t>(
+        double(info.output->total_bytes()) * info.scale);
+    if (modeled > service.cache.capacity_bytes()) continue;
+    if (job.engine.now() - info.created_at < options_.page_cache_window) {
+      // The map just wrote this file: it is still in the page cache, so
+      // caching it is a memory copy, not a platter read.
+      auto core = co_await sim::hold(tracker.host->cpu());
+      co_await job.engine.delay(double(modeled) / options_.page_cache_bw);
+    } else {
+      auto view = co_await tracker.host->fs().read_file(info.local_path);
+      if (!view.ok()) continue;
+    }
+    (void)service.cache.put(cache_key, info.output, modeled, priority);
+  }
+  daemons_->done();
+}
+
+void RdmaShuffleEngine::on_map_finished(JobRuntime& job, int map_id,
+                                        int host_id) {
+  (void)job;
+  if (!options_.use_cache) return;
+  auto it = services_.find(host_id);
+  if (it == services_.end()) return;
+  // Priority 0 speculative prefetch; dropped if the queue is full.
+  (void)it->second->prefetch_queue.try_send(map_id);
+}
+
+// ---------------------------------------------------------------------
+// ReduceTask side: RdmaCopier + streaming priority-queue merge
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct StreamChunk {
+  std::vector<KvPair> pairs;
+  std::uint64_t mem_charge = 0;
+};
+
+struct MapStream {
+  explicit MapStream(sim::Engine& engine)
+      : responses(engine, 1), chunks(engine, 2), demand(engine) {}
+  sim::Channel<net::Message> responses;
+  sim::Channel<StreamChunk> chunks;
+  // Set by the merge while it is blocked on this stream: the driver may
+  // deliver uncharged instead of waiting for shuffle memory, and
+  // on-demand (non-pipelined) drivers may issue the next request.
+  bool urgent = false;
+  sim::Event demand;  // pulsed when the merge starts waiting
+};
+
+struct CopierState {
+  CopierState(sim::Engine& engine, std::uint64_t mem_bytes)
+      : mem(engine, std::int64_t(mem_bytes), "shuffle.mem"),
+        conn_lock(engine, 1, "copier.conn") {}
+  std::map<int, ucr::Endpoint*> conns;     // tracker host id -> endpoint
+  std::map<int, MapStream*> routes;        // map id -> stream
+  sim::Resource mem;                       // reducer shuffle buffer
+  sim::Resource conn_lock;
+};
+
+}  // namespace
+
+sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
+                                               int reduce_id, Host& host,
+                                               KvSink& sink) {
+  const std::uint64_t mem_bytes = job.spec.conf.get_bytes(
+      mapred::kShuffleBufferBytes, mapred::kDefaultShuffleBufferBytes);
+  auto state = std::make_shared<CopierState>(job.engine, mem_bytes);
+  // Real-world pairs per carried pair (see mapred::kKvInflation).
+  const double kv_inflation =
+      job.spec.conf.get_double(mapred::kKvInflation, job.data_scale);
+  // Largest modeled record; sizes count-provisioned receive buffers.
+  const std::uint64_t max_record_modeled = job.spec.conf.get_bytes(
+      mapred::kMaxRecordBytes,
+      static_cast<std::uint64_t>(102.0 * job.data_scale));
+  std::vector<std::unique_ptr<MapStream>> streams;
+  streams.reserve(job.maps.size());
+  for (size_t m = 0; m < job.maps.size(); ++m) {
+    streams.push_back(std::make_unique<MapStream>(job.engine));
+  }
+
+  // --- RdmaCopier: one driver per map stream -------------------------
+  sim::WaitGroup drivers(job.engine);
+  for (size_t m = 0; m < job.maps.size(); ++m) {
+    drivers.add();
+    job.engine.spawn([](RdmaShuffleEngine& self, JobRuntime& job,
+                        int reduce_id, Host& host,
+                        std::shared_ptr<CopierState> state, MapStream& stream,
+                        int map_id, double kv_inflation,
+                        std::uint64_t max_record_modeled,
+                        sim::WaitGroup& done) -> sim::Task<> {
+      co_await job.map_done.at(map_id)->wait();
+      const int server = job.maps.at(map_id).ran_on;
+
+      // Connect once per TaskTracker (guarded against concurrent dials).
+      ucr::Endpoint* endpoint = nullptr;
+      {
+        auto lock = co_await sim::hold(state->conn_lock);
+        auto it = state->conns.find(server);
+        if (it == state->conns.end()) {
+          auto ep = co_await ucr::connect(
+              job.network, host, *self.services_.at(server)->listener,
+              self.options_.ucr);
+          endpoint = ep.get();
+          state->conns.emplace(server, endpoint);
+          self.client_endpoints_.push_back(std::move(ep));
+          // Response router for this connection.
+          self.daemons_->add();
+          job.engine.spawn([](RdmaShuffleEngine& self, ucr::Endpoint& ep,
+                              std::shared_ptr<CopierState> state)
+                               -> sim::Task<> {
+            while (auto msg = co_await ep.recv()) {
+              HMR_CHECK(msg->tag == kTagDataResponse);
+              ByteReader r(*msg->payload);
+              const auto header = DataResponse::decode_header(r);
+              auto route = state->routes.find(int(header.map_id));
+              HMR_CHECK_MSG(route != state->routes.end(),
+                            "response for unknown stream");
+              co_await route->second->responses.send(std::move(*msg));
+            }
+            self.daemons_->done();
+          }(self, *endpoint, state));
+        } else {
+          endpoint = it->second;
+        }
+      }
+
+      state->routes.emplace(map_id, &stream);
+      std::uint64_t cursor = 0;
+      const std::uint64_t max_real_bytes =
+          self.options_.packet_bytes == 0
+              ? 0
+              : job.real_from_modeled(self.options_.packet_bytes);
+      bool first_request = true;
+      while (true) {
+        if (!first_request && !self.options_.pipelined_refill &&
+            !stream.urgent) {
+          // Network-levitated merge: wait until the merge actually needs
+          // the next packet of this segment.
+          co_await stream.demand.wait();
+        }
+        first_request = false;
+
+        // Provision the receive buffer *before* fetching (pre-allocated
+        // buffers): byte-budgeted engines reserve the packet size,
+        // fixed-count engines reserve count x largest record — the
+        // §IV-C pathology. The stream the merge is blocked on bypasses
+        // the wait (uncharged emergency buffer) so memory pressure
+        // serializes fetches onto the merge's critical path instead of
+        // deadlocking it.
+        const std::uint64_t count_budget =
+            self.options_.kv_per_packet == 0
+                ? 0
+                : std::max<std::uint64_t>(
+                      1, std::uint64_t(double(self.options_.kv_per_packet) /
+                                       kv_inflation));
+        std::uint64_t charge =
+            self.options_.charge_by_count && count_budget > 0
+                ? count_budget * max_record_modeled
+                : self.options_.packet_bytes;
+        if (charge == 0) charge = max_record_modeled;
+        charge = std::min<std::uint64_t>(charge,
+                                         std::uint64_t(state->mem.capacity()));
+        bool charged = state->mem.try_acquire(std::int64_t(charge));
+        if (!charged && !stream.urgent) {
+          // Buffers are full: degrade to on-demand fetching — sleep until
+          // the merge actually blocks on this stream, then deliver as an
+          // uncharged emergency chunk (or charged, if memory freed up).
+          co_await stream.demand.wait();
+          charged = state->mem.try_acquire(std::int64_t(charge));
+        }
+
+        DataRequest req;
+        req.job_id = std::uint32_t(job.job_id);
+        req.map_id = std::uint32_t(map_id);
+        req.reduce_id = std::uint32_t(reduce_id);
+        req.cursor_real = cursor;
+        // kv-count budgets are in real-world pairs; each carried pair
+        // stands for kv_inflation of them (mapred::kKvInflation).
+        req.max_pairs = count_budget;
+        req.max_real_bytes = max_real_bytes;
+        const double rt0 = job.engine.now();
+        co_await endpoint->send(net::Message::data(req.encode(), 1.0,
+                                                   kTagDataRequest)
+                                    .with_modeled(kRequestWireBytes));
+        auto response = co_await stream.responses.recv();
+        if (!charged) {
+          // Over-budget segment: the merge had no room to keep this
+          // buffer resident, so an earlier delivery was dropped and the
+          // packet is fetched again now that the merge demands it —
+          // the levitated-merge thrash of fixed-count buffers (§IV-C).
+          Bytes again = req.encode();
+          co_await endpoint->send(net::Message::data(std::move(again), 1.0,
+                                                     kTagDataRequest)
+                                      .with_modeled(kRequestWireBytes));
+          response = co_await stream.responses.recv();
+        }
+        job.engine.metrics().histogram("osu.fetch.rtt")
+            .record(job.engine.now() - rt0);
+        HMR_CHECK(response.has_value());
+        ByteReader r(*response->payload);
+        const auto header = DataResponse::decode_header(r);
+        auto records = r.bytes(header.chunk_real_bytes);
+        HMR_CHECK(records.ok());
+        auto pairs = dataplane::decode_run(records.value());
+        HMR_CHECK(pairs.ok());
+        cursor += header.chunk_real_bytes;
+
+        StreamChunk chunk;
+        chunk.pairs = std::move(pairs.value());
+        chunk.mem_charge = charged ? charge : 0;
+        co_await stream.chunks.send(std::move(chunk));
+        if (header.eof) break;
+      }
+      stream.chunks.close();
+      state->routes.erase(map_id);
+      done.done();
+    }(*this, job, reduce_id, host, state, *streams[m], int(m),
+      kv_inflation, max_record_modeled, drivers));
+  }
+
+  // --- streaming priority-queue merge (§III-B2) -----------------------
+  struct Cursor {
+    std::vector<KvPair> pairs;
+    size_t idx = 0;
+    std::uint64_t mem_charge = 0;
+  };
+  std::vector<Cursor> cursors(streams.size());
+
+  // Pull the next non-empty chunk for stream s; false when exhausted.
+  auto advance_chunk = [&](size_t s) -> sim::Task<bool> {
+    const double t0 = job.engine.now();
+    Cursor& cursor = cursors[s];
+    if (cursor.mem_charge != 0) {
+      state->mem.release(std::int64_t(cursor.mem_charge));
+      cursor.mem_charge = 0;
+    }
+    while (true) {
+      if (streams[s]->chunks.empty()) {
+        streams[s]->urgent = true;
+        streams[s]->demand.set();
+        streams[s]->demand.reset();
+      }
+      auto chunk = co_await streams[s]->chunks.recv();
+      streams[s]->urgent = false;
+      if (!chunk) co_return false;
+      if (chunk->pairs.empty()) {
+        if (chunk->mem_charge != 0) {
+          state->mem.release(std::int64_t(chunk->mem_charge));
+        }
+        continue;
+      }
+      cursor.pairs = std::move(chunk->pairs);
+      cursor.idx = 0;
+      cursor.mem_charge = chunk->mem_charge;
+      job.engine.metrics().histogram("osu.merge.chunk_wait")
+          .record(job.engine.now() - t0);
+      co_return true;
+    }
+  };
+
+  struct HeapItem {
+    const KvPair* pair;
+    size_t stream;
+  };
+  auto greater = [](const HeapItem& a, const HeapItem& b) {
+    const int c = dataplane::KvLess::compare_keys(a.pair->key, b.pair->key);
+    if (c != 0) return c > 0;
+    return a.stream > b.stream;
+  };
+  std::vector<HeapItem> heap;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    if (co_await advance_chunk(s)) {
+      heap.push_back(HeapItem{&cursors[s].pairs[0], s});
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+  job.result.shuffle_done_time = job.engine.now();
+
+  constexpr size_t kBatchPairs = 256;
+  std::vector<KvBatch> held_back;  // used when overlap is disabled
+  KvBatch batch;
+  batch.reserve(kBatchPairs);
+  std::uint64_t batch_real = 0;
+
+  auto flush_batch = [&]() -> sim::Task<> {
+    if (batch.empty()) co_return;
+    co_await job.charge_cpu(
+        host, static_cast<std::uint64_t>(double(batch_real) * job.data_scale),
+        job.cost.merge_cpu_bw);
+    if (options_.overlap_reduce) {
+      co_await sink.send(std::move(batch));
+    } else {
+      held_back.push_back(std::move(batch));
+    }
+    batch = KvBatch{};
+    batch.reserve(kBatchPairs);
+    batch_real = 0;
+  };
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    HeapItem item = heap.back();
+    heap.pop_back();
+    Cursor& cursor = cursors[item.stream];
+    KvPair pair = cursor.pairs[cursor.idx++];
+    batch_real += pair.serialized_size();
+    batch.push_back(std::move(pair));
+    if (batch.size() >= kBatchPairs) co_await flush_batch();
+
+    if (cursor.idx < cursor.pairs.size()) {
+      heap.push_back(HeapItem{&cursor.pairs[cursor.idx], item.stream});
+      std::push_heap(heap.begin(), heap.end(), greater);
+    } else if (co_await advance_chunk(item.stream)) {
+      heap.push_back(HeapItem{&cursor.pairs[0], item.stream});
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  co_await flush_batch();
+  co_await drivers.wait();
+  if (!options_.overlap_reduce) {
+    for (auto& held : held_back) co_await sink.send(std::move(held));
+  }
+  sink.close();
+
+  // Orderly close: tells every TaskTracker this reducer is done; the
+  // endpoints themselves stay alive (owned by the engine) until stop().
+  for (auto& [_, endpoint] : state->conns) endpoint->close();
+}
+
+sim::Task<> RdmaShuffleEngine::stop(JobRuntime& job) {
+  (void)job;
+  for (auto& [_, service] : services_) {
+    service->listener->close();
+    service->request_queue.close();
+    service->prefetch_queue.close();
+  }
+  co_await daemons_->wait();
+  for (auto& [_, service] : services_) {
+    cache_stats_.hits += service->cache.stats().hits;
+    cache_stats_.misses += service->cache.stats().misses;
+    cache_stats_.insertions += service->cache.stats().insertions;
+    cache_stats_.evictions += service->cache.stats().evictions;
+    cache_stats_.rejected += service->cache.stats().rejected;
+  }
+  job.result.cache_hits = cache_stats_.hits;
+  job.result.cache_misses = cache_stats_.misses;
+}
+
+}  // namespace hmr::rdmashuffle

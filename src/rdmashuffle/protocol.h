@@ -1,0 +1,82 @@
+// Wire protocol between RdmaCopier (ReduceTask) and the TaskTracker's
+// RDMA shuffle service (§III-B1): every request/response carries the
+// identification parameters the paper lists — map id, reduce id, job id,
+// cursor, and the number of key-value pairs shipped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace hmr::rdmashuffle {
+
+inline constexpr std::uint64_t kTagDataRequest = 0x10;
+inline constexpr std::uint64_t kTagDataResponse = 0x11;
+
+inline constexpr std::uint64_t kRequestWireBytes = 64;
+inline constexpr std::uint64_t kResponseHeaderBytes = 64;
+
+struct DataRequest {
+  std::uint32_t job_id = 0;
+  std::uint32_t map_id = 0;
+  std::uint32_t reduce_id = 0;
+  std::uint64_t cursor_real = 0;     // real-byte offset into the partition
+  std::uint64_t max_pairs = 0;       // fixed-count mode (Hadoop-A)
+  std::uint64_t max_real_bytes = 0;  // byte-budget mode (OSU-IB)
+
+  Bytes encode() const {
+    ByteWriter w;
+    w.put_u32(job_id);
+    w.put_u32(map_id);
+    w.put_u32(reduce_id);
+    w.put_u64(cursor_real);
+    w.put_u64(max_pairs);
+    w.put_u64(max_real_bytes);
+    return w.take();
+  }
+  static DataRequest decode(const Bytes& data) {
+    ByteReader r(data);
+    DataRequest req;
+    req.job_id = r.u32().value();
+    req.map_id = r.u32().value();
+    req.reduce_id = r.u32().value();
+    req.cursor_real = r.u64().value();
+    req.max_pairs = r.u64().value();
+    req.max_real_bytes = r.u64().value();
+    return req;
+  }
+};
+
+struct DataResponse {
+  std::uint32_t job_id = 0;
+  std::uint32_t map_id = 0;
+  std::uint32_t reduce_id = 0;
+  std::uint64_t n_pairs = 0;
+  std::uint64_t chunk_real_bytes = 0;
+  bool eof = false;
+  // Raw serialized kv records follow the header on the wire.
+
+  Bytes encode_header() const {
+    ByteWriter w;
+    w.put_u32(job_id);
+    w.put_u32(map_id);
+    w.put_u32(reduce_id);
+    w.put_u64(n_pairs);
+    w.put_u64(chunk_real_bytes);
+    w.put_u8(eof ? 1 : 0);
+    return w.take();
+  }
+  static DataResponse decode_header(ByteReader& r) {
+    DataResponse resp;
+    resp.job_id = r.u32().value();
+    resp.map_id = r.u32().value();
+    resp.reduce_id = r.u32().value();
+    resp.n_pairs = r.u64().value();
+    resp.chunk_real_bytes = r.u64().value();
+    resp.eof = r.u8().value() != 0;
+    return resp;
+  }
+};
+
+}  // namespace hmr::rdmashuffle

@@ -1,0 +1,92 @@
+#include "sim/engine.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace hmr::sim {
+
+namespace detail {
+
+void on_detached_done(PromiseBase& promise, void* frame_address) noexcept {
+  if (promise.exception) {
+    try {
+      std::rethrow_exception(promise.exception);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fatal: detached sim task threw: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "fatal: detached sim task threw\n");
+    }
+    std::abort();
+  }
+  Engine* engine = promise.engine;
+  HMR_CHECK(engine != nullptr);
+  --engine->live_processes_;
+  engine->live_detached_.erase(frame_address);
+}
+
+}  // namespace detail
+
+Engine::Engine(std::uint64_t seed) : seed_(seed) {
+  Logger::instance().set_time_source([this] { return now_; });
+}
+
+Engine::~Engine() {
+  Logger::instance().clear_time_source();
+  shutting_down_ = true;
+  // Destroy still-suspended detached frames. Their locals' destructors may
+  // try to schedule wakeups; schedule_at ignores those while shutting down.
+  // Destroying one frame can complete (and deregister) others only through
+  // scheduling, which is disabled, so a snapshot copy is safe.
+  auto leftovers = live_detached_;
+  for (void* address : leftovers) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
+void Engine::schedule_at(Time at, std::coroutine_handle<> h) {
+  if (shutting_down_) return;
+  HMR_CHECK_MSG(at >= now_, "scheduling into the past");
+  queue_.push(Event{at, next_seq_++, h});
+}
+
+void Engine::spawn(Task<> task) {
+  auto handle = task.release();
+  HMR_CHECK_MSG(handle, "spawning an empty task");
+  auto& promise = handle.promise();
+  promise.detached = true;
+  promise.engine = this;
+  ++live_processes_;
+  live_detached_.insert(handle.address());
+  schedule_now(handle);
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.top();
+  queue_.pop();
+  HMR_CHECK(event.at >= now_);
+  now_ = event.at;
+  ++events_dispatched_;
+  if (max_events_ != 0 && events_dispatched_ > max_events_) {
+    HMR_CHECK_MSG(false, "simulation exceeded max_events — runaway loop?");
+  }
+  event.handle.resume();
+  return true;
+}
+
+Time Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace hmr::sim

@@ -1,0 +1,116 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: the event queue is ordered by
+// (timestamp, insertion sequence), so equal-time events dispatch in the
+// order they were scheduled, independent of container internals.
+// Simulated time is a double in seconds.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "sim/task.h"
+
+namespace hmr::sim {
+
+using Time = double;
+
+class Tracer;
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules a bare coroutine resume. `at` must be >= now().
+  void schedule_at(Time at, std::coroutine_handle<> h);
+  void schedule_after(Time dt, std::coroutine_handle<> h) {
+    schedule_at(now_ + dt, h);
+  }
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  // Awaitable: suspends the current task for dt simulated seconds.
+  auto delay(Time dt) {
+    struct Awaiter {
+      Engine& engine;
+      Time at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.schedule_at(at, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    HMR_CHECK_MSG(dt >= 0.0, "negative delay");
+    return Awaiter{*this, now_ + dt};
+  }
+
+  // Detaches the task: the engine starts it at the current time and the
+  // frame self-destroys on completion.
+  void spawn(Task<> task);
+
+  // Runs until the event queue drains. Returns the final simulated time.
+  Time run();
+  // Runs until the queue drains or simulated time would pass `deadline`.
+  Time run_until(Time deadline);
+  // Dispatches at most one event; returns false if the queue was empty.
+  bool step();
+
+  // Number of spawned processes that have not yet finished. A nonzero
+  // value after run() means processes are blocked forever (deadlock or
+  // an unclosed channel) — tests assert on this.
+  std::int64_t live_processes() const { return live_processes_; }
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+  // Safety valve for runaway simulations; 0 disables the limit.
+  void set_max_events(std::uint64_t max_events) { max_events_ = max_events; }
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  // Optional execution tracer (sim/trace.h); null when tracing is off.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+  // Deterministic per-component stream: Rng(seed, name).
+  Rng make_rng(std::string_view stream) const {
+    return Rng(seed_, stream);
+  }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  friend void detail::on_detached_done(detail::PromiseBase&, void*) noexcept;
+
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::uint64_t max_events_ = 0;
+  std::int64_t live_processes_ = 0;
+  std::uint64_t seed_;
+  MetricRegistry metrics_;
+  Tracer* tracer_ = nullptr;
+  // Frames of spawned-but-unfinished processes, destroyed at shutdown.
+  std::unordered_set<void*> live_detached_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace hmr::sim

@@ -1,0 +1,75 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace hmr::sim {
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  // Assign each track a stable tid in first-seen order.
+  std::map<std::string, int> tids;
+  for (const auto& event : events_) {
+    tids.emplace(event.track, int(tids.size()) + 1);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  for (const auto& [track, tid] : tids) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_json_string(out, track);
+    out += "}}";
+  }
+  for (const auto& event : events_) {
+    out += ',';
+    const double ts_us = event.start * 1e6;
+    if (event.instant) {
+      out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":";
+      out += std::to_string(tids[event.track]);
+      std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", ts_us);
+      out += buf;
+    } else {
+      out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(tids[event.track]);
+      std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f", ts_us,
+                    (event.end - event.start) * 1e6);
+      out += buf;
+    }
+    out += ",\"cat\":";
+    append_json_string(out, event.category);
+    out += ",\"name\":";
+    append_json_string(out, event.name);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hmr::sim

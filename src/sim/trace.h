@@ -1,0 +1,106 @@
+// Execution tracing: records named spans of simulated time and exports
+// the Chrome/Perfetto trace-event JSON format, so a whole MapReduce job
+// can be inspected on a timeline (load trace.json into ui.perfetto.dev
+// or chrome://tracing).
+//
+// Tracing is opt-in per Engine (set_tracer) and zero-cost when off: call
+// sites guard with `if (auto* t = engine.tracer())`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace hmr::sim {
+
+class Tracer {
+ public:
+  explicit Tracer(Engine& engine) : engine_(engine) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // A complete span on `track` (e.g. a host or task lane) from `start`
+  // to the current simulated time.
+  void complete(std::string_view track, std::string_view category,
+                std::string_view name, double start_time) {
+    events_.push_back(Event{std::string(track), std::string(category),
+                            std::string(name), start_time,
+                            engine_.now(), /*instant=*/false});
+  }
+  // A zero-duration marker.
+  void instant(std::string_view track, std::string_view category,
+               std::string_view name) {
+    events_.push_back(Event{std::string(track), std::string(category),
+                            std::string(name), engine_.now(), engine_.now(),
+                            /*instant=*/true});
+  }
+
+  size_t size() const { return events_.size(); }
+
+  // Chrome trace-event JSON ("traceEvents" array form). Tracks become
+  // named threads of one process; timestamps are microseconds of
+  // simulated time.
+  std::string to_chrome_json() const;
+
+  // RAII span helper.
+  class Span {
+   public:
+    Span(Tracer* tracer, std::string track, std::string category,
+         std::string name)
+        : tracer_(tracer),
+          track_(std::move(track)),
+          category_(std::move(category)),
+          name_(std::move(name)),
+          start_(tracer != nullptr ? tracer->engine_.now() : 0.0) {}
+    Span(Span&& other) noexcept
+        : tracer_(std::exchange(other.tracer_, nullptr)),
+          track_(std::move(other.track_)),
+          category_(std::move(other.category_)),
+          name_(std::move(other.name_)),
+          start_(other.start_) {}
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span& operator=(Span&&) = delete;
+    ~Span() {
+      if (tracer_ != nullptr) {
+        tracer_->complete(track_, category_, name_, start_);
+      }
+    }
+
+   private:
+    Tracer* tracer_;
+    std::string track_;
+    std::string category_;
+    std::string name_;
+    double start_;
+  };
+
+  Span span(std::string track, std::string category, std::string name) {
+    return Span(this, std::move(track), std::move(category), std::move(name));
+  }
+
+ private:
+  struct Event {
+    std::string track;
+    std::string category;
+    std::string name;
+    double start;
+    double end;
+    bool instant;
+  };
+  Engine& engine_;
+  std::vector<Event> events_;
+};
+
+// Null-safe RAII helper: no tracer, no cost.
+inline Tracer::Span maybe_span(Tracer* tracer, std::string track,
+                               std::string category, std::string name) {
+  return Tracer::Span(tracer, std::move(track), std::move(category),
+                      std::move(name));
+}
+
+}  // namespace hmr::sim

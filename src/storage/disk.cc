@@ -1,0 +1,71 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+
+namespace hmr::storage {
+
+DiskSpec DiskSpec::hdd(std::string name) {
+  DiskSpec spec;
+  spec.name = std::move(name);
+  return spec;  // defaults are the HDD profile
+}
+
+DiskSpec DiskSpec::ssd(std::string name) {
+  DiskSpec spec;
+  spec.name = std::move(name);
+  // Bandwidth is per queue slot; aggregate = read_bw * queue_depth
+  // (4 x 70 MB/s = 280 MB/s read, 4 x 50 = 200 MB/s write — a 2012-era
+  // SATA-II SSD as deployed in the paper's storage nodes).
+  spec.read_bw = 70.0e6;
+  spec.write_bw = 50.0e6;
+  spec.seek_time = 0.05e-3;  // flash lookup, negligible vs HDD
+  spec.queue_depth = 4;
+  spec.chunk_bytes = 1 * 1024 * 1024;
+  return spec;
+}
+
+Disk::Disk(sim::Engine& engine, DiskSpec spec)
+    : engine_(engine),
+      spec_(std::move(spec)),
+      queue_(engine, spec_.queue_depth, spec_.name) {}
+
+sim::Task<> Disk::read(std::uint64_t bytes, std::uint64_t stream_id) {
+  co_await transfer(bytes, stream_id, /*is_write=*/false);
+}
+
+sim::Task<> Disk::write(std::uint64_t bytes, std::uint64_t stream_id) {
+  co_await transfer(bytes, stream_id, /*is_write=*/true);
+}
+
+sim::Task<> Disk::transfer(std::uint64_t bytes, std::uint64_t stream_id,
+                           bool is_write) {
+  const double bw = is_write ? spec_.write_bw : spec_.read_bw;
+  std::uint64_t left = bytes;
+  // Zero-byte ops still pay one queue pass (metadata touch).
+  do {
+    const std::uint64_t chunk = std::min(left, spec_.chunk_bytes);
+    co_await queue_.acquire();
+    double cost = double(chunk) / bw;
+    if (last_stream_ != stream_id) {
+      cost += spec_.seek_time;
+      ++seeks_;
+      last_stream_ = stream_id;
+    }
+    busy_seconds_ += cost;
+    co_await engine_.delay(cost);
+    queue_.release();
+    left -= chunk;
+  } while (left > 0);
+  if (is_write) {
+    bytes_written_ += bytes;
+  } else {
+    bytes_read_ += bytes;
+  }
+}
+
+std::uint64_t next_stream_id() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+
+}  // namespace hmr::storage

@@ -1,0 +1,171 @@
+#include "storage/localfs.h"
+
+#include <algorithm>
+
+namespace hmr::storage {
+
+LocalFS::LocalFS(sim::Engine& engine,
+                 std::vector<std::unique_ptr<Disk>> disks)
+    : engine_(engine), disks_(std::move(disks)) {
+  HMR_CHECK_MSG(!disks_.empty(), "LocalFS needs at least one disk");
+}
+
+LocalFS::File* LocalFS::find(const std::string& path) {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const LocalFS::File* LocalFS::find(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+sim::Task<Status> LocalFS::write_file(std::string path, Bytes data,
+                                      double scale) {
+  HMR_CHECK_MSG(scale >= 1.0, "scale must be >= 1");
+  File& file = files_[path];
+  if (!file.data) {
+    file.disk_index = next_disk_++ % disks_.size();
+    file.stream_id = next_stream_id();
+  }
+  const auto modeled =
+      static_cast<std::uint64_t>(double(data.size()) * scale);
+  file.data = std::make_shared<Bytes>(std::move(data));
+  file.scale = scale;
+  co_await disks_[file.disk_index]->write(modeled, file.stream_id);
+  co_return Status::Ok();
+}
+
+sim::Task<Status> LocalFS::append(std::string path,
+                                  std::span<const std::uint8_t> data) {
+  File* file = find(path);
+  if (file == nullptr) {
+    co_return Status::NotFound("append: " + path);
+  }
+  if (file->data.use_count() > 1) {
+    // Copy-on-write: readers holding views keep the old payload.
+    file->data = std::make_shared<Bytes>(*file->data);
+  }
+  file->data->insert(file->data->end(), data.begin(), data.end());
+  const auto modeled =
+      static_cast<std::uint64_t>(double(data.size()) * file->scale);
+  co_await disks_[file->disk_index]->write(modeled, file->stream_id);
+  co_return Status::Ok();
+}
+
+sim::Task<Result<FileView>> LocalFS::read_file(std::string path) {
+  File* file = find(path);
+  if (file == nullptr) {
+    co_return Result<FileView>(Status::NotFound("read: " + path));
+  }
+  FileView view{file->data, file->scale};
+  co_await disks_[file->disk_index]->read(view.modeled_size(),
+                                          file->stream_id);
+  co_return view;
+}
+
+sim::Task<Result<FileView>> LocalFS::read_range(std::string path,
+                                                std::uint64_t real_offset,
+                                                std::uint64_t real_len) {
+  File* file = find(path);
+  if (file == nullptr) {
+    co_return Result<FileView>(Status::NotFound("read_range: " + path));
+  }
+  if (real_offset + real_len > file->data->size()) {
+    co_return Result<FileView>(
+        Status::OutOfRange("read_range past EOF: " + path));
+  }
+  FileView view{file->data, file->scale};
+  const auto modeled =
+      static_cast<std::uint64_t>(double(real_len) * file->scale);
+  // Sequential-scan detection with readahead: a read continuing a
+  // previous range rides the same scan; reads inside the scan's
+  // prefetched window are page-cache hits (no disk). Fresh offsets pay
+  // the positioning cost and pull a whole readahead granule.
+  (void)modeled;
+  File::Cursor cursor;
+  if (auto it = file->range_cursors.find(real_offset);
+      it != file->range_cursors.end()) {
+    cursor = it->second;
+    file->range_cursors.erase(it);
+  } else {
+    cursor.stream_id = next_stream_id();
+    cursor.prefetched_until = real_offset;
+    if (file->range_cursors.size() >= 128) {
+      file->range_cursors.erase(file->range_cursors.begin());
+    }
+  }
+  const std::uint64_t end = real_offset + real_len;
+  if (end > cursor.prefetched_until) {
+    const auto readahead_real = std::max<std::uint64_t>(
+        real_len, std::max<std::uint64_t>(
+                      1, static_cast<std::uint64_t>(
+                             double(kReadaheadModeled) / file->scale)));
+    const std::uint64_t fetch_to = std::min<std::uint64_t>(
+        file->data->size(),
+        std::max(end, cursor.prefetched_until + readahead_real));
+    const auto fetch_modeled = static_cast<std::uint64_t>(
+        double(fetch_to - cursor.prefetched_until) * file->scale);
+    cursor.prefetched_until = fetch_to;
+    file->range_cursors.emplace(end, cursor);
+    co_await disks_[file->disk_index]->read(fetch_modeled, cursor.stream_id);
+  } else {
+    file->range_cursors.emplace(end, cursor);  // page-cache hit
+  }
+  co_return view;
+}
+
+bool LocalFS::exists(const std::string& path) const {
+  return find(path) != nullptr;
+}
+
+Result<std::uint64_t> LocalFS::real_size(const std::string& path) const {
+  const File* file = find(path);
+  if (file == nullptr) return Status::NotFound("size: " + path);
+  return std::uint64_t(file->data->size());
+}
+
+Result<std::uint64_t> LocalFS::modeled_size(const std::string& path) const {
+  const File* file = find(path);
+  if (file == nullptr) return Status::NotFound("size: " + path);
+  return static_cast<std::uint64_t>(double(file->data->size()) * file->scale);
+}
+
+Status LocalFS::remove(const std::string& path) {
+  if (files_.erase(path) == 0) return Status::NotFound("remove: " + path);
+  return Status::Ok();
+}
+
+Status LocalFS::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("rename: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> LocalFS::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.starts_with(prefix); ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Result<FileView> LocalFS::peek(const std::string& path) const {
+  const File* file = find(path);
+  if (file == nullptr) return Status::NotFound("peek: " + path);
+  return FileView{file->data, file->scale};
+}
+
+std::uint64_t LocalFS::total_modeled_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, file] : files_) {
+    total += static_cast<std::uint64_t>(double(file.data->size()) *
+                                        file.scale);
+  }
+  return total;
+}
+
+}  // namespace hmr::storage

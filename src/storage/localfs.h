@@ -1,0 +1,106 @@
+// In-memory local filesystem with simulated disk timing.
+//
+// Files carry *real* payload bytes plus a `scale` factor: timing is
+// charged for `real_bytes * scale` so a benchmark can model a 100 GB job
+// while physically moving ~100 MB (data_scale knob in DESIGN.md §2).
+// Correctness tests run at scale 1 where real == modeled.
+//
+// Multiple disks form a JBOD: each new file is assigned a disk
+// round-robin, mirroring Hadoop's mapred.local.dir striping — this is
+// what the paper's "multiple HDD per node" experiments vary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace hmr::storage {
+
+// Immutable view of a stored file's payload; holds shared ownership so a
+// reader survives concurrent deletion (as an OS fd would).
+struct FileView {
+  std::shared_ptr<const Bytes> data;
+  double scale = 1.0;
+
+  std::uint64_t real_size() const { return data ? data->size() : 0; }
+  std::uint64_t modeled_size() const {
+    return static_cast<std::uint64_t>(double(real_size()) * scale);
+  }
+};
+
+class LocalFS {
+ public:
+  // Modeled bytes each sequential scan prefetches per disk touch.
+  static constexpr std::uint64_t kReadaheadModeled = 2 * 1024 * 1024;
+
+  LocalFS(sim::Engine& engine, std::vector<std::unique_ptr<Disk>> disks);
+  LocalFS(const LocalFS&) = delete;
+  LocalFS& operator=(const LocalFS&) = delete;
+
+  // --- timed operations (sim tasks) ---
+
+  // Creates or replaces `path`, charging a sequential write of
+  // data.size()*scale bytes to the file's disk.
+  sim::Task<Status> write_file(std::string path, Bytes data,
+                               double scale = 1.0);
+  // Appends, charging a sequential write of data_len*scale.
+  sim::Task<Status> append(std::string path, std::span<const std::uint8_t> data);
+
+  // Reads the whole file (sequential charge).
+  sim::Task<Result<FileView>> read_file(std::string path);
+  // Reads [real_offset, real_offset+real_len); charges real_len*scale plus
+  // the disk's positioning cost. The returned view still exposes the whole
+  // payload; callers slice by [real_offset, real_len).
+  sim::Task<Result<FileView>> read_range(std::string path,
+                                         std::uint64_t real_offset,
+                                         std::uint64_t real_len);
+
+  // --- untimed metadata operations ---
+  bool exists(const std::string& path) const;
+  Result<std::uint64_t> real_size(const std::string& path) const;
+  Result<std::uint64_t> modeled_size(const std::string& path) const;
+  Status remove(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  std::vector<std::string> list(const std::string& prefix) const;
+  // Zero-copy peek for code that needs the payload without timing (e.g.
+  // validation at the end of a run).
+  Result<FileView> peek(const std::string& path) const;
+
+  size_t disk_count() const { return disks_.size(); }
+  Disk& disk(size_t i) { return *disks_[i]; }
+  std::uint64_t total_modeled_bytes() const;
+
+ private:
+  struct File {
+    std::shared_ptr<Bytes> data;
+    double scale = 1.0;
+    size_t disk_index = 0;
+    std::uint64_t stream_id = 0;
+    // Active sequential cursors into this file: a ranged read that starts
+    // where a previous one ended continues that scan. Each scan reads
+    // ahead in large granules (OS readahead); requests inside the
+    // prefetched window are page-cache hits and touch no disk. Keyed by
+    // next expected offset.
+    struct Cursor {
+      std::uint64_t stream_id = 0;
+      std::uint64_t prefetched_until = 0;  // real offset
+    };
+    std::map<std::uint64_t, Cursor> range_cursors;
+  };
+
+  File* find(const std::string& path);
+  const File* find(const std::string& path) const;
+
+  sim::Engine& engine_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  size_t next_disk_ = 0;
+  std::map<std::string, File> files_;
+};
+
+}  // namespace hmr::storage

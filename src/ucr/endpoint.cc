@@ -1,0 +1,381 @@
+#include "ucr/endpoint.h"
+
+#include "common/bytes.h"
+
+namespace hmr::ucr {
+namespace {
+
+// UCR wire kinds, packed into the top byte of Message::tag. Application
+// tags are therefore limited to 56 bits (plenty for protocol enums).
+enum Kind : std::uint64_t {
+  kEager = 1,
+  kRts = 2,
+  kFin = 3,       // read-mode: receiver -> sender, transfer complete
+  kClose = 4,
+  kRtr = 5,       // write-mode: receiver -> sender, buffer ready (rkey)
+  kWriteFin = 6,  // write-mode: sender -> receiver, payload landed
+};
+
+constexpr std::uint64_t kAppTagMask = (1ull << 56) - 1;
+
+std::uint64_t pack_tag(Kind kind, std::uint64_t value) {
+  HMR_CHECK_MSG((value & ~kAppTagMask) == 0, "app tag exceeds 56 bits");
+  return (std::uint64_t(kind) << 56) | value;
+}
+Kind tag_kind(std::uint64_t tag) { return Kind(tag >> 56); }
+std::uint64_t tag_value(std::uint64_t tag) { return tag & kAppTagMask; }
+
+constexpr std::uint64_t kRtsWireBytes = 64;
+constexpr std::uint64_t kFinWireBytes = 16;
+constexpr std::uint64_t kCloseWireBytes = 16;
+
+struct RtsHeader {
+  std::uint64_t seq = 0;
+  std::uint64_t app_tag = 0;
+  std::uint32_t rkey = 0;  // read mode: sender's pinned buffer; 0 in write mode
+  std::uint64_t real_len = 0;
+  std::uint64_t modeled_len = 0;
+  bool has_payload = true;
+  bool write_mode = false;
+
+  Bytes encode() const {
+    ByteWriter w;
+    w.put_u64(seq);
+    w.put_u64(app_tag);
+    w.put_u32(rkey);
+    w.put_u64(real_len);
+    w.put_u64(modeled_len);
+    w.put_u8(has_payload ? 1 : 0);
+    w.put_u8(write_mode ? 1 : 0);
+    return w.take();
+  }
+  static RtsHeader decode(const Bytes& data) {
+    ByteReader r(data);
+    RtsHeader h;
+    h.seq = r.u64().value();
+    h.app_tag = r.u64().value();
+    h.rkey = r.u32().value();
+    h.real_len = r.u64().value();
+    h.modeled_len = r.u64().value();
+    h.has_payload = r.u8().value() != 0;
+    h.write_mode = r.u8().value() != 0;
+    return h;
+  }
+};
+
+// RTR / WriteFin control bodies: {seq, rkey}.
+Bytes encode_seq_rkey(std::uint64_t seq, std::uint32_t rkey) {
+  ByteWriter w;
+  w.put_u64(seq);
+  w.put_u32(rkey);
+  return w.take();
+}
+std::pair<std::uint64_t, std::uint32_t> decode_seq_rkey(const Bytes& data) {
+  ByteReader r(data);
+  const auto seq = r.u64().value();
+  const auto rkey = r.u32().value();
+  return {seq, rkey};
+}
+
+}  // namespace
+
+Endpoint::Endpoint(Network& network, Host& host, UcrParams params)
+    : network_(network),
+      params_(params),
+      pd_(network.engine(), host),
+      send_cq_(network.engine()),
+      recv_cq_(network.engine()),
+      qp_(std::make_unique<ibv::QueuePair>(network, pd_, send_cq_, recv_cq_)),
+      send_window_(network.engine(), params.send_window, "ucr.window"),
+      send_order_(network.engine(), 1, "ucr.order"),
+      inbox_(network.engine(), 1024) {}
+
+Endpoint::~Endpoint() {
+  send_cq_.shutdown();
+  recv_cq_.shutdown();
+}
+
+void Endpoint::establish(Endpoint& a, Endpoint& b) {
+  HMR_CHECK(ibv::QueuePair::connect(*a.qp_, *b.qp_).ok());
+  a.start_daemons();
+  b.start_daemons();
+}
+
+void Endpoint::start_daemons() {
+  // Pre-post receive credits: enough for the peer's full send window plus
+  // control traffic.
+  for (std::int64_t i = 0; i < params_.send_window * 2 + 4; ++i) {
+    HMR_CHECK(qp_->post_recv({next_recv_wr_++}).ok());
+  }
+  network_.engine().spawn(demux_loop());
+  network_.engine().spawn(recv_loop());
+}
+
+sim::Task<ibv::Completion> Endpoint::await_wr(std::uint64_t wr_id) {
+  auto pending = std::make_shared<PendingWr>(network_.engine());
+  pending_.emplace(wr_id, pending);
+  co_await pending->done.wait();
+  co_return pending->completion;
+}
+
+sim::Task<> Endpoint::demux_loop() {
+  while (auto wc = co_await send_cq_.wait_opt()) {
+    auto it = pending_.find(wc->wr_id);
+    if (it == pending_.end()) continue;  // fire-and-forget WR (CLOSE)
+    it->second->completion = std::move(*wc);
+    it->second->done.set();
+    pending_.erase(it);
+  }
+}
+
+sim::Task<> Endpoint::recv_loop() {
+  while (auto wc = co_await recv_cq_.wait_opt()) {
+    if (qp_->state() == ibv::QpState::kRts) {
+      HMR_CHECK(qp_->post_recv({next_recv_wr_++}).ok());  // replenish credit
+    }
+    const Kind kind = tag_kind(wc->message.tag);
+    switch (kind) {
+      case kEager: {
+        Message app = std::move(wc->message);
+        app.tag = tag_value(app.tag);
+        // Receive-side bounce-buffer copy-out.
+        co_await network_.engine().delay(double(app.modeled_bytes) /
+                                         params_.copy_bw);
+        co_await inbox_.send(std::move(app));
+        break;
+      }
+      case kRts:
+        co_await handle_rts(wc->message);
+        break;
+      case kRtr:
+        co_await handle_rtr(wc->message);
+        break;
+      case kWriteFin: {
+        // Write-mode completion: the sender's RDMA WRITE has landed in the
+        // buffer we advertised; deliver it.
+        const auto [seq, rkey] = decode_seq_rkey(*wc->message.payload);
+        auto it = advertised_.find(seq);
+        HMR_CHECK_MSG(it != advertised_.end(), "WriteFin for unknown seq");
+        const auto* mr = pd_.find(rkey);
+        HMR_CHECK(mr != nullptr);
+        Message app;
+        app.tag = it->second.app_tag;
+        app.modeled_bytes = it->second.modeled;
+        if (it->second.has_payload) app.payload = mr->spec().buffer;
+        advertised_.erase(it);
+        co_await inbox_.send(std::move(app));
+        HMR_CHECK(pd_.deregister(rkey).ok());
+        break;
+      }
+      case kFin: {
+        auto it = awaiting_fin_.find(tag_value(wc->message.tag));
+        HMR_CHECK_MSG(it != awaiting_fin_.end(), "FIN for unknown rendezvous");
+        it->second->done.set();
+        awaiting_fin_.erase(it);
+        break;
+      }
+      case kClose:
+        inbox_.close();
+        co_return;
+    }
+  }
+}
+
+sim::Task<> Endpoint::handle_rts(const Message& ctrl) {
+  HMR_CHECK(ctrl.payload != nullptr);
+  const RtsHeader header = RtsHeader::decode(*ctrl.payload);
+
+  if (header.write_mode) {
+    // Put-based rendezvous: pin a receive buffer and tell the sender
+    // where to write.
+    auto buffer = std::make_shared<Bytes>(header.real_len);
+    const double scale =
+        double(header.modeled_len) / double(std::max<std::uint64_t>(
+                                         1, header.real_len));
+    ibv::MemoryRegionSpec spec{buffer, scale};
+    auto* mr = co_await pd_.register_memory(std::move(spec));
+    advertised_[header.seq] = PostedRecvBuffer{
+        mr->rkey(), header.app_tag, header.modeled_len, header.has_payload};
+    auto body = std::make_shared<const Bytes>(
+        encode_seq_rkey(header.seq, mr->rkey()));
+    Message rtr = Message::share(std::move(body), kFinWireBytes,
+                                 pack_tag(kRtr, 0));
+    HMR_CHECK(qp_->post_send({.wr_id = 0, .message = std::move(rtr)}).ok());
+    co_return;
+  }
+
+  const std::uint64_t wr = next_wr_++;
+  auto wait = await_wr(wr);
+  HMR_CHECK(qp_->post_rdma_read({.wr_id = wr,
+                                 .remote_rkey = header.rkey,
+                                 .real_offset = 0,
+                                 .real_len = header.real_len})
+                .ok());
+  auto wc = co_await std::move(wait);
+  HMR_CHECK_MSG(wc.status == ibv::WcStatus::kSuccess,
+                "rendezvous RDMA read failed");
+
+  Message app;
+  app.tag = header.app_tag;
+  app.modeled_bytes = header.modeled_len;
+  if (header.has_payload) app.payload = wc.message.payload;
+  co_await inbox_.send(std::move(app));
+
+  HMR_CHECK(
+      qp_->post_send({.wr_id = 0,  // fire and forget
+                      .message = Message::control(pack_tag(kFin, header.seq),
+                                                  kFinWireBytes)})
+          .ok());
+}
+
+sim::Task<> Endpoint::handle_rtr(const Message& ctrl) {
+  const auto [seq, rkey] = decode_seq_rkey(*ctrl.payload);
+  auto it = awaiting_rtr_.find(seq);
+  HMR_CHECK_MSG(it != awaiting_rtr_.end(), "RTR for unknown rendezvous");
+  PendingPut put = std::move(it->second);
+  awaiting_rtr_.erase(it);
+
+  const std::uint64_t wr = next_wr_++;
+  auto wait = await_wr(wr);
+  const double scale = double(put.modeled) /
+                       double(std::max<size_t>(1, put.buffer->size()));
+  Message payload = Message::share(
+      std::shared_ptr<const Bytes>(put.buffer), put.modeled, 0);
+  HMR_CHECK(qp_->post_rdma_write(
+                  {.wr_id = wr, .remote_rkey = rkey,
+                   .message = std::move(payload)})
+                .ok());
+  (void)scale;
+  auto wc = co_await std::move(wait);
+  HMR_CHECK_MSG(wc.status == ibv::WcStatus::kSuccess,
+                "rendezvous RDMA write failed");
+  auto body = std::make_shared<const Bytes>(encode_seq_rkey(seq, rkey));
+  Message fin = Message::share(std::move(body), kFinWireBytes,
+                               pack_tag(kWriteFin, 0));
+  HMR_CHECK(qp_->post_send({.wr_id = 0, .message = std::move(fin)}).ok());
+
+  // Unblock the local send().
+  auto fin_it = awaiting_fin_.find(seq);
+  HMR_CHECK(fin_it != awaiting_fin_.end());
+  fin_it->second->done.set();
+  awaiting_fin_.erase(fin_it);
+}
+
+sim::Task<> Endpoint::send(Message msg) {
+  HMR_CHECK_MSG(!closed_, "send on closed UCR endpoint");
+  auto order = co_await sim::hold(send_order_);
+  auto window = co_await sim::hold(send_window_);
+
+  if (msg.modeled_bytes <= params_.eager_threshold) {
+    ++eager_sends_;
+    // Copy into a pre-registered bounce buffer.
+    co_await network_.engine().delay(double(msg.modeled_bytes) /
+                                     params_.copy_bw);
+    const std::uint64_t wr = next_wr_++;
+    Message wire = std::move(msg);
+    wire.tag = pack_tag(kEager, wire.tag);
+    auto wait = await_wr(wr);
+    HMR_CHECK(qp_->post_send({.wr_id = wr, .message = std::move(wire)}).ok());
+    (void)co_await std::move(wait);
+    co_return;
+  }
+
+  ++rendezvous_sends_;
+  RtsHeader header;
+  header.seq = next_rzv_seq_++;
+  header.app_tag = msg.tag;
+  header.has_payload = msg.payload != nullptr;
+  auto buffer = msg.payload
+                    ? std::make_shared<Bytes>(*msg.payload)
+                    : std::make_shared<Bytes>(1);
+
+  if (params_.rendezvous == RendezvousMode::kWrite) {
+    // Put-based: advertise the transfer, park the payload until the RTR
+    // brings the receiver's rkey, then handle_rtr RDMA-writes it.
+    header.write_mode = true;
+    header.real_len = buffer->size();
+    header.modeled_len = msg.modeled_bytes;
+    awaiting_rtr_[header.seq] = PendingPut{buffer, msg.modeled_bytes};
+    auto fin = std::make_shared<PendingFin>(network_.engine());
+    awaiting_fin_.emplace(header.seq, fin);
+    const std::uint64_t wr = next_wr_++;
+    auto wait = await_wr(wr);
+    auto rts_payload = std::make_shared<const Bytes>(header.encode());
+    Message rts = Message::share(std::move(rts_payload), kRtsWireBytes,
+                                 pack_tag(kRts, 0));
+    HMR_CHECK(qp_->post_send({.wr_id = wr, .message = std::move(rts)}).ok());
+    (void)co_await std::move(wait);
+    co_await fin->done.wait();
+    co_return;
+  }
+
+  // Get-based (default): pin the payload, advertise it, wait for the
+  // peer to RDMA-read it and FIN.
+  const double scale = double(msg.modeled_bytes) / double(buffer->size());
+  // Named local: GCC 12 miscompiles aggregate construction inside
+  // co_await operands (see net/socket.cc connect()).
+  ibv::MemoryRegionSpec mr_spec{buffer, scale};
+  auto* mr = co_await pd_.register_memory(std::move(mr_spec));
+  header.rkey = mr->rkey();
+  header.real_len = buffer->size();
+  header.modeled_len = msg.modeled_bytes;
+
+  auto fin = std::make_shared<PendingFin>(network_.engine());
+  awaiting_fin_.emplace(header.seq, fin);
+
+  const std::uint64_t wr = next_wr_++;
+  auto wait = await_wr(wr);
+  auto rts_payload = std::make_shared<const Bytes>(header.encode());
+  Message rts = Message::share(std::move(rts_payload), kRtsWireBytes,
+                               pack_tag(kRts, 0));
+  HMR_CHECK(qp_->post_send({.wr_id = wr, .message = std::move(rts)}).ok());
+  (void)co_await std::move(wait);
+  co_await fin->done.wait();
+  HMR_CHECK(pd_.deregister(mr->rkey()).ok());
+}
+
+sim::Task<std::optional<Message>> Endpoint::recv() {
+  co_return co_await inbox_.recv();
+}
+
+void Endpoint::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (qp_->state() == ibv::QpState::kRts) {
+    HMR_CHECK(qp_->post_send({.wr_id = 0,
+                              .message = Message::control(
+                                  pack_tag(kClose, 0), kCloseWireBytes)})
+                  .ok());
+  }
+}
+
+Listener::Listener(Network& network, Host& host, UcrParams params)
+    : network_(network), host_(host), params_(params),
+      pending_(network.engine(), 128) {}
+
+sim::Task<std::unique_ptr<Endpoint>> Listener::accept() {
+  auto conn = co_await pending_.recv();
+  if (!conn) co_return nullptr;
+  auto server = std::unique_ptr<Endpoint>(
+      new Endpoint(network_, host_, params_));
+  Endpoint::establish(*conn->client, *server);
+  co_await network_.engine().delay(params_.setup_time);
+  co_await network_.transmit(host_, conn->client->local_host(), 0);
+  conn->established->set();
+  co_return server;
+}
+
+sim::Task<std::unique_ptr<Endpoint>> connect(Network& network, Host& from,
+                                             Listener& listener,
+                                             UcrParams params) {
+  auto client = std::unique_ptr<Endpoint>(new Endpoint(network, from, params));
+  sim::Event established(network.engine());
+  co_await network.transmit(from, listener.host(), 0);  // connection request
+  Listener::PendingConn pending_conn{client.get(), &established};
+  co_await listener.pending_.send(pending_conn);
+  co_await established.wait();
+  co_await network.engine().delay(params.setup_time);
+  co_return client;
+}
+
+}  // namespace hmr::ucr

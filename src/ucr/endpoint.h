@@ -1,0 +1,158 @@
+// UCR-lite: the Unified Communication Runtime the paper layers its
+// shuffle on (§II-D). Gives Java-socket-like *endpoints* over the verbs
+// layer:
+//
+//  * eager protocol for small messages (bounce-buffer copy + SEND/RECV),
+//  * rendezvous for large ones (sender registers, sends RTS; receiver
+//    RDMA-reads the payload zero-copy, then FINs),
+//  * credit-based flow control (bounded outstanding sends),
+//  * in-order delivery per endpoint,
+//  * connection establishment through a Listener (RDMA-CM equivalent).
+//
+// The TaskTracker-side RDMAListener and the ReduceTask-side RDMACopier
+// in src/rdmashuffle are written directly against this API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "net/ibfab.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/channel.h"
+#include "sim/sync.h"
+
+namespace hmr::ucr {
+
+using net::Host;
+using net::Message;
+using net::Network;
+
+// Large-message protocol: the receiver pulls with RDMA READ (default,
+// MVAPICH-style), or the receiver advertises a buffer and the sender
+// pushes with RDMA WRITE (RTR/put-based rendezvous).
+enum class RendezvousMode { kRead, kWrite };
+
+struct UcrParams {
+  std::uint64_t eager_threshold = 16 * 1024;  // modeled bytes
+  std::int64_t send_window = 16;              // outstanding sends
+  double copy_bw = 6.0e9;     // bounce-buffer memcpy bytes/sec
+  double setup_time = 120e-6; // QP allocation + transition on connect
+  RendezvousMode rendezvous = RendezvousMode::kRead;
+};
+
+class Listener;
+
+class Endpoint {
+ public:
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  // Completes when the message is delivered to the peer's reorder buffer
+  // (eager) or fully RDMA-read by the peer (rendezvous).
+  sim::Task<> send(Message msg);
+  // Next application message, or nullopt after the peer closed.
+  sim::Task<std::optional<Message>> recv();
+  // Sends a CLOSE control message; idempotent.
+  void close();
+
+  Host& local_host() { return qp_->local_host(); }
+  Host& remote_host() { return qp_->remote_host(); }
+  const UcrParams& params() const { return params_; }
+  std::uint64_t eager_sends() const { return eager_sends_; }
+  std::uint64_t rendezvous_sends() const { return rendezvous_sends_; }
+
+ private:
+  friend class Listener;
+  friend sim::Task<std::unique_ptr<Endpoint>> connect(Network& network,
+                                                      Host& from,
+                                                      Listener& listener,
+                                                      UcrParams params);
+
+  Endpoint(Network& network, Host& host, UcrParams params);
+  // Wires two endpoints' QPs together and starts their daemons.
+  static void establish(Endpoint& a, Endpoint& b);
+  void start_daemons();
+
+  sim::Task<> demux_loop();
+  sim::Task<> recv_loop();
+  sim::Task<ibv::Completion> await_wr(std::uint64_t wr_id);
+  sim::Task<> handle_rts(const Message& ctrl);
+  sim::Task<> handle_rtr(const Message& ctrl);
+
+  Network& network_;
+  UcrParams params_;
+  ibv::ProtectionDomain pd_;
+  ibv::CompletionQueue send_cq_;
+  ibv::CompletionQueue recv_cq_;
+  std::unique_ptr<ibv::QueuePair> qp_;
+  sim::Resource send_window_;
+  sim::Resource send_order_;  // app-level FIFO across eager/rendezvous
+  sim::Channel<Message> inbox_;
+  std::uint64_t next_wr_ = 1;
+  std::uint64_t next_recv_wr_ = 1'000'000'000ull;
+
+  struct PendingWr {
+    explicit PendingWr(sim::Engine& engine) : done(engine) {}
+    sim::Event done;
+    ibv::Completion completion;
+  };
+  std::map<std::uint64_t, std::shared_ptr<PendingWr>> pending_;
+  struct PendingFin {
+    explicit PendingFin(sim::Engine& engine) : done(engine) {}
+    sim::Event done;
+  };
+  std::map<std::uint64_t, std::shared_ptr<PendingFin>> awaiting_fin_;
+  // Write-mode rendezvous: sender-side payloads parked until the RTR
+  // arrives with the receiver's buffer rkey.
+  struct PendingPut {
+    std::shared_ptr<Bytes> buffer;
+    std::uint64_t modeled = 0;
+  };
+  std::map<std::uint64_t, PendingPut> awaiting_rtr_;
+  // Receiver-side advertised buffers awaiting the sender's write.
+  struct PostedRecvBuffer {
+    std::uint32_t rkey = 0;
+    std::uint64_t app_tag = 0;
+    std::uint64_t modeled = 0;
+    bool has_payload = true;
+  };
+  std::map<std::uint64_t, PostedRecvBuffer> advertised_;
+  std::uint64_t next_rzv_seq_ = 1;
+  bool closed_ = false;
+  std::uint64_t eager_sends_ = 0;
+  std::uint64_t rendezvous_sends_ = 0;
+};
+
+class Listener {
+ public:
+  Listener(Network& network, Host& host, UcrParams params = {});
+
+  sim::Task<std::unique_ptr<Endpoint>> accept();
+  void close() { pending_.close(); }
+  Host& host() { return host_; }
+
+ private:
+  friend sim::Task<std::unique_ptr<Endpoint>> connect(Network& network,
+                                                      Host& from,
+                                                      Listener& listener,
+                                                      UcrParams params);
+  struct PendingConn {
+    Endpoint* client;
+    sim::Event* established;
+  };
+  Network& network_;
+  Host& host_;
+  UcrParams params_;
+  sim::Channel<PendingConn> pending_;
+};
+
+// Client-side connect: one control RTT plus QP setup on both ends.
+sim::Task<std::unique_ptr<Endpoint>> connect(Network& network, Host& from,
+                                             Listener& listener,
+                                             UcrParams params = {});
+
+}  // namespace hmr::ucr

@@ -1,0 +1,168 @@
+#include "workloads/datagen.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "common/crc32.h"
+#include "dataplane/kv.h"
+#include "sim/sync.h"
+
+namespace hmr::workloads {
+namespace {
+
+using dataplane::KvPair;
+
+void fill_random(Bytes& out, size_t n, Rng& rng) {
+  out.resize(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    const std::uint64_t word = rng.next();
+    std::memcpy(out.data() + i, &word, 8);
+    i += 8;
+  }
+  for (; i < n; ++i) out[i] = std::uint8_t(rng.below(256));
+}
+
+// Record generator: fills `pair` and returns its serialized size.
+using RecordGen = std::function<std::uint64_t(Rng&, KvPair&)>;
+
+sim::Task<Result<DatasetDigest>> generate(hdfs::MiniDfs& dfs,
+                                          net::Cluster& cluster,
+                                          std::vector<int> writer_hosts,
+                                          DataGenSpec spec,
+                                          RecordGen gen) {
+  HMR_CHECK_MSG(!writer_hosts.empty(), "datagen needs writer hosts");
+  HMR_CHECK_MSG(spec.part_modeled > 0 && spec.modeled_total > 0,
+                "datagen sizes must be positive");
+  const std::uint64_t parts =
+      (spec.modeled_total + spec.part_modeled - 1) / spec.part_modeled;
+  const auto part_real = std::max<std::uint64_t>(
+      110, static_cast<std::uint64_t>(double(spec.part_modeled) / spec.scale));
+
+  auto digests = std::make_shared<std::vector<DatasetDigest>>(parts);
+  auto failures = std::make_shared<int>(0);
+  sim::WaitGroup writers(cluster.engine());
+  for (std::uint64_t p = 0; p < parts; ++p) {
+    writers.add();
+    net::Host& writer =
+        cluster.host(writer_hosts[p % writer_hosts.size()]);
+    cluster.engine().spawn(
+        [](hdfs::MiniDfs& dfs, net::Host& writer, DataGenSpec spec,
+           RecordGen gen, std::uint64_t part, std::uint64_t part_real,
+           std::shared_ptr<std::vector<DatasetDigest>> digests,
+           std::shared_ptr<int> failures,
+           sim::WaitGroup& done) -> sim::Task<> {
+          Rng rng(spec.seed + part, "datagen");
+          ByteWriter writer_buf;
+          DatasetDigest digest;
+          KvPair pair;
+          while (true) {
+            const auto record_size = gen(rng, pair);
+            // Never cross the part boundary: a part must stay a single
+            // HDFS block so records never straddle splits.
+            if (writer_buf.size() > 0 &&
+                writer_buf.size() + record_size > part_real) {
+              break;
+            }
+            digest.fold(pair.key, pair.value);
+            dataplane::encode_kv(pair, writer_buf);
+            if (writer_buf.size() >= part_real) break;
+          }
+          char name[32];
+          std::snprintf(name, sizeof name, "part-%05llu",
+                        static_cast<unsigned long long>(part));
+          const Status st = co_await dfs.write(
+              writer, spec.dir + "/" + name, writer_buf.take(), spec.scale);
+          if (!st.ok()) {
+            ++*failures;
+          } else {
+            (*digests)[part] = digest;
+          }
+          done.done();
+        }(dfs, writer, spec, gen, p, part_real, digests, failures, writers));
+  }
+  co_await writers.wait();
+  if (*failures > 0) {
+    co_return Result<DatasetDigest>(
+        Status::Internal("datagen: part writes failed"));
+  }
+  DatasetDigest total;
+  for (const auto& digest : *digests) {
+    total.records += digest.records;
+    total.checksum ^= digest.checksum;
+  }
+  co_return total;
+}
+
+}  // namespace
+
+void DatasetDigest::fold(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> value) {
+  ++records;
+  const std::uint32_t crc = crc32c(value, crc32c(key));
+  // Spread the 32-bit CRC over 64 bits so xor collisions stay unlikely.
+  checksum ^= (std::uint64_t(crc) << 32) | (std::uint64_t(crc) * 0x9e3779b9u);
+}
+
+sim::Task<Result<DatasetDigest>> teragen(hdfs::MiniDfs& dfs,
+                                         net::Cluster& cluster,
+                                         std::vector<int> writer_hosts,
+                                         DataGenSpec spec) {
+  co_return co_await generate(
+      dfs, cluster, std::move(writer_hosts), spec,
+      [](Rng& rng, KvPair& pair) -> std::uint64_t {
+        fill_random(pair.key, 10, rng);
+        fill_random(pair.value, 90, rng);
+        return pair.serialized_size();
+      });
+}
+
+sim::Task<Result<DatasetDigest>> random_writer(hdfs::MiniDfs& dfs,
+                                               net::Cluster& cluster,
+                                               std::vector<int> writer_hosts,
+                                               DataGenSpec spec) {
+  // "the combined length of key-value pairs can be as large as 20,000
+  // bytes" (§IV-C). Real record bytes are paper bytes x inflation/scale,
+  // so each record models paper_size x inflation.
+  const double shrink = spec.record_inflation / spec.scale;
+  co_return co_await generate(
+      dfs, cluster, std::move(writer_hosts), spec,
+      [shrink](Rng& rng, KvPair& pair) -> std::uint64_t {
+        const auto key_paper = 10 + rng.below(981);
+        const auto value_paper = rng.below(19001);
+        fill_random(pair.key,
+                    std::max<size_t>(2, size_t(double(key_paper) * shrink)),
+                    rng);
+        fill_random(pair.value, size_t(double(value_paper) * shrink), rng);
+        return pair.serialized_size();
+      });
+}
+
+sim::Task<Result<DatasetDigest>> textgen(hdfs::MiniDfs& dfs,
+                                         net::Cluster& cluster,
+                                         std::vector<int> writer_hosts,
+                                         DataGenSpec spec) {
+  static constexpr const char* kVocabulary[] = {
+      "the",  "quick",   "brown", "fox",   "jumps", "over",
+      "lazy", "dog",     "data",  "node",  "track", "merge",
+      "sort", "shuffle", "rdma",  "verbs", "queue", "pair"};
+  co_return co_await generate(
+      dfs, cluster, std::move(writer_hosts), spec,
+      [](Rng& rng, KvPair& pair) -> std::uint64_t {
+        Bytes key(8);
+        const std::uint64_t line = rng.next();
+        std::memcpy(key.data(), &line, 8);
+        std::string text;
+        const int words = 8 + int(rng.below(9));
+        for (int w = 0; w < words; ++w) {
+          if (w) text += ' ';
+          text += kVocabulary[rng.below(std::size(kVocabulary))];
+        }
+        pair.key = std::move(key);
+        pair.value.assign(text.begin(), text.end());
+        return pair.serialized_size();
+      });
+}
+
+}  // namespace hmr::workloads

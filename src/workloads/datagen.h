@@ -1,0 +1,60 @@
+// Input generators: TeraGen (fixed 100-byte rows, §II-A1) and
+// RandomWriter (variable-size records up to ~20,000 bytes combined,
+// §II-A2 / §IV-C). Both write one single-block part file per map split,
+// so the HDFS block size directly sets the number of map tasks — the
+// knob the paper tunes per engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdfs/hdfs.h"
+#include "net/cluster.h"
+
+namespace hmr::workloads {
+
+// Order-independent content digest used by the validators.
+struct DatasetDigest {
+  std::uint64_t records = 0;
+  std::uint64_t checksum = 0;  // xor of per-record CRC-32Cs
+
+  void fold(std::span<const std::uint8_t> key,
+            std::span<const std::uint8_t> value);
+  bool operator==(const DatasetDigest&) const = default;
+};
+
+struct DataGenSpec {
+  std::string dir;                   // HDFS directory for part files
+  std::uint64_t modeled_total = 0;   // the "sort size" in the figures
+  std::uint64_t part_modeled = 0;    // bytes per part (= HDFS block size)
+  double scale = 1.0;                // modeled bytes per real byte
+  // Record inflation: each generated record *models* `record_inflation`x
+  // the paper's record size (so the record count shrinks by the same
+  // factor and stays simulable). TeraGen generates fixed 100-byte real
+  // rows and is unaffected; RandomWriter sizes records so that
+  // modeled_record = paper_record x record_inflation.
+  double record_inflation = 1.0;
+  std::uint64_t seed = 1;
+};
+
+// TeraGen: 10-byte uniform keys, 90-byte values (100-byte rows).
+sim::Task<Result<DatasetDigest>> teragen(hdfs::MiniDfs& dfs,
+                                         net::Cluster& cluster,
+                                         std::vector<int> writer_hosts,
+                                         DataGenSpec spec);
+
+// RandomWriter: keys 10..990 bytes, values 0..19000 bytes.
+sim::Task<Result<DatasetDigest>> random_writer(hdfs::MiniDfs& dfs,
+                                               net::Cluster& cluster,
+                                               std::vector<int> writer_hosts,
+                                               DataGenSpec spec);
+
+// Text-ish generator for WordCount examples: values are space-separated
+// words drawn from a small vocabulary.
+sim::Task<Result<DatasetDigest>> textgen(hdfs::MiniDfs& dfs,
+                                         net::Cluster& cluster,
+                                         std::vector<int> writer_hosts,
+                                         DataGenSpec spec);
+
+}  // namespace hmr::workloads

@@ -1,0 +1,125 @@
+#include "workloads/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hmr::workloads {
+
+EngineSetup EngineSetup::one_gige() {
+  return {"1GigE", "vanilla", net::NetProfile::one_gige(), {}};
+}
+EngineSetup EngineSetup::ten_gige() {
+  return {"10GigE", "vanilla", net::NetProfile::ten_gige(), {}};
+}
+EngineSetup EngineSetup::ipoib() {
+  return {"IPoIB (32Gbps)", "vanilla", net::NetProfile::ipoib_qdr(), {}};
+}
+EngineSetup EngineSetup::hadoop_a() {
+  EngineSetup setup{"HadoopA-IB (32Gbps)", "hadoop-a",
+                    net::NetProfile::verbs_qdr(), {}};
+  return setup;
+}
+EngineSetup EngineSetup::osu_ib() {
+  EngineSetup setup{"OSU-IB (32Gbps)", "osu-ib", net::NetProfile::verbs_qdr(),
+                    {}};
+  return setup;
+}
+EngineSetup EngineSetup::osu_ib_nocache() {
+  EngineSetup setup = osu_ib();
+  setup.label = "OSU-IB (no caching)";
+  setup.extra.set_bool(mapred::kCachingEnabled, false);
+  return setup;
+}
+
+RunOutcome run_experiment(const RunConfig& config) {
+  HMR_CHECK_MSG(config.sort_modeled_bytes > 0, "sort size required");
+  const bool terasort = config.workload == "terasort";
+  HMR_CHECK_MSG(terasort || config.workload == "sort",
+                "unknown workload: " + config.workload);
+
+  // Paper block sizes (§IV-B/C): TeraSort 256 MB (128 MB for Hadoop-A),
+  // Sort 64 MB for every engine.
+  std::uint64_t block = config.block_size;
+  if (block == 0) {
+    if (terasort) {
+      block = config.setup.engine == "hadoop-a" ? 128 * kMiB : 256 * kMiB;
+    } else {
+      block = 64 * kMiB;
+    }
+  }
+
+  TestbedSpec bed_spec;
+  bed_spec.nodes = config.nodes;
+  bed_spec.disks_per_node = config.disks;
+  bed_spec.ssd = config.ssd;
+  bed_spec.profile = config.setup.profile;
+  bed_spec.hdfs.block_size = block;
+  bed_spec.seed = config.seed;
+  Testbed bed(bed_spec);
+
+  const double scale = std::max(
+      1.0, double(config.sort_modeled_bytes) / double(config.target_real_bytes));
+  DataGenSpec gen;
+  gen.dir = "/bench/in";
+  gen.modeled_total = config.sort_modeled_bytes;
+  gen.part_modeled = block;
+  gen.scale = scale;
+  gen.seed = config.seed;
+  // Sort carries records ~1/32nd of the paper's real sizes so record
+  // counts stay simulable while packet mechanics (fixed kv count vs byte
+  // budget, §IV-C) keep their real proportions.
+  if (!terasort) gen.record_inflation = std::max(1.0, scale / 32.0);
+  auto digest =
+      bed.generate(terasort ? "teragen" : "randomwriter", gen);
+  HMR_CHECK_MSG(digest.ok(), "input generation failed");
+
+  Conf conf = config.setup.extra;
+  conf.set(mapred::kShuffleEngine, config.setup.engine);
+  conf.set_double(mapred::kKvInflation,
+                  terasort ? scale : gen.record_inflation);
+  conf.set_bytes(mapred::kMaxRecordBytes,
+                 terasort ? std::uint64_t(102.0 * scale)
+                          : std::uint64_t(20010.0 * gen.record_inflation));
+  mapred::JobSpec job =
+      terasort ? terasort_job(bed.dfs(), gen.dir, "/bench/out", conf)
+               : sort_job(bed.dfs(), gen.dir, "/bench/out", conf);
+
+  RunOutcome outcome;
+  outcome.job = bed.run_job(std::move(job));
+
+  if (config.validate) {
+    auto report = validate_output(bed.dfs(), "/bench/out");
+    HMR_CHECK_MSG(report.ok(), "output missing after job");
+    const bool ok = terasort ? report->valid_terasort(*digest)
+                             : report->valid_sort(*digest);
+    HMR_CHECK_MSG(ok, "output validation FAILED for " + config.setup.label);
+    outcome.validated = true;
+  }
+  return outcome;
+}
+
+Table figure_table(const std::string& size_header,
+                   const std::vector<std::uint64_t>& sizes,
+                   const std::vector<EngineSetup>& setups,
+                   const std::function<RunConfig(std::uint64_t,
+                                                 const EngineSetup&)>& make) {
+  std::vector<std::string> headers{size_header};
+  for (const auto& setup : setups) headers.push_back(setup.label);
+  Table table(std::move(headers));
+  for (const auto size : sizes) {
+    std::vector<std::string> row{std::to_string(size / kGiB)};
+    for (const auto& setup : setups) {
+      const RunOutcome outcome = run_experiment(make(size, setup));
+      row.push_back(Table::num(outcome.seconds(), 1));
+      std::fprintf(stderr, "  [%s %lluGB] %s: %.1fs\n", size_header.c_str(),
+                   static_cast<unsigned long long>(size / kGiB),
+                   setup.label.c_str(), outcome.seconds());
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace hmr::workloads

@@ -1,0 +1,64 @@
+// Experiment runner for the paper's figures: builds a Testbed per
+// configuration, generates input, runs the job, validates the output,
+// and returns the job execution time the figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "workloads/testbed.h"
+
+namespace hmr::workloads {
+
+// One plotted series: which engine over which fabric, with the per-engine
+// optimal settings the paper reports (block size, packet knobs).
+struct EngineSetup {
+  std::string label;        // legend text, e.g. "OSU-IB (32Gbps)"
+  std::string engine;       // "vanilla" | "osu-ib" | "hadoop-a"
+  net::NetProfile profile;  // fabric the series runs on
+  Conf extra;               // engine-specific conf overrides
+
+  static EngineSetup one_gige();
+  static EngineSetup ten_gige();
+  static EngineSetup ipoib();
+  static EngineSetup hadoop_a();
+  static EngineSetup osu_ib();
+  static EngineSetup osu_ib_nocache();
+};
+
+struct RunConfig {
+  EngineSetup setup;
+  std::string workload = "terasort";  // "terasort" | "sort"
+  std::uint64_t sort_modeled_bytes = 0;
+  int nodes = 4;
+  int disks = 1;
+  bool ssd = false;
+  std::uint64_t block_size = 0;  // 0 = per-workload paper default
+  // Real payload carried through the simulation (DESIGN.md §2). Timing is
+  // charged for sort_modeled_bytes regardless.
+  std::uint64_t target_real_bytes = 16 * 1024 * 1024;
+  std::uint64_t seed = 1;
+  bool validate = true;
+};
+
+struct RunOutcome {
+  mapred::JobResult job;
+  bool validated = false;
+  double seconds() const { return job.elapsed(); }
+};
+
+// Runs one full experiment (generate -> job -> validate). Aborts on
+// validation failure: a shuffle engine that loses or disorders data must
+// never produce a "result".
+RunOutcome run_experiment(const RunConfig& config);
+
+// Helper used by every figure bench: rows = sort sizes, columns = one
+// per engine setup.
+Table figure_table(const std::string& size_header,
+                   const std::vector<std::uint64_t>& sizes,
+                   const std::vector<EngineSetup>& setups,
+                   const std::function<RunConfig(std::uint64_t,
+                                                 const EngineSetup&)>& make);
+
+}  // namespace hmr::workloads

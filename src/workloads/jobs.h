@@ -1,0 +1,47 @@
+// Benchmark job builders (TeraSort, Sort, WordCount) and output
+// validators (TeraValidate and the per-part Sort check).
+#pragma once
+
+#include <string>
+
+#include "hdfs/hdfs.h"
+#include "mapred/types.h"
+#include "workloads/datagen.h"
+
+namespace hmr::workloads {
+
+// TeraSort: identity map/reduce over a RangePartitioner, so the
+// concatenation of part files is globally sorted.
+mapred::JobSpec terasort_job(hdfs::MiniDfs& dfs, const std::string& input_dir,
+                             const std::string& output_dir, Conf conf);
+
+// Sort: identity map/reduce over the default HashPartitioner (output
+// sorted within each part only), like the Hadoop Sort example.
+mapred::JobSpec sort_job(hdfs::MiniDfs& dfs, const std::string& input_dir,
+                         const std::string& output_dir, Conf conf);
+
+// WordCount over textgen input: map splits values into words, reduce
+// sums counts.
+mapred::JobSpec wordcount_job(hdfs::MiniDfs& dfs,
+                              const std::string& input_dir,
+                              const std::string& output_dir, Conf conf);
+
+struct ValidationReport {
+  bool per_part_sorted = false;
+  bool globally_sorted = false;  // meaningful for TeraSort outputs
+  DatasetDigest digest;
+
+  bool valid_terasort(const DatasetDigest& input) const {
+    return per_part_sorted && globally_sorted && digest == input;
+  }
+  bool valid_sort(const DatasetDigest& input) const {
+    return per_part_sorted && digest == input;
+  }
+};
+
+// TeraValidate: checks order and content of `output_dir`'s part files
+// (untimed; operates on the real payloads).
+Result<ValidationReport> validate_output(hdfs::MiniDfs& dfs,
+                                         const std::string& output_dir);
+
+}  // namespace hmr::workloads

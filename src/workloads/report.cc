@@ -1,0 +1,73 @@
+#include "workloads/report.h"
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+
+namespace hmr::workloads {
+
+std::string utilization_report(Testbed& bed) {
+  const double horizon = bed.engine().now();
+  Table table({"Host", "Disk", "Busy", "Read", "Written", "Seeks"});
+  for (size_t h = 0; h < bed.cluster().size(); ++h) {
+    auto& host = bed.cluster().host(h);
+    for (size_t d = 0; d < host.fs().disk_count(); ++d) {
+      auto& disk = host.fs().disk(d);
+      const double busy =
+          horizon > 0 ? disk.busy_seconds() / horizon * 100.0 : 0.0;
+      table.add_row({host.name(), disk.spec().name,
+                     Table::num(busy, 1) + "%",
+                     format_bytes(disk.bytes_read()),
+                     format_bytes(disk.bytes_written()),
+                     std::to_string(disk.seeks())});
+    }
+  }
+  std::string out = table.to_ascii();
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "network: %s in %llu messages, %.1f CPU-seconds of socket "
+                "stack over %.1f simulated seconds\n",
+                format_bytes(bed.network().bytes_sent()).c_str(),
+                static_cast<unsigned long long>(bed.network().messages_sent()),
+                bed.network().cpu_seconds_charged(), horizon);
+  out += line;
+  return out;
+}
+
+std::string job_report(const mapred::JobResult& result) {
+  std::string out;
+  char line[160];
+  auto add = [&](const char* key, const std::string& value) {
+    std::snprintf(line, sizeof line, "%-26s %s\n", key, value.c_str());
+    out += line;
+  };
+  add("job time", Table::num(result.elapsed(), 1) + " s");
+  add("  map phase",
+      Table::num(result.maps_done_time - result.submit_time, 1) + " s");
+  add("  merge started at",
+      Table::num(result.shuffle_done_time - result.submit_time, 1) + " s");
+  add("maps / reduces", std::to_string(result.num_maps) + " / " +
+                            std::to_string(result.num_reduces));
+  add("input", format_bytes(result.input_modeled_bytes));
+  add("shuffled", format_bytes(result.shuffled_modeled_bytes));
+  add("output", format_bytes(result.output_modeled_bytes) + " in " +
+                    std::to_string(result.output_records) + " records");
+  add("spills", std::to_string(result.spills));
+  if (result.failed_map_attempts > 0 || result.speculative_attempts > 0) {
+    add("failed / speculative",
+        std::to_string(result.failed_map_attempts) + " / " +
+            std::to_string(result.speculative_attempts));
+  }
+  if (result.cache_hits + result.cache_misses > 0) {
+    add("prefetch cache", std::to_string(result.cache_hits) + " hits / " +
+                              std::to_string(result.cache_misses) +
+                              " misses");
+  }
+  for (const auto& [name, value] : result.counters) {
+    add(("  " + name).c_str(), std::to_string(value));
+  }
+  return out;
+}
+
+}  // namespace hmr::workloads

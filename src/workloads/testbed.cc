@@ -1,0 +1,92 @@
+#include "workloads/testbed.h"
+
+#include "hadoopa/engine.h"
+#include "rdmashuffle/engine.h"
+
+namespace hmr::workloads {
+
+Testbed::Testbed(TestbedSpec spec) : spec_(spec), engine_(spec.seed) {
+  // host 0 = master (NameNode + JobTracker); hosts 1..N = DataNode +
+  // TaskTracker.
+  auto host_specs = net::Cluster::uniform(spec.nodes + 1, spec.disks_per_node,
+                                          spec.ssd, spec.cores_per_node);
+  host_specs[0].name = "master";
+  cluster_ = std::make_unique<net::Cluster>(engine_, spec.profile,
+                                            host_specs);
+  network_ = std::make_unique<net::Network>(engine_, spec.profile);
+  for (int i = 1; i <= spec.nodes; ++i) datanodes_.push_back(i);
+  dfs_ = std::make_unique<hdfs::MiniDfs>(*cluster_, *network_, spec.hdfs, 0,
+                                         datanodes_);
+  runner_ = std::make_unique<mapred::JobRunner>(*cluster_, *network_, *dfs_,
+                                                datanodes_);
+  runner_->register_engine("osu-ib", [](const Conf& conf) {
+    return std::make_unique<rdmashuffle::RdmaShuffleEngine>(
+        "osu-ib", rdmashuffle::RdmaShuffleOptions::osu_ib(conf));
+  });
+  runner_->register_engine("hadoop-a", [](const Conf& conf) {
+    return std::make_unique<hadoopa::HadoopAEngine>(conf);
+  });
+}
+
+Result<DatasetDigest> Testbed::generate(const std::string& kind,
+                                        DataGenSpec gen_spec) {
+  auto out = std::make_shared<Result<DatasetDigest>>(
+      Status::Internal("datagen did not run"));
+  engine_.spawn([](Testbed& bed, std::string kind, DataGenSpec gen_spec,
+                   std::shared_ptr<Result<DatasetDigest>> out)
+                    -> sim::Task<> {
+    if (kind == "teragen") {
+      *out = co_await teragen(bed.dfs(), bed.cluster(), bed.datanodes_,
+                              gen_spec);
+    } else if (kind == "randomwriter") {
+      *out = co_await random_writer(bed.dfs(), bed.cluster(), bed.datanodes_,
+                                    gen_spec);
+    } else if (kind == "textgen") {
+      *out = co_await textgen(bed.dfs(), bed.cluster(), bed.datanodes_,
+                              gen_spec);
+    } else {
+      *out = Result<DatasetDigest>(
+          Status::InvalidArgument("unknown generator: " + kind));
+    }
+  }(*this, kind, gen_spec, out));
+  engine_.run();
+  return *out;
+}
+
+std::vector<mapred::JobResult> Testbed::run_jobs(
+    std::vector<mapred::JobSpec> jobs) {
+  auto results =
+      std::make_shared<std::vector<mapred::JobResult>>(jobs.size());
+  auto remaining = std::make_shared<int>(int(jobs.size()));
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    engine_.spawn([](Testbed& bed, mapred::JobSpec job, size_t slot,
+                     std::shared_ptr<std::vector<mapred::JobResult>> results,
+                     std::shared_ptr<int> remaining) -> sim::Task<> {
+      (*results)[slot] = co_await bed.runner().run(std::move(job));
+      --*remaining;
+    }(*this, std::move(jobs[i]), i, results, remaining));
+  }
+  engine_.run();
+  HMR_CHECK_MSG(*remaining == 0, "concurrent jobs did not all complete");
+  HMR_CHECK_MSG(engine_.live_processes() == 0,
+                "jobs left live processes behind");
+  return *results;
+}
+
+mapred::JobResult Testbed::run_job(mapred::JobSpec job) {
+  auto out = std::make_shared<mapred::JobResult>();
+  auto ok = std::make_shared<bool>(false);
+  engine_.spawn([](Testbed& bed, mapred::JobSpec job,
+                   std::shared_ptr<mapred::JobResult> out,
+                   std::shared_ptr<bool> ok) -> sim::Task<> {
+    *out = co_await bed.runner().run(std::move(job));
+    *ok = true;
+  }(*this, std::move(job), out, ok));
+  engine_.run();
+  HMR_CHECK_MSG(*ok, "job did not complete (deadlocked simulation?)");
+  HMR_CHECK_MSG(engine_.live_processes() == 0,
+                "job left live processes behind");
+  return *out;
+}
+
+}  // namespace hmr::workloads

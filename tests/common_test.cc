@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/bytes.h"
+#include "common/conf.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace hmr {
+namespace {
+
+// ---------------------------------------------------------------- status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such file");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: no such file");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+// ----------------------------------------------------------------- units
+
+TEST(UnitsTest, ParsesPlainBytes) {
+  EXPECT_EQ(parse_bytes("1024").value(), 1024u);
+  EXPECT_EQ(parse_bytes("0").value(), 0u);
+}
+
+TEST(UnitsTest, ParsesSuffixes) {
+  EXPECT_EQ(parse_bytes("64K").value(), 64 * kKiB);
+  EXPECT_EQ(parse_bytes("64KB").value(), 64 * kKiB);
+  EXPECT_EQ(parse_bytes("256MB").value(), 256 * kMiB);
+  EXPECT_EQ(parse_bytes("2GB").value(), 2 * kGiB);
+  EXPECT_EQ(parse_bytes("1TB").value(), kTiB);
+  EXPECT_EQ(parse_bytes("100b").value(), 100u);
+}
+
+TEST(UnitsTest, ParsesFractionsAndCase) {
+  EXPECT_EQ(parse_bytes("1.5GB").value(), kGiB + kGiB / 2);
+  EXPECT_EQ(parse_bytes("0.5k").value(), 512u);
+  EXPECT_EQ(parse_bytes(" 64 mb ").value(), 64 * kMiB);
+}
+
+TEST(UnitsTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_bytes("").ok());
+  EXPECT_FALSE(parse_bytes("MB").ok());
+  EXPECT_FALSE(parse_bytes("12XB").ok());
+  EXPECT_FALSE(parse_bytes("12MBx").ok());
+}
+
+TEST(UnitsTest, FormatRoundTripsExactMultiples) {
+  EXPECT_EQ(format_bytes(256 * kMiB), "256MB");
+  EXPECT_EQ(format_bytes(2 * kGiB), "2GB");
+  EXPECT_EQ(format_bytes(100), "100B");
+  EXPECT_EQ(format_bytes(1536), "1.50KB");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(format_duration(12.34), "12.3s");
+  EXPECT_EQ(format_duration(125.0), "2m05s");
+}
+
+// ------------------------------------------------------------------ conf
+
+TEST(ConfTest, TypedRoundTrip) {
+  Conf conf;
+  conf.set("a.string", "hello");
+  conf.set_int("a.int", -42);
+  conf.set_double("a.double", 2.5);
+  conf.set_bool("a.bool", true);
+  conf.set_bytes("a.bytes", 128 * kMiB);
+
+  EXPECT_EQ(conf.get_string("a.string", ""), "hello");
+  EXPECT_EQ(conf.get_int("a.int", 0), -42);
+  EXPECT_DOUBLE_EQ(conf.get_double("a.double", 0.0), 2.5);
+  EXPECT_TRUE(conf.get_bool("a.bool", false));
+  EXPECT_EQ(conf.get_bytes("a.bytes", 0), 128 * kMiB);
+}
+
+TEST(ConfTest, DefaultsWhenMissing) {
+  Conf conf;
+  EXPECT_EQ(conf.get_string("x", "dflt"), "dflt");
+  EXPECT_EQ(conf.get_int("x", 9), 9);
+  EXPECT_FALSE(conf.get_bool("x", false));
+  EXPECT_EQ(conf.get_bytes("x", 77), 77u);
+  EXPECT_FALSE(conf.contains("x"));
+}
+
+TEST(ConfTest, BytesAcceptUnitStrings) {
+  Conf conf;
+  conf.set("hdfs.block.size", "256MB");
+  EXPECT_EQ(conf.get_bytes("hdfs.block.size", 0), 256 * kMiB);
+}
+
+TEST(ConfTest, BoolSpellings) {
+  Conf conf;
+  for (const char* t : {"true", "TRUE", "1", "yes", "on"}) {
+    conf.set("k", t);
+    EXPECT_TRUE(conf.get_bool("k", false)) << t;
+  }
+  for (const char* f : {"false", "FALSE", "0", "no", "off"}) {
+    conf.set("k", f);
+    EXPECT_FALSE(conf.get_bool("k", true)) << f;
+  }
+}
+
+TEST(ConfTest, MergeOtherWins) {
+  Conf base, override_conf;
+  base.set("a", "1");
+  base.set("b", "2");
+  override_conf.set("b", "3");
+  base.merge(override_conf);
+  EXPECT_EQ(base.get_string("a", ""), "1");
+  EXPECT_EQ(base.get_string("b", ""), "3");
+}
+
+// ----------------------------------------------------------------- bytes
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_i64(-5);
+  w.put_double(3.14159);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64().value(), -5);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytesTest, VarintBoundaries) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0,   1,    127,        128,
+                                  300, 1u << 21, 0xffffffffull,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (auto v : values) w.put_varint(v);
+  ByteReader r(w.data());
+  for (auto v : values) EXPECT_EQ(r.varint().value(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytesTest, SignedVarintZigZag) {
+  ByteWriter w;
+  const std::int64_t values[] = {0, -1, 1, -64, 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (auto v : values) w.put_varint_signed(v);
+  ByteReader r(w.data());
+  for (auto v : values) EXPECT_EQ(r.varint_signed().value(), v);
+}
+
+TEST(BytesTest, StringsAndLengthPrefixed) {
+  ByteWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  Bytes blob = {1, 2, 3};
+  w.put_length_prefixed(blob);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.string().value(), "hello");
+  EXPECT_EQ(r.string().value(), "");
+  auto got = r.length_prefixed().value();
+  EXPECT_EQ(Bytes(got.begin(), got.end()), blob);
+}
+
+TEST(BytesTest, ShortReadsFailCleanly) {
+  Bytes data = {0x01};
+  ByteReader r(data);
+  EXPECT_TRUE(r.u8().ok());
+  EXPECT_FALSE(r.u8().ok());
+  EXPECT_FALSE(r.u32().ok());
+  EXPECT_FALSE(r.varint().ok());
+
+  Bytes truncated_varint = {0x80, 0x80};
+  ByteReader r2(truncated_varint);
+  EXPECT_FALSE(r2.varint().ok());
+}
+
+TEST(BytesTest, ExternalBuffer) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.put_u32(7);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, StreamsDiffer) {
+  Rng a(123, "mapper"), b(123, "reducer");
+  bool differs = false;
+  for (int i = 0; i < 16 && !differs; ++i) differs = a.next() != b.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformMeanApproximatelyHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(StatsTest, CounterBasics) {
+  MetricRegistry reg;
+  reg.counter("shuffle.bytes").add(100);
+  reg.counter("shuffle.bytes").add(50);
+  EXPECT_EQ(reg.counter_value("shuffle.bytes"), 150);
+  EXPECT_EQ(reg.counter_value("missing"), 0);
+}
+
+TEST(StatsTest, HistogramSummary) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(double(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_GE(h.quantile(0.99), h.quantile(0.5));
+  EXPECT_GE(h.quantile(0.5), 1.0);
+  EXPECT_LE(h.quantile(0.5), 100.0);
+}
+
+TEST(StatsTest, RegistryReportMentionsAll) {
+  MetricRegistry reg;
+  reg.counter("a").add(1);
+  reg.histogram("lat").record(0.5);
+  const std::string report = reg.report();
+  EXPECT_NE(report.find("a"), std::string::npos);
+  EXPECT_NE(report.find("lat"), std::string::npos);
+}
+
+TEST(StatsTest, ResetClears) {
+  MetricRegistry reg;
+  reg.counter("a").add(5);
+  reg.histogram("h").record(1.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("a"), 0);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 0u);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TableTest, AsciiAndCsv) {
+  Table t({"Sort Size (GB)", "IPoIB", "OSU-IB"});
+  t.add_row({"20", "500.0", "350.0"});
+  t.add_row({"40", "900.0", "600.0"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("Sort Size (GB)"), std::string::npos);
+  EXPECT_NE(ascii.find("350.0"), std::string::npos);
+  EXPECT_EQ(t.to_csv(),
+            "Sort Size (GB),IPoIB,OSU-IB\n20,500.0,350.0\n40,900.0,600.0\n");
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(10.0), "10.0");
+}
+
+// ----------------------------------------------------------------- crc32
+
+TEST(Crc32Test, KnownVectors) {
+  // CRC-32C of "123456789" is 0xE3069283 (iSCSI test vector).
+  EXPECT_EQ(crc32c(std::string_view("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c(std::string_view("")), 0u);
+}
+
+TEST(Crc32Test, SeedChaining) {
+  const std::string all = "hello world";
+  const auto direct = crc32c(std::string_view(all));
+  // Chaining via seed is not plain concatenation, but must be deterministic
+  // and distinct from the empty CRC.
+  const auto part = crc32c(std::string_view("hello "), 0);
+  const auto chained = crc32c(std::string_view("world"), part);
+  EXPECT_EQ(chained, crc32c(std::string_view("world"), part));
+  EXPECT_NE(direct, 0u);
+}
+
+TEST(Crc32Test, SensitiveToSingleBit) {
+  Bytes a(64, 0);
+  Bytes b = a;
+  b[31] ^= 1;
+  EXPECT_NE(crc32c(a), crc32c(b));
+}
+
+}  // namespace
+}  // namespace hmr

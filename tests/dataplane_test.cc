@@ -1,0 +1,470 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "dataplane/cache.h"
+#include "dataplane/kv.h"
+#include "dataplane/merger.h"
+#include "dataplane/partitioner.h"
+#include "dataplane/segment.h"
+
+namespace hmr::dataplane {
+namespace {
+
+std::vector<KvPair> random_pairs(int n, std::uint64_t seed,
+                                 size_t key_len = 10, size_t val_len = 90) {
+  Rng rng(seed);
+  std::vector<KvPair> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    KvPair pair;
+    pair.key.resize(key_len);
+    pair.value.resize(val_len);
+    for (auto& b : pair.key) b = std::uint8_t(rng.below(256));
+    for (auto& b : pair.value) b = std::uint8_t(rng.below(256));
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+std::shared_ptr<const MapOutput> dummy_output() {
+  return std::make_shared<const MapOutput>();
+}
+
+// -------------------------------------------------------------------- kv
+
+TEST(KvTest, EncodeDecodeRoundTrip) {
+  const KvPair pair = make_kv("alpha", "beta-value");
+  ByteWriter writer;
+  encode_kv(pair, writer);
+  ByteReader reader(writer.data());
+  auto decoded = decode_kv(reader);
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), pair);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(KvTest, EmptyKeyAndValue) {
+  const KvPair pair = make_kv("", "");
+  ByteWriter writer;
+  encode_kv(pair, writer);
+  EXPECT_EQ(writer.size(), 2u);  // two zero varints
+  ByteReader reader(writer.data());
+  EXPECT_EQ(decode_kv(reader).value(), pair);
+}
+
+TEST(KvTest, SerializedSizeMatchesEncoding) {
+  for (const auto& pair :
+       {make_kv("k", "v"), make_kv(std::string(200, 'x'), ""),
+        make_kv("", std::string(20000, 'y'))}) {
+    ByteWriter writer;
+    encode_kv(pair, writer);
+    EXPECT_EQ(pair.serialized_size(), writer.size());
+  }
+}
+
+TEST(KvTest, RunRoundTripPreservesOrderAndContent) {
+  auto pairs = random_pairs(500, 1);
+  const Bytes run = encode_run(pairs);
+  auto decoded = decode_run(run);
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), pairs);
+}
+
+TEST(KvTest, DecodeRunRejectsTruncation) {
+  auto pairs = random_pairs(10, 2);
+  Bytes run = encode_run(pairs);
+  run.resize(run.size() - 3);
+  EXPECT_FALSE(decode_run(run).ok());
+}
+
+TEST(KvTest, KeyOrderingIsLexicographic) {
+  EXPECT_LT(KvLess::compare_keys(make_kv("abc", "").key,
+                                 make_kv("abd", "").key),
+            0);
+  EXPECT_LT(KvLess::compare_keys(make_kv("ab", "").key,
+                                 make_kv("abc", "").key),
+            0);
+  EXPECT_EQ(KvLess::compare_keys(make_kv("ab", "").key,
+                                 make_kv("ab", "").key),
+            0);
+  // Unsigned comparison: 0xFF sorts above ASCII.
+  Bytes high = {0xff};
+  Bytes low = {0x01};
+  EXPECT_GT(KvLess::compare_keys(high, low), 0);
+}
+
+// ----------------------------------------------------------- partitioner
+
+TEST(PartitionerTest, HashIsStableAndInRange) {
+  HashPartitioner hash;
+  auto pairs = random_pairs(1000, 3);
+  for (const auto& pair : pairs) {
+    const int p = hash.partition(pair.key, 7);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 7);
+    EXPECT_EQ(p, hash.partition(pair.key, 7));
+  }
+}
+
+TEST(PartitionerTest, HashSpreadsKeys) {
+  HashPartitioner hash;
+  auto pairs = random_pairs(5000, 4);
+  std::map<int, int> counts;
+  for (const auto& pair : pairs) ++counts[hash.partition(pair.key, 8)];
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [_, n] : counts) EXPECT_GT(n, 5000 / 8 / 2);
+}
+
+TEST(PartitionerTest, RangePreservesOrderAcrossPartitions) {
+  RangePartitioner range;
+  auto pairs = random_pairs(2000, 5);
+  std::sort(pairs.begin(), pairs.end(), KvLess{});
+  int last = 0;
+  for (const auto& pair : pairs) {
+    const int p = range.partition(pair.key, 16);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+}
+
+TEST(PartitionerTest, RangeIsRoughlyUniformOnUniformKeys) {
+  RangePartitioner range;
+  auto pairs = random_pairs(8000, 6);
+  std::map<int, int> counts;
+  for (const auto& pair : pairs) ++counts[range.partition(pair.key, 8)];
+  for (int p = 0; p < 8; ++p) {
+    EXPECT_GT(counts[p], 8000 / 8 / 2) << "partition " << p;
+  }
+}
+
+TEST(PartitionerTest, ShortKeysStillPartition) {
+  RangePartitioner range;
+  Bytes short_key = {0x80};
+  const int p = range.partition(short_key, 4);
+  EXPECT_EQ(p, 2);  // 0x80... is exactly the midpoint
+}
+
+// --------------------------------------------------------------- segment
+
+TEST(SegmentTest, BuilderSortsEachPartition) {
+  HashPartitioner hash;
+  MapOutputBuilder builder(4, hash);
+  for (auto& pair : random_pairs(400, 7)) builder.add(std::move(pair));
+  EXPECT_EQ(builder.pending_records(), 400u);
+  const MapOutput output = builder.build();
+  EXPECT_EQ(builder.pending_records(), 0u);
+  ASSERT_EQ(output.index.size(), 4u);
+
+  std::uint64_t total = 0;
+  for (int p = 0; p < 4; ++p) {
+    auto pairs = decode_run(output.partition_bytes(p)).value();
+    EXPECT_EQ(pairs.size(), output.index[p].kv_count);
+    EXPECT_TRUE(is_sorted_run(pairs));
+    for (const auto& pair : pairs) {
+      EXPECT_EQ(hash.partition(pair.key, 4), p);
+    }
+    total += pairs.size();
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(SegmentTest, PendingBytesTracksSerializedSize) {
+  HashPartitioner hash;
+  MapOutputBuilder builder(2, hash);
+  const auto pair = make_kv("0123456789", std::string(90, 'v'));
+  builder.add(pair);
+  builder.add(pair);
+  EXPECT_EQ(builder.pending_bytes(), 2 * pair.serialized_size());
+  const MapOutput output = builder.build();
+  EXPECT_EQ(output.total_bytes(), 2 * pair.serialized_size());
+}
+
+TEST(SegmentTest, IndexEncodeDecodeRoundTrip) {
+  HashPartitioner hash;
+  MapOutputBuilder builder(3, hash);
+  for (auto& pair : random_pairs(100, 8)) builder.add(std::move(pair));
+  const MapOutput output = builder.build();
+  const Bytes encoded = output.encode_index();
+  auto decoded = MapOutput::decode_index(encoded);
+  EXPECT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 3u);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(decoded.value()[p].offset, output.index[p].offset);
+    EXPECT_EQ(decoded.value()[p].length, output.index[p].length);
+    EXPECT_EQ(decoded.value()[p].kv_count, output.index[p].kv_count);
+  }
+}
+
+TEST(SegmentTest, ReaderIteratesAllRecords) {
+  auto pairs = random_pairs(50, 9);
+  std::sort(pairs.begin(), pairs.end(), KvLess{});
+  auto backing = std::make_shared<const Bytes>(encode_run(pairs));
+  SegmentReader reader(backing, *backing);
+  KvPair pair;
+  size_t n = 0;
+  while (reader.next(&pair)) {
+    EXPECT_EQ(pair, pairs[n]);
+    ++n;
+  }
+  EXPECT_EQ(n, 50u);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(SegmentTest, TakeChunkHonorsPairBudget) {
+  auto pairs = random_pairs(100, 10);
+  auto backing = std::make_shared<const Bytes>(encode_run(pairs));
+  SegmentReader reader(backing, *backing);
+  std::uint64_t total_pairs = 0;
+  while (!reader.exhausted()) {
+    std::uint64_t n = 0;
+    auto chunk = reader.take_chunk(7, UINT64_MAX, &n);
+    EXPECT_LE(n, 7u);
+    EXPECT_GT(n, 0u);
+    auto decoded = decode_run(chunk).value();
+    EXPECT_EQ(decoded.size(), n);
+    total_pairs += n;
+  }
+  EXPECT_EQ(total_pairs, 100u);
+}
+
+TEST(SegmentTest, TakeChunkHonorsByteBudget) {
+  auto pairs = random_pairs(100, 11);
+  auto backing = std::make_shared<const Bytes>(encode_run(pairs));
+  SegmentReader reader(backing, *backing);
+  while (!reader.exhausted()) {
+    std::uint64_t n = 0;
+    auto chunk = reader.take_chunk(UINT64_MAX, 500, &n);
+    // Records are ~102 B; the chunk never crosses 500 B except when a
+    // single record exceeds the budget (not the case here).
+    EXPECT_LE(chunk.size(), 500u + 110u);
+    EXPECT_GT(n, 0u);
+  }
+}
+
+TEST(SegmentTest, TakeChunkAlwaysMakesProgressOnJumboRecord) {
+  std::vector<KvPair> jumbo = {
+      make_kv("k", std::string(20000, 'j'))};
+  auto backing = std::make_shared<const Bytes>(encode_run(jumbo));
+  SegmentReader reader(backing, *backing);
+  std::uint64_t n = 0;
+  auto chunk = reader.take_chunk(512, 1024, &n);  // budget << record size
+  EXPECT_EQ(n, 1u);
+  EXPECT_GT(chunk.size(), 20000u);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+// ---------------------------------------------------------------- merger
+
+TEST(MergerTest, MergesSortedRunsGloballySorted) {
+  auto all = random_pairs(900, 12);
+  std::vector<std::unique_ptr<KvSource>> sources;
+  for (int s = 0; s < 3; ++s) {
+    std::vector<KvPair> run(all.begin() + s * 300,
+                            all.begin() + (s + 1) * 300);
+    std::sort(run.begin(), run.end(), KvLess{});
+    sources.push_back(std::make_unique<VectorSource>(std::move(run)));
+  }
+  StreamMerger merger(std::move(sources));
+  auto merged = drain(merger);
+  EXPECT_EQ(merged.size(), 900u);
+  EXPECT_TRUE(is_sorted_run(merged));
+  EXPECT_EQ(merger.records_merged(), 900u);
+
+  std::sort(all.begin(), all.end(), KvLess{});
+  std::vector<KvPair> expected = all;
+  std::sort(merged.begin(), merged.end(), KvLess{});
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(MergerTest, HandlesEmptyAndSingleSources) {
+  std::vector<std::unique_ptr<KvSource>> sources;
+  sources.push_back(std::make_unique<VectorSource>(std::vector<KvPair>{}));
+  std::vector<KvPair> one = {make_kv("a", "1")};
+  sources.push_back(std::make_unique<VectorSource>(one));
+  sources.push_back(std::make_unique<VectorSource>(std::vector<KvPair>{}));
+  StreamMerger merger(std::move(sources));
+  auto merged = drain(merger);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], one[0]);
+}
+
+TEST(MergerTest, ZeroSourcesYieldNothing) {
+  StreamMerger merger({});
+  KvPair pair;
+  EXPECT_FALSE(merger.next(&pair));
+}
+
+TEST(MergerTest, BytesSourceOverSegments) {
+  auto pairs = random_pairs(200, 13);
+  std::sort(pairs.begin(), pairs.end(), KvLess{});
+  std::vector<KvPair> a(pairs.begin(), pairs.begin() + 100);
+  std::vector<KvPair> b(pairs.begin() + 100, pairs.end());
+  std::sort(a.begin(), a.end(), KvLess{});
+  std::sort(b.begin(), b.end(), KvLess{});
+  std::vector<std::unique_ptr<KvSource>> sources;
+  sources.push_back(std::make_unique<BytesSource>(
+      std::make_shared<const Bytes>(encode_run(a))));
+  sources.push_back(std::make_unique<BytesSource>(
+      std::make_shared<const Bytes>(encode_run(b))));
+  StreamMerger merger(std::move(sources));
+  auto merged = drain(merger);
+  EXPECT_EQ(merged.size(), 200u);
+  EXPECT_TRUE(is_sorted_run(merged));
+}
+
+TEST(MergerTest, DuplicateKeysAllSurvive) {
+  std::vector<KvPair> a = {make_kv("dup", "1"), make_kv("dup", "3")};
+  std::vector<KvPair> b = {make_kv("dup", "2")};
+  std::vector<std::unique_ptr<KvSource>> sources;
+  sources.push_back(std::make_unique<VectorSource>(a));
+  sources.push_back(std::make_unique<VectorSource>(b));
+  StreamMerger merger(std::move(sources));
+  auto merged = drain(merger);
+  EXPECT_EQ(merged.size(), 3u);
+  for (const auto& pair : merged) {
+    EXPECT_EQ(std::string(pair.key.begin(), pair.key.end()), "dup");
+  }
+}
+
+// Property sweep: merge K sorted runs of N records each.
+class MergerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MergerSweep, SortedAndComplete) {
+  const auto [k, n] = GetParam();
+  std::vector<std::unique_ptr<KvSource>> sources;
+  size_t total = 0;
+  for (int s = 0; s < k; ++s) {
+    auto run = random_pairs(n, 100 + s);
+    std::sort(run.begin(), run.end(), KvLess{});
+    total += run.size();
+    sources.push_back(std::make_unique<VectorSource>(std::move(run)));
+  }
+  StreamMerger merger(std::move(sources));
+  auto merged = drain(merger);
+  EXPECT_EQ(merged.size(), total);
+  EXPECT_TRUE(is_sorted_run(merged));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MergerSweep,
+    ::testing::Combine(::testing::Values(1, 2, 8, 32),
+                       ::testing::Values(0, 1, 64, 257)));
+
+// ----------------------------------------------------------------- cache
+
+TEST(CacheTest, PutGetHitAndMiss) {
+  PrefetchCache cache(1000);
+  EXPECT_TRUE(cache.put("m0", dummy_output(), 400));
+  EXPECT_NE(cache.get("m0"), nullptr);
+  EXPECT_EQ(cache.get("m1"), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.used_bytes(), 400u);
+}
+
+TEST(CacheTest, LruEvictionOrder) {
+  PrefetchCache cache(1000);
+  EXPECT_TRUE(cache.put("a", dummy_output(), 400));
+  EXPECT_TRUE(cache.put("b", dummy_output(), 400));
+  EXPECT_NE(cache.get("a"), nullptr);  // refresh a: b is now coldest
+  EXPECT_TRUE(cache.put("c", dummy_output(), 400));
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheTest, PriorityOutranksRecency) {
+  PrefetchCache cache(1000);
+  EXPECT_TRUE(cache.put("hot", dummy_output(), 400, /*priority=*/5));
+  EXPECT_TRUE(cache.put("cold", dummy_output(), 400, /*priority=*/0));
+  EXPECT_NE(cache.get("cold"), nullptr);  // cold is most recent, low prio
+  EXPECT_TRUE(cache.put("new", dummy_output(), 400, /*priority=*/0));
+  EXPECT_TRUE(cache.contains("hot"));   // high priority survived
+  EXPECT_FALSE(cache.contains("cold"));
+}
+
+TEST(CacheTest, RejectsWhenEverythingOutranks) {
+  PrefetchCache cache(800);
+  EXPECT_TRUE(cache.put("a", dummy_output(), 400, 9));
+  EXPECT_TRUE(cache.put("b", dummy_output(), 400, 9));
+  EXPECT_FALSE(cache.put("c", dummy_output(), 400, 1));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+}
+
+TEST(CacheTest, OversizedEntryRejected) {
+  PrefetchCache cache(100);
+  EXPECT_FALSE(cache.put("big", dummy_output(), 200));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(CacheTest, BoostProtectsFromEviction) {
+  PrefetchCache cache(1000);
+  EXPECT_TRUE(cache.put("a", dummy_output(), 400));
+  EXPECT_TRUE(cache.put("b", dummy_output(), 400));
+  cache.boost("a", 10);  // demand-prioritised after a reducer miss
+  EXPECT_TRUE(cache.put("c", dummy_output(), 400));
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+}
+
+TEST(CacheTest, BoostNeverLowersPriority) {
+  PrefetchCache cache(1000);
+  EXPECT_TRUE(cache.put("a", dummy_output(), 300, 7));
+  cache.boost("a", 2);  // no-op
+  EXPECT_TRUE(cache.put("b", dummy_output(), 400, 5));
+  EXPECT_TRUE(cache.put("c", dummy_output(), 400, 5));
+  EXPECT_TRUE(cache.contains("a"));
+}
+
+TEST(CacheTest, RefreshUpdatesBytesAndValue) {
+  PrefetchCache cache(1000);
+  EXPECT_TRUE(cache.put("a", dummy_output(), 300));
+  EXPECT_TRUE(cache.put("a", dummy_output(), 500));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 500u);
+}
+
+TEST(CacheTest, EraseAndClear) {
+  PrefetchCache cache(1000);
+  EXPECT_TRUE(cache.put("a", dummy_output(), 100));
+  EXPECT_TRUE(cache.put("b", dummy_output(), 100));
+  EXPECT_TRUE(cache.erase("a"));
+  EXPECT_FALSE(cache.erase("a"));
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(CacheTest, HitRateComputation) {
+  PrefetchCache cache(1000);
+  EXPECT_TRUE(cache.put("a", dummy_output(), 100));
+  (void)cache.get("a");
+  (void)cache.get("a");
+  (void)cache.get("x");
+  EXPECT_NEAR(cache.stats().hit_rate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(CacheTest, ManyEntriesStressEviction) {
+  PrefetchCache cache(10'000);
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "m" + std::to_string(rng.below(200));
+    const auto bytes = 50 + rng.below(200);
+    (void)cache.put(key, dummy_output(), bytes, int(rng.below(3)));
+    EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace hmr::dataplane

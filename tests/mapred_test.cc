@@ -1,0 +1,530 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/units.h"
+#include "mapred/jobrunner.h"
+#include "workloads/datagen.h"
+#include "workloads/jobs.h"
+#include "workloads/testbed.h"
+
+namespace hmr::mapred {
+namespace {
+
+using workloads::DataGenSpec;
+using workloads::DatasetDigest;
+using workloads::Testbed;
+using workloads::TestbedSpec;
+
+struct SmallJob {
+  TestbedSpec bed_spec;
+  DataGenSpec gen;
+
+  SmallJob() {
+    bed_spec.nodes = 3;
+    bed_spec.profile = net::NetProfile::ipoib_qdr();
+    bed_spec.hdfs.block_size = 8 * kMiB;
+    gen.dir = "/in";
+    gen.modeled_total = 64 * kMiB;
+    gen.part_modeled = bed_spec.hdfs.block_size;
+    gen.scale = 32.0;  // 2 MB real
+    gen.seed = 7;
+  }
+};
+
+TEST(JobRunnerTest, EngineNameResolution) {
+  Conf conf;
+  EXPECT_EQ(JobRunner::engine_name(conf), "vanilla");
+  conf.set_bool(kRdmaEnabled, true);
+  EXPECT_EQ(JobRunner::engine_name(conf), "osu-ib");
+  conf.set(kShuffleEngine, "hadoop-a");
+  EXPECT_EQ(JobRunner::engine_name(conf), "hadoop-a");
+}
+
+TEST(JobRunnerTest, UnknownEngineAborts) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  EXPECT_TRUE(digest.ok());
+  Conf conf;
+  conf.set(kShuffleEngine, "no-such-engine");
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  EXPECT_DEATH(bed.run_job(std::move(job)), "unknown shuffle engine");
+}
+
+TEST(JobRunnerTest, TeraSortEndToEndValidates) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  EXPECT_TRUE(digest.ok());
+  EXPECT_GT(digest->records, 0u);
+
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", Conf{});
+  const auto result = bed.run_job(std::move(job));
+
+  EXPECT_EQ(result.num_maps, 8);  // 64 MB / 8 MB blocks
+  EXPECT_GT(result.elapsed(), 0.0);
+  EXPECT_GE(result.maps_done_time, result.submit_time);
+  EXPECT_GE(result.finish_time, result.maps_done_time);
+  EXPECT_EQ(result.output_records, digest->records);
+  EXPECT_GT(result.shuffled_modeled_bytes, 60 * kMiB);
+
+  auto report = workloads::validate_output(bed.dfs(), "/out");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid_terasort(*digest));
+}
+
+TEST(JobRunnerTest, BlockSizeControlsMapCount) {
+  SmallJob small;
+  small.bed_spec.hdfs.block_size = 16 * kMiB;
+  small.gen.part_modeled = 16 * kMiB;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", Conf{});
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_EQ(result.num_maps, 4);
+}
+
+TEST(JobRunnerTest, ReduceCountConfigured) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  Conf conf;
+  conf.set_int(kNumReduces, 5);
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_EQ(result.num_reduces, 5);
+  EXPECT_EQ(bed.dfs().list("/out/").size(), 5u);
+}
+
+TEST(JobRunnerTest, DefaultReducesScaleWithTrackers) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", Conf{});
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_EQ(result.num_reduces, 3 * 4);  // nodes x reduce slots
+}
+
+TEST(JobRunnerTest, MapLocalityPreferred) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  const auto wire_before = bed.network().bytes_sent();
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", Conf{});
+  const auto result = bed.run_job(std::move(job));
+  // With replication 3 on 3 DataNodes every split is local: the wire
+  // carries shuffle + output traffic, but no split reads. Shuffle moves
+  // ~(n-1)/n of the data, output replication 1 pipelines locally.
+  const auto wire = bed.network().bytes_sent() - wire_before;
+  EXPECT_LT(wire, result.input_modeled_bytes * 2);
+  (void)result;
+}
+
+TEST(JobRunnerTest, SpillsIncreaseWhenSortBufferSmall) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  Conf conf;
+  conf.set_bytes(kIoSortMb, 2 * kMiB);  // each 8 MB split -> 4 spills
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_GE(result.spills, 8u * 4u);
+}
+
+TEST(JobRunnerTest, SmallSortBufferSlowsJob) {
+  auto run = [](std::uint64_t sort_mb) {
+    SmallJob small;
+    Testbed bed(small.bed_spec);
+    HMR_CHECK(bed.generate("teragen", small.gen).ok());
+    Conf conf;
+    conf.set_bytes(kIoSortMb, sort_mb);
+    auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+    return bed.run_job(std::move(job)).elapsed();
+  };
+  EXPECT_GT(run(1 * kMiB), run(100 * kMiB));
+}
+
+TEST(JobRunnerTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    SmallJob small;
+    Testbed bed(small.bed_spec);
+    HMR_CHECK(bed.generate("teragen", small.gen).ok());
+    auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", Conf{});
+    return bed.run_job(std::move(job)).elapsed();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(JobRunnerTest, SeedChangesScheduleButNotCorrectness) {
+  SmallJob small;
+  small.bed_spec.seed = 99;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  EXPECT_TRUE(digest.ok());
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", Conf{});
+  (void)bed.run_job(std::move(job));
+  auto report = workloads::validate_output(bed.dfs(), "/out");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid_terasort(*digest));
+}
+
+TEST(JobRunnerTest, WordCountAggregatesCorrectly) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("textgen", small.gen);
+  EXPECT_TRUE(digest.ok());
+
+  auto job = workloads::wordcount_job(bed.dfs(), "/in", "/out", Conf{});
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_GT(result.output_records, 0u);
+  // Vocabulary has 18 words; every word should appear as exactly one
+  // output record across all reducers.
+  std::map<std::string, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& part : bed.dfs().list("/out/")) {
+    auto payload = bed.dfs().peek(part);
+    EXPECT_TRUE(payload.ok());
+    auto records = dataplane::decode_run(*payload);
+    EXPECT_TRUE(records.ok());
+    for (const auto& record : *records) {
+      std::uint64_t count = 0;
+      std::memcpy(&count, record.value.data(), 8);
+      counts[std::string(record.key.begin(), record.key.end())] += count;
+      total += count;
+    }
+  }
+  EXPECT_EQ(counts.size(), 18u);
+  EXPECT_GT(total, digest->records * 8);  // >= 8 words per line
+}
+
+TEST(JobRunnerTest, SortBenchmarkValidatesPerPart) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("randomwriter", small.gen);
+  EXPECT_TRUE(digest.ok());
+  auto job = workloads::sort_job(bed.dfs(), "/in", "/out", Conf{});
+  (void)bed.run_job(std::move(job));
+  auto report = workloads::validate_output(bed.dfs(), "/out");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid_sort(*digest));
+}
+
+TEST(JobRunnerTest, ShuffleOverlapsMapPhase) {
+  // With slowstart at 5%, reducers fetch while maps still run: the last
+  // map completion must not precede all shuffle traffic.
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  Conf conf;
+  conf.set_double(kSlowstart, 0.05);
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  const auto result = bed.run_job(std::move(job));
+  // Shuffle completed after maps (it needs the last map) but within a
+  // fraction of the map phase duration afterwards - i.e. most copying
+  // overlapped the maps.
+  const double map_phase = result.maps_done_time - result.submit_time;
+  const double shuffle_tail =
+      result.shuffle_done_time - result.maps_done_time;
+  EXPECT_GT(map_phase, 0.0);
+  EXPECT_LT(shuffle_tail, map_phase);
+}
+
+TEST(JobRunnerTest, MissingInputAborts) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  JobSpec spec;
+  spec.name = "broken";
+  spec.input_files = {"/does/not/exist"};
+  spec.output_dir = "/out";
+  EXPECT_DEATH(bed.run_job(std::move(spec)), "missing input file");
+}
+
+}  // namespace
+}  // namespace hmr::mapred
+
+namespace hmr::mapred {
+namespace {
+
+TEST(FaultToleranceTest, JobSurvivesMapFailures) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  EXPECT_TRUE(digest.ok());
+  Conf conf;
+  conf.set_double(kMapFailureProb, 0.4);
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_GT(result.failed_map_attempts, 0u);
+  auto report = workloads::validate_output(bed.dfs(), "/out");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid_terasort(*digest));
+}
+
+TEST(FaultToleranceTest, FailuresCostTime) {
+  auto run = [](double prob) {
+    SmallJob small;
+    Testbed bed(small.bed_spec);
+    HMR_CHECK(bed.generate("teragen", small.gen).ok());
+    Conf conf;
+    conf.set_double(kMapFailureProb, prob);
+    auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+    return bed.run_job(std::move(job)).elapsed();
+  };
+  EXPECT_GT(run(0.5), run(0.0));
+}
+
+TEST(FaultToleranceTest, NoFailuresByDefault) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", Conf{});
+  EXPECT_EQ(bed.run_job(std::move(job)).failed_map_attempts, 0u);
+}
+
+TEST(FaultToleranceTest, RdmaEngineSurvivesFailuresToo) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  EXPECT_TRUE(digest.ok());
+  Conf conf;
+  conf.set(kShuffleEngine, "osu-ib");
+  conf.set_double(kMapFailureProb, 0.3);
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_GT(result.failed_map_attempts, 0u);
+  auto report = workloads::validate_output(bed.dfs(), "/out");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid_terasort(*digest));
+}
+
+TEST(CombinerTest, ShrinksShuffleAndPreservesResults) {
+  // WordCount with and without the combiner must produce identical
+  // outputs, but the combined run shuffles far fewer bytes.
+  auto run = [](bool combine) {
+    SmallJob small;
+    Testbed bed(small.bed_spec);
+    HMR_CHECK(bed.generate("textgen", small.gen).ok());
+    auto job = workloads::wordcount_job(bed.dfs(), "/in", "/out", Conf{});
+    if (!combine) job.combine_fn = nullptr;
+    auto result = bed.run_job(std::move(job));
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto& part : bed.dfs().list("/out/")) {
+      auto payload = bed.dfs().peek(part).value();
+      auto records = dataplane::decode_run(payload).value();
+      for (const auto& record : records) {
+        std::uint64_t count = 0;
+        std::memcpy(&count, record.value.data(), 8);
+        counts[std::string(record.key.begin(), record.key.end())] = count;
+      }
+    }
+    return std::pair{result.shuffled_modeled_bytes, counts};
+  };
+  const auto [with_bytes, with_counts] = run(true);
+  const auto [without_bytes, without_counts] = run(false);
+  EXPECT_EQ(with_counts, without_counts);
+  EXPECT_LT(with_bytes, without_bytes / 10);  // tiny vocabulary collapses
+}
+
+}  // namespace
+}  // namespace hmr::mapred
+
+namespace hmr::mapred {
+namespace {
+
+TEST(SpeculationTest, BackupTasksCutStragglerTail) {
+  auto run = [](bool speculate) {
+    SmallJob small;
+    Testbed bed(small.bed_spec);
+    HMR_CHECK(bed.generate("teragen", small.gen).ok());
+    Conf conf;
+    // Severe stragglers: the slowed CPU work dominates the job tail, so
+    // a healthy backup attempt is a clear win.
+    conf.set_double(kStragglerProb, 0.25);
+    conf.set_double(kStragglerSlowdown, 60.0);
+    conf.set_bool(kSpeculativeExecution, speculate);
+    auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+    return bed.run_job(std::move(job));
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_GT(with.speculative_attempts, 0u);
+  EXPECT_LT(with.elapsed(), without.elapsed());
+}
+
+TEST(SpeculationTest, DuplicateAttemptsDoNotCorruptOutput) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  EXPECT_TRUE(digest.ok());
+  Conf conf;
+  conf.set_double(kStragglerProb, 0.5);
+  conf.set_double(kStragglerSlowdown, 6.0);
+  conf.set_bool(kSpeculativeExecution, true);
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_EQ(result.output_records, digest->records);
+  auto report = workloads::validate_output(bed.dfs(), "/out");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid_terasort(*digest));
+}
+
+TEST(SpeculationTest, RdmaEngineToleratesBackups) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  EXPECT_TRUE(digest.ok());
+  Conf conf;
+  conf.set(kShuffleEngine, "osu-ib");
+  conf.set_double(kStragglerProb, 0.3);
+  conf.set_bool(kSpeculativeExecution, true);
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  (void)bed.run_job(std::move(job));
+  auto report = workloads::validate_output(bed.dfs(), "/out");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid_terasort(*digest));
+}
+
+TEST(SpeculationTest, OffByDefault) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("teragen", small.gen).ok());
+  Conf conf;
+  conf.set_double(kStragglerProb, 0.5);  // stragglers but no backups
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  EXPECT_EQ(bed.run_job(std::move(job)).speculative_attempts, 0u);
+}
+
+}  // namespace
+}  // namespace hmr::mapred
+
+namespace hmr::mapred {
+namespace {
+
+TEST(MultiJobTest, ConcurrentJobsBothValidate) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto gen_a = small.gen;
+  gen_a.dir = "/a/in";
+  auto gen_b = small.gen;
+  gen_b.dir = "/b/in";
+  gen_b.seed = 99;
+  auto digest_a = bed.generate("teragen", gen_a);
+  auto digest_b = bed.generate("teragen", gen_b);
+  EXPECT_TRUE(digest_a.ok());
+  EXPECT_TRUE(digest_b.ok());
+
+  std::vector<JobSpec> jobs;
+  jobs.push_back(workloads::terasort_job(bed.dfs(), "/a/in", "/a/out", Conf{}));
+  jobs.push_back(workloads::terasort_job(bed.dfs(), "/b/in", "/b/out", Conf{}));
+  const auto results = bed.run_jobs(std::move(jobs));
+  ASSERT_EQ(results.size(), 2u);
+
+  auto report_a = workloads::validate_output(bed.dfs(), "/a/out");
+  auto report_b = workloads::validate_output(bed.dfs(), "/b/out");
+  EXPECT_TRUE(report_a.ok() && report_a->valid_terasort(*digest_a));
+  EXPECT_TRUE(report_b.ok() && report_b->valid_terasort(*digest_b));
+}
+
+TEST(MultiJobTest, ConcurrentJobsContendForSlots) {
+  // Two identical jobs sharing the cluster must each run slower than a
+  // lone job, but the makespan must beat strictly serial execution.
+  SmallJob small;
+  double solo;
+  {
+    Testbed bed(small.bed_spec);
+    HMR_CHECK(bed.generate("teragen", small.gen).ok());
+    solo = bed
+               .run_job(workloads::terasort_job(bed.dfs(), "/in", "/out",
+                                                Conf{}))
+               .elapsed();
+  }
+  Testbed bed(small.bed_spec);
+  auto gen_a = small.gen;
+  gen_a.dir = "/a/in";
+  auto gen_b = small.gen;
+  gen_b.dir = "/b/in";
+  HMR_CHECK(bed.generate("teragen", gen_a).ok());
+  HMR_CHECK(bed.generate("teragen", gen_b).ok());
+  std::vector<JobSpec> jobs;
+  jobs.push_back(workloads::terasort_job(bed.dfs(), "/a/in", "/a/out", Conf{}));
+  jobs.push_back(workloads::terasort_job(bed.dfs(), "/b/in", "/b/out", Conf{}));
+  const auto results = bed.run_jobs(std::move(jobs));
+  const double makespan = std::max(results[0].finish_time,
+                                   results[1].finish_time) -
+                          std::min(results[0].submit_time,
+                                   results[1].submit_time);
+  EXPECT_GT(results[0].elapsed(), solo);   // contention slows each job
+  EXPECT_LT(makespan, 2 * solo);           // but they do overlap
+}
+
+TEST(MultiJobTest, MixedEnginesShareTheCluster) {
+  SmallJob small;
+  small.bed_spec.profile = net::NetProfile::verbs_qdr();
+  Testbed bed(small.bed_spec);
+  auto gen_a = small.gen;
+  gen_a.dir = "/a/in";
+  auto gen_b = small.gen;
+  gen_b.dir = "/b/in";
+  auto digest_a = bed.generate("teragen", gen_a);
+  auto digest_b = bed.generate("teragen", gen_b);
+  Conf osu;
+  osu.set(kShuffleEngine, "osu-ib");
+  Conf hadoop_a;
+  hadoop_a.set(kShuffleEngine, "hadoop-a");
+  std::vector<JobSpec> jobs;
+  jobs.push_back(workloads::terasort_job(bed.dfs(), "/a/in", "/a/out", osu));
+  jobs.push_back(
+      workloads::terasort_job(bed.dfs(), "/b/in", "/b/out", hadoop_a));
+  (void)bed.run_jobs(std::move(jobs));
+  auto report_a = workloads::validate_output(bed.dfs(), "/a/out");
+  auto report_b = workloads::validate_output(bed.dfs(), "/b/out");
+  EXPECT_TRUE(report_a.ok() && report_a->valid_terasort(*digest_a));
+  EXPECT_TRUE(report_b.ok() && report_b->valid_terasort(*digest_b));
+}
+
+}  // namespace
+}  // namespace hmr::mapred
+
+namespace hmr::mapred {
+namespace {
+
+TEST(CountersTest, IdentityJobBalances) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  EXPECT_TRUE(digest.ok());
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", Conf{});
+  const auto result = bed.run_job(std::move(job));
+  const auto records = std::int64_t(digest->records);
+  EXPECT_EQ(result.counter("MAP_INPUT_RECORDS"), records);
+  EXPECT_EQ(result.counter("MAP_OUTPUT_RECORDS"), records);
+  EXPECT_EQ(result.counter("REDUCE_INPUT_RECORDS"), records);
+  EXPECT_EQ(result.counter("REDUCE_OUTPUT_RECORDS"), records);
+  EXPECT_GE(result.counter("SPILLED_RECORDS"), records);
+  EXPECT_GT(result.counter("MAP_OUTPUT_BYTES"), 0);
+  EXPECT_EQ(result.counter("COMBINE_INPUT_RECORDS"), 0);  // no combiner
+}
+
+TEST(CountersTest, CombinerShrinksRecordFlow) {
+  SmallJob small;
+  Testbed bed(small.bed_spec);
+  EXPECT_TRUE(bed.generate("textgen", small.gen).ok());
+  auto job = workloads::wordcount_job(bed.dfs(), "/in", "/out", Conf{});
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_GT(result.counter("COMBINE_INPUT_RECORDS"), 0);
+  EXPECT_LT(result.counter("COMBINE_OUTPUT_RECORDS"),
+            result.counter("COMBINE_INPUT_RECORDS") / 10);
+  EXPECT_EQ(result.counter("REDUCE_INPUT_RECORDS"),
+            result.counter("COMBINE_OUTPUT_RECORDS"));
+}
+
+TEST(CountersTest, UnknownCounterIsZero) {
+  JobResult result;
+  EXPECT_EQ(result.counter("NOPE"), 0);
+}
+
+}  // namespace
+}  // namespace hmr::mapred

@@ -1,0 +1,190 @@
+// Unit tests for the RDMA shuffle engine's wire protocol and option
+// resolution, plus targeted behaviour checks that the integration suite
+// (engines_test.cc) doesn't isolate.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mapred/types.h"
+#include "rdmashuffle/engine.h"
+#include "rdmashuffle/protocol.h"
+#include "workloads/experiment.h"
+
+namespace hmr::rdmashuffle {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, DataRequestRoundTrip) {
+  DataRequest req;
+  req.job_id = 3;
+  req.map_id = 123;
+  req.reduce_id = 45;
+  req.cursor_real = 1'000'000;
+  req.max_pairs = 1024;
+  req.max_real_bytes = 65536;
+  const auto decoded = DataRequest::decode(req.encode());
+  EXPECT_EQ(decoded.job_id, req.job_id);
+  EXPECT_EQ(decoded.map_id, req.map_id);
+  EXPECT_EQ(decoded.reduce_id, req.reduce_id);
+  EXPECT_EQ(decoded.cursor_real, req.cursor_real);
+  EXPECT_EQ(decoded.max_pairs, req.max_pairs);
+  EXPECT_EQ(decoded.max_real_bytes, req.max_real_bytes);
+}
+
+TEST(ProtocolTest, DataResponseHeaderRoundTrip) {
+  DataResponse resp;
+  resp.job_id = 1;
+  resp.map_id = 7;
+  resp.reduce_id = 9;
+  resp.n_pairs = 333;
+  resp.chunk_real_bytes = 44444;
+  resp.eof = true;
+  Bytes wire = resp.encode_header();
+  // Responses carry the records after the header; make sure the decoder
+  // leaves the reader positioned at them.
+  wire.push_back(0xEE);
+  ByteReader reader(wire);
+  const auto decoded = DataResponse::decode_header(reader);
+  EXPECT_EQ(decoded.map_id, 7u);
+  EXPECT_EQ(decoded.n_pairs, 333u);
+  EXPECT_EQ(decoded.chunk_real_bytes, 44444u);
+  EXPECT_TRUE(decoded.eof);
+  EXPECT_EQ(reader.remaining(), 1u);
+}
+
+TEST(ProtocolTest, WireSizesAreSmall) {
+  // The paper stresses light-weight control messages.
+  EXPECT_LE(DataRequest{}.encode().size(), kRequestWireBytes);
+  EXPECT_LE(DataResponse{}.encode_header().size(), kResponseHeaderBytes);
+}
+
+// ----------------------------------------------------------------- options
+
+TEST(OptionsTest, OsuDefaultsAreBytesBudgeted) {
+  const auto opt = RdmaShuffleOptions::osu_ib(Conf{});
+  EXPECT_TRUE(opt.use_cache);
+  EXPECT_GT(opt.packet_bytes, 0u);
+  EXPECT_EQ(opt.kv_per_packet, 0u);  // byte mode
+  EXPECT_TRUE(opt.overlap_reduce);
+  EXPECT_TRUE(opt.pipelined_refill);
+  EXPECT_FALSE(opt.charge_by_count);
+}
+
+TEST(OptionsTest, HadoopADefaultsMatchSc11Description) {
+  const auto opt = RdmaShuffleOptions::hadoop_a(Conf{});
+  EXPECT_FALSE(opt.use_cache);            // no DataEngine caching
+  EXPECT_EQ(opt.packet_bytes, 0u);        // count is the only budget
+  EXPECT_GT(opt.kv_per_packet, 0u);       // fixed kv count
+  EXPECT_FALSE(opt.pipelined_refill);     // network-levitated on-demand
+  EXPECT_TRUE(opt.charge_by_count);       // buffers sized by count
+}
+
+TEST(OptionsTest, ConfOverridesApply) {
+  Conf conf;
+  conf.set_bool(mapred::kCachingEnabled, false);
+  conf.set("mapred.rdma.packet.bytes", "4MB");
+  conf.set_int(mapred::kResponderThreads, 9);
+  conf.set_bool(mapred::kOverlapReduce, false);
+  conf.set("mapred.local.caching.bytes", "2GB");
+  const auto opt = RdmaShuffleOptions::osu_ib(conf);
+  EXPECT_FALSE(opt.use_cache);
+  EXPECT_EQ(opt.packet_bytes, 4 * kMiB);
+  EXPECT_EQ(opt.responder_threads, 9);
+  EXPECT_FALSE(opt.overlap_reduce);
+  EXPECT_EQ(opt.cache_bytes, 2 * kGiB);
+}
+
+TEST(OptionsTest, HadoopAKvCountTunable) {
+  Conf conf;
+  conf.set_int(mapred::kRdmaKvPerPacket, 4096);
+  EXPECT_EQ(RdmaShuffleOptions::hadoop_a(conf).kv_per_packet, 4096u);
+}
+
+// -------------------------------------------------- engine behaviour
+
+workloads::RunConfig tiny(workloads::EngineSetup setup) {
+  workloads::RunConfig config;
+  config.setup = std::move(setup);
+  config.workload = "terasort";
+  config.sort_modeled_bytes = 512 * kMiB;
+  config.nodes = 3;
+  config.block_size = 32 * kMiB;
+  config.target_real_bytes = 2 * kMiB;
+  return config;
+}
+
+TEST(RdmaEngineTest, SmallPacketsMeanMoreRequestsNotLoss) {
+  auto small = tiny(workloads::EngineSetup::osu_ib());
+  small.setup.extra.set_bytes(mapred::kRdmaPacketBytes, 32 * 1024);
+  auto big = tiny(workloads::EngineSetup::osu_ib());
+  big.setup.extra.set_bytes(mapred::kRdmaPacketBytes, 16 * kMiB);
+  const auto small_run = workloads::run_experiment(small);
+  const auto big_run = workloads::run_experiment(big);
+  EXPECT_TRUE(small_run.validated);
+  EXPECT_TRUE(big_run.validated);
+  // Same payload either way.
+  EXPECT_NEAR(double(small_run.job.shuffled_modeled_bytes),
+              double(big_run.job.shuffled_modeled_bytes),
+              double(big_run.job.shuffled_modeled_bytes) * 0.01);
+}
+
+TEST(RdmaEngineTest, SingleResponderStillCorrect) {
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.setup.extra.set_int(mapred::kResponderThreads, 1);
+  EXPECT_TRUE(workloads::run_experiment(config).validated);
+}
+
+TEST(RdmaEngineTest, TinyCacheDegradesToMisses) {
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.setup.extra.set("mapred.local.caching.bytes", "1MB");
+  const auto outcome = workloads::run_experiment(config);
+  EXPECT_TRUE(outcome.validated);
+  // Map outputs (~170 MB modeled each tracker) dwarf a 1 MB cache: most
+  // requests must miss, yet the job still completes correctly.
+  EXPECT_GT(outcome.job.cache_misses, outcome.job.cache_hits);
+}
+
+TEST(RdmaEngineTest, TightShuffleMemoryStillCompletes) {
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.setup.extra.set("mapred.job.shuffle.input.buffer.bytes", "8MB");
+  EXPECT_TRUE(workloads::run_experiment(config).validated);
+}
+
+TEST(RdmaEngineTest, HadoopATightMemoryStillCompletes) {
+  // The urgency bypass must keep the levitated merge live even when the
+  // provisioned buffers dwarf the budget.
+  auto config = tiny(workloads::EngineSetup::hadoop_a());
+  config.setup.extra.set("mapred.job.shuffle.input.buffer.bytes", "4MB");
+  EXPECT_TRUE(workloads::run_experiment(config).validated);
+}
+
+TEST(RdmaEngineTest, CacheHitsDominateWhenCacheFits) {
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  const auto outcome = workloads::run_experiment(config);
+  EXPECT_GT(outcome.job.cache_hits, outcome.job.cache_misses * 5);
+}
+
+}  // namespace
+}  // namespace hmr::rdmashuffle
+
+namespace hmr::rdmashuffle {
+namespace {
+
+TEST(RdmaEngineTest, WriteRendezvousModeValidates) {
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.setup.extra.set(mapred::kRdmaRendezvous, "write");
+  const auto outcome = workloads::run_experiment(config);
+  EXPECT_TRUE(outcome.validated);
+}
+
+TEST(OptionsTest, RendezvousModeFromConf) {
+  Conf conf;
+  conf.set(mapred::kRdmaRendezvous, "write");
+  EXPECT_EQ(RdmaShuffleOptions::osu_ib(conf).ucr.rendezvous,
+            ucr::RendezvousMode::kWrite);
+  EXPECT_EQ(RdmaShuffleOptions::osu_ib(Conf{}).ucr.rendezvous,
+            ucr::RendezvousMode::kRead);
+}
+
+}  // namespace
+}  // namespace hmr::rdmashuffle

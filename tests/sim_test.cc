@@ -1,0 +1,688 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace hmr::sim {
+namespace {
+
+// ---------------------------------------------------------------- engine
+
+TEST(EngineTest, StartsAtZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.live_processes(), 0);
+}
+
+TEST(EngineTest, DelayAdvancesClock) {
+  Engine engine;
+  double finished_at = -1.0;
+  engine.spawn([](Engine& e, double& out) -> Task<> {
+    co_await e.delay(2.5);
+    co_await e.delay(1.5);
+    out = e.now();
+  }(engine, finished_at));
+  engine.run();
+  EXPECT_DOUBLE_EQ(finished_at, 4.0);
+  EXPECT_EQ(engine.live_processes(), 0);
+}
+
+TEST(EngineTest, EqualTimeEventsRunInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.spawn([](Engine& e, std::vector<int>& order, int id) -> Task<> {
+      co_await e.delay(1.0);
+      order.push_back(id);
+    }(engine, order, i));
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, ZeroDelayRunsAtSameTime) {
+  Engine engine;
+  double t = -1;
+  engine.spawn([](Engine& e, double& t) -> Task<> {
+    co_await e.delay(0.0);
+    t = e.now();
+  }(engine, t));
+  engine.run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(EngineTest, StructuredChildReturnsValue) {
+  Engine engine;
+  int result = 0;
+  engine.spawn([](Engine& e, int& out) -> Task<> {
+    auto child = [](Engine& e) -> Task<int> {
+      co_await e.delay(1.0);
+      co_return 42;
+    };
+    out = co_await child(e);
+  }(engine, result));
+  engine.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(EngineTest, NestedChildrenComposeDelays) {
+  Engine engine;
+  double done = 0;
+  engine.spawn([](Engine& e, double& done) -> Task<> {
+    auto inner = [](Engine& e) -> Task<int> {
+      co_await e.delay(1.0);
+      co_return 1;
+    };
+    auto middle = [inner](Engine& e) -> Task<int> {
+      int total = 0;
+      for (int i = 0; i < 3; ++i) total += co_await inner(e);
+      co_return total;
+    };
+    const int total = co_await middle(e);
+    EXPECT_EQ(total, 3);
+    done = e.now();
+  }(engine, done));
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 3.0);
+}
+
+TEST(EngineTest, ExceptionPropagatesToAwaiter) {
+  Engine engine;
+  bool caught = false;
+  engine.spawn([](Engine& e, bool& caught) -> Task<> {
+    auto thrower = [](Engine& e) -> Task<int> {
+      co_await e.delay(0.5);
+      throw std::runtime_error("boom");
+    };
+    try {
+      (void)co_await thrower(e);
+    } catch (const std::runtime_error& err) {
+      caught = std::string(err.what()) == "boom";
+    }
+  }(engine, caught));
+  engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(EngineTest, RunUntilStopsEarly) {
+  Engine engine;
+  int ticks = 0;
+  engine.spawn([](Engine& e, int& ticks) -> Task<> {
+    for (int i = 0; i < 100; ++i) {
+      co_await e.delay(1.0);
+      ++ticks;
+    }
+  }(engine, ticks));
+  engine.run_until(10.5);
+  EXPECT_EQ(ticks, 10);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.5);
+  EXPECT_EQ(engine.live_processes(), 1);
+  engine.run();
+  EXPECT_EQ(ticks, 100);
+}
+
+TEST(EngineTest, BlockedProcessReportedLive) {
+  Engine engine;
+  Event never(engine);
+  engine.spawn([](Event& ev) -> Task<> { co_await ev.wait(); }(never));
+  engine.run();
+  EXPECT_EQ(engine.live_processes(), 1);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine(42);
+    std::vector<double> times;
+    auto rng = engine.make_rng("jitter");
+    for (int i = 0; i < 10; ++i) {
+      engine.spawn(
+          [](Engine& e, std::vector<double>& times, double dt) -> Task<> {
+            co_await e.delay(dt);
+            times.push_back(e.now());
+          }(engine, times, rng.uniform()));
+    }
+    engine.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EngineTest, MakeRngIsStable) {
+  Engine a(7), b(7);
+  EXPECT_EQ(a.make_rng("x").next(), b.make_rng("x").next());
+}
+
+// ----------------------------------------------------------------- event
+
+TEST(EventTest, SetWakesAllWaiters) {
+  Engine engine;
+  Event ev(engine);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](Event& ev, int& woken) -> Task<> {
+      co_await ev.wait();
+      ++woken;
+    }(ev, woken));
+  }
+  engine.spawn([](Engine& e, Event& ev) -> Task<> {
+    co_await e.delay(5.0);
+    ev.set();
+  }(engine, ev));
+  engine.run();
+  EXPECT_EQ(woken, 3);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(EventTest, WaitOnSetEventIsImmediate) {
+  Engine engine;
+  Event ev(engine);
+  ev.set();
+  double t = -1;
+  engine.spawn([](Engine& e, Event& ev, double& t) -> Task<> {
+    co_await e.delay(1.0);
+    co_await ev.wait();
+    t = e.now();
+  }(engine, ev, t));
+  engine.run();
+  EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(EventTest, ResetRearms) {
+  Engine engine;
+  Event ev(engine);
+  ev.set();
+  ev.reset();
+  EXPECT_FALSE(ev.is_set());
+  int woken = 0;
+  engine.spawn([](Event& ev, int& woken) -> Task<> {
+    co_await ev.wait();
+    ++woken;
+  }(ev, woken));
+  engine.spawn([](Event& ev) -> Task<> {
+    ev.set();
+    co_return;
+  }(ev));
+  engine.run();
+  EXPECT_EQ(woken, 1);
+}
+
+// -------------------------------------------------------------- resource
+
+TEST(ResourceTest, CapacityLimitsConcurrency) {
+  Engine engine;
+  Resource cores(engine, 2, "cpu");
+  int concurrent = 0, peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    engine.spawn([](Engine& e, Resource& r, int& concurrent,
+                    int& peak) -> Task<> {
+      co_await r.acquire();
+      ++concurrent;
+      peak = std::max(peak, concurrent);
+      co_await e.delay(1.0);
+      --concurrent;
+      r.release();
+    }(engine, cores, concurrent, peak));
+  }
+  engine.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);  // 6 jobs, 2 at a time, 1s each
+  EXPECT_EQ(cores.available(), 2);
+}
+
+TEST(ResourceTest, FifoOrderPreserved) {
+  Engine engine;
+  Resource r(engine, 1, "disk");
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn([](Engine& e, Resource& r, std::vector<int>& order,
+                    int id) -> Task<> {
+      co_await e.delay(double(id) * 0.001);  // stagger arrival
+      co_await r.acquire();
+      order.push_back(id);
+      co_await e.delay(1.0);
+      r.release();
+    }(engine, r, order, i));
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ResourceTest, LargeRequestBlocksLaterSmallOnes) {
+  Engine engine;
+  Resource r(engine, 4, "mem");
+  std::vector<std::string> order;
+  engine.spawn([](Engine& e, Resource& r,
+                  std::vector<std::string>& order) -> Task<> {
+    co_await r.acquire(3);
+    order.push_back("A3");
+    co_await e.delay(2.0);
+    r.release(3);
+  }(engine, r, order));
+  engine.spawn([](Engine& e, Resource& r,
+                  std::vector<std::string>& order) -> Task<> {
+    co_await e.delay(0.1);
+    co_await r.acquire(3);  // must wait for A to release
+    order.push_back("B3");
+    r.release(3);
+  }(engine, r, order));
+  engine.spawn([](Engine& e, Resource& r,
+                  std::vector<std::string>& order) -> Task<> {
+    co_await e.delay(0.2);
+    co_await r.acquire(1);  // would fit, but must not jump the queue
+    order.push_back("C1");
+    r.release(1);
+  }(engine, r, order));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"A3", "B3", "C1"}));
+}
+
+TEST(ResourceTest, HoldReleasesOnScopeExit) {
+  Engine engine;
+  Resource r(engine, 1, "slot");
+  double second_start = -1;
+  engine.spawn([](Engine& e, Resource& r) -> Task<> {
+    auto guard = co_await hold(r);
+    co_await e.delay(3.0);
+    // guard released at scope exit
+  }(engine, r));
+  engine.spawn([](Engine& e, Resource& r, double& start) -> Task<> {
+    auto guard = co_await hold(r);
+    start = e.now();
+  }(engine, r, second_start));
+  engine.run();
+  EXPECT_DOUBLE_EQ(second_start, 3.0);
+  EXPECT_EQ(r.available(), 1);
+}
+
+// ------------------------------------------------------------- waitgroup
+
+TEST(WaitGroupTest, WaitsForAll) {
+  Engine engine;
+  WaitGroup wg(engine);
+  double done_at = -1;
+  for (int i = 1; i <= 3; ++i) {
+    wg.add();
+    engine.spawn([](Engine& e, WaitGroup& wg, double dt) -> Task<> {
+      co_await e.delay(dt);
+      wg.done();
+    }(engine, wg, double(i)));
+  }
+  engine.spawn([](Engine& e, WaitGroup& wg, double& done_at) -> Task<> {
+    co_await wg.wait();
+    done_at = e.now();
+  }(engine, wg, done_at));
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(WaitGroupTest, EmptyGroupDoesNotBlock) {
+  Engine engine;
+  WaitGroup wg(engine);
+  bool ran = false;
+  engine.spawn([](WaitGroup& wg, bool& ran) -> Task<> {
+    co_await wg.wait();
+    ran = true;
+  }(wg, ran));
+  engine.run();
+  EXPECT_TRUE(ran);
+}
+
+// --------------------------------------------------------------- channel
+
+TEST(ChannelTest, FifoDelivery) {
+  Engine engine;
+  Channel<int> ch(engine, 4);
+  std::vector<int> received;
+  engine.spawn([](Channel<int>& ch) -> Task<> {
+    for (int i = 0; i < 8; ++i) co_await ch.send(i);
+    ch.close();
+  }(ch));
+  engine.spawn([](Channel<int>& ch, std::vector<int>& received) -> Task<> {
+    while (auto v = co_await ch.recv()) received.push_back(*v);
+  }(ch, received));
+  engine.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(engine.live_processes(), 0);
+}
+
+TEST(ChannelTest, BoundedCapacityBlocksSender) {
+  Engine engine;
+  Channel<int> ch(engine, 2);
+  int sent = 0;
+  engine.spawn([](Channel<int>& ch, int& sent) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      co_await ch.send(i);
+      ++sent;
+    }
+  }(ch, sent));
+  engine.spawn([](Engine& e, Channel<int>& ch) -> Task<> {
+    co_await e.delay(10.0);
+    (void)co_await ch.recv();
+  }(engine, ch));
+  engine.run();
+  // 2 buffered + 1 handed to the receiver after its recv = 3 completed sends.
+  EXPECT_EQ(sent, 3);
+  EXPECT_EQ(engine.live_processes(), 1);  // sender still parked
+}
+
+TEST(ChannelTest, ReceiverBlocksUntilSend) {
+  Engine engine;
+  Channel<std::string> ch(engine, 1);
+  double received_at = -1;
+  engine.spawn([](Engine& e, Channel<std::string>& ch,
+                  double& received_at) -> Task<> {
+    auto v = co_await ch.recv();
+    EXPECT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "hi");
+    received_at = e.now();
+  }(engine, ch, received_at));
+  engine.spawn([](Engine& e, Channel<std::string>& ch) -> Task<> {
+    co_await e.delay(7.0);
+    co_await ch.send("hi");
+  }(engine, ch));
+  engine.run();
+  EXPECT_DOUBLE_EQ(received_at, 7.0);
+}
+
+TEST(ChannelTest, CloseWakesParkedReceivers) {
+  Engine engine;
+  Channel<int> ch(engine, 1);
+  int nullopts = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](Channel<int>& ch, int& nullopts) -> Task<> {
+      auto v = co_await ch.recv();
+      if (!v) ++nullopts;
+    }(ch, nullopts));
+  }
+  engine.spawn([](Engine& e, Channel<int>& ch) -> Task<> {
+    co_await e.delay(1.0);
+    ch.close();
+  }(engine, ch));
+  engine.run();
+  EXPECT_EQ(nullopts, 3);
+}
+
+TEST(ChannelTest, CloseDrainsBufferFirst) {
+  Engine engine;
+  Channel<int> ch(engine, 4);
+  std::vector<int> got;
+  int nullopts = 0;
+  engine.spawn([](Channel<int>& ch) -> Task<> {
+    co_await ch.send(1);
+    co_await ch.send(2);
+    ch.close();
+  }(ch));
+  engine.spawn([](Engine& e, Channel<int>& ch, std::vector<int>& got,
+                  int& nullopts) -> Task<> {
+    co_await e.delay(1.0);
+    while (true) {
+      auto v = co_await ch.recv();
+      if (!v) {
+        ++nullopts;
+        break;
+      }
+      got.push_back(*v);
+    }
+  }(engine, ch, got, nullopts));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_EQ(nullopts, 1);
+}
+
+TEST(ChannelTest, MultipleProducersConsumers) {
+  Engine engine;
+  Channel<int> ch(engine, 3);
+  WaitGroup producers(engine);
+  std::vector<int> received;
+  for (int p = 0; p < 4; ++p) {
+    producers.add();
+    engine.spawn(
+        [](Engine& e, Channel<int>& ch, WaitGroup& wg, int base) -> Task<> {
+          for (int i = 0; i < 10; ++i) {
+            co_await e.delay(0.01);
+            co_await ch.send(base + i);
+          }
+          wg.done();
+        }(engine, ch, producers, p * 100));
+  }
+  engine.spawn([](Channel<int>& ch, WaitGroup& wg) -> Task<> {
+    co_await wg.wait();
+    ch.close();
+  }(ch, producers));
+  for (int c = 0; c < 2; ++c) {
+    engine.spawn([](Channel<int>& ch, std::vector<int>& received) -> Task<> {
+      while (auto v = co_await ch.recv()) received.push_back(*v);
+    }(ch, received));
+  }
+  engine.run();
+  EXPECT_EQ(received.size(), 40u);
+  EXPECT_EQ(engine.live_processes(), 0);
+}
+
+// Property-style sweep: N producers × M items delivered exactly once for a
+// range of channel capacities.
+class ChannelSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChannelSweepTest, ExactlyOnceDelivery) {
+  const size_t capacity = GetParam();
+  Engine engine;
+  Channel<int> ch(engine, capacity);
+  WaitGroup producers(engine);
+  std::vector<int> received;
+  constexpr int kProducers = 3, kItems = 25;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.add();
+    engine.spawn(
+        [](Channel<int>& ch, WaitGroup& wg, int p) -> Task<> {
+          for (int i = 0; i < kItems; ++i) co_await ch.send(p * kItems + i);
+          wg.done();
+        }(ch, producers, p));
+  }
+  engine.spawn([](Channel<int>& ch, WaitGroup& wg) -> Task<> {
+    co_await wg.wait();
+    ch.close();
+  }(ch, producers));
+  engine.spawn([](Channel<int>& ch, std::vector<int>& received) -> Task<> {
+    while (auto v = co_await ch.recv()) received.push_back(*v);
+  }(ch, received));
+  engine.run();
+  ASSERT_EQ(received.size(), size_t(kProducers * kItems));
+  std::vector<int> sorted = received;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < kProducers * kItems; ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_EQ(engine.live_processes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ChannelSweepTest,
+                         ::testing::Values(1, 2, 3, 7, 64));
+
+}  // namespace
+}  // namespace hmr::sim
+
+namespace hmr::sim {
+namespace {
+
+TEST(ResourceTest, TryAcquireNonBlocking) {
+  Engine engine;
+  Resource r(engine, 2, "slots");
+  EXPECT_TRUE(r.try_acquire(2));
+  EXPECT_FALSE(r.try_acquire(1));
+  r.release(2);
+  EXPECT_TRUE(r.try_acquire(1));
+  r.release(1);
+}
+
+TEST(ResourceTest, TryAcquireYieldsToQueuedWaiters) {
+  Engine engine;
+  Resource r(engine, 1, "slot");
+  bool waiter_got_it = false;
+  engine.spawn([](Engine& e, Resource& r) -> Task<> {
+    co_await r.acquire();          // takes the only unit
+    co_await e.delay(1.0);
+    r.release();
+    co_return;
+  }(engine, r));
+  engine.spawn([](Resource& r, bool& got) -> Task<> {
+    co_await r.acquire();          // queues behind the holder
+    got = true;
+    r.release();
+  }(r, waiter_got_it));
+  engine.spawn([](Engine& e, Resource& r) -> Task<> {
+    co_await e.delay(0.5);
+    // A queued waiter exists: try_acquire must not jump the line even
+    // after the release happens.
+    EXPECT_FALSE(r.try_acquire(1));
+    co_return;
+  }(engine, r));
+  engine.run();
+  EXPECT_TRUE(waiter_got_it);
+}
+
+TEST(ChannelTest, TrySendRespectsCapacityAndClose) {
+  Engine engine;
+  Channel<int> ch(engine, 2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));  // full
+  EXPECT_EQ(ch.try_recv().value(), 1);
+  EXPECT_TRUE(ch.try_send(3));
+  ch.close();
+  EXPECT_FALSE(ch.try_send(4));  // closed
+}
+
+TEST(ChannelTest, TrySendHandsOffToParkedReceiver) {
+  Engine engine;
+  Channel<int> ch(engine, 1);
+  int got = -1;
+  engine.spawn([](Channel<int>& ch, int& got) -> Task<> {
+    auto v = co_await ch.recv();
+    got = v.value_or(-2);
+  }(ch, got));
+  engine.spawn([](Channel<int>& ch) -> Task<> {
+    EXPECT_TRUE(ch.try_send(42));
+    co_return;
+  }(ch));
+  engine.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(ChannelTest, TryRecvDrainsBuffer) {
+  Engine engine;
+  Channel<int> ch(engine, 4);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  EXPECT_TRUE(ch.try_send(7));
+  EXPECT_EQ(ch.try_recv().value(), 7);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+}  // namespace
+}  // namespace hmr::sim
+
+#include "sim/trace.h"
+
+namespace hmr::sim {
+namespace {
+
+TEST(TracerTest, RecordsSpansWithSimTime) {
+  Engine engine;
+  Tracer tracer(engine);
+  engine.set_tracer(&tracer);
+  engine.spawn([](Engine& e) -> Task<> {
+    auto span = maybe_span(e.tracer(), "host0", "map", "map_0");
+    co_await e.delay(2.0);
+  }(engine));
+  engine.run();
+  EXPECT_EQ(tracer.size(), 1u);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"map_0\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"host0\""), std::string::npos);
+}
+
+TEST(TracerTest, NullTracerIsFree) {
+  Engine engine;
+  engine.spawn([](Engine& e) -> Task<> {
+    auto span = maybe_span(e.tracer(), "x", "y", "z");  // tracer() == null
+    co_await e.delay(1.0);
+  }(engine));
+  engine.run();
+  EXPECT_EQ(engine.tracer(), nullptr);
+}
+
+TEST(TracerTest, JsonEscapesSpecials) {
+  Engine engine;
+  Tracer tracer(engine);
+  tracer.instant("tr\"ack", "cat", "na\\me\nline");
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("tr\\\"ack"), std::string::npos);
+  EXPECT_NE(json.find("na\\\\me\\nline"), std::string::npos);
+}
+
+TEST(TracerTest, TracksGetStableThreadIds) {
+  Engine engine;
+  Tracer tracer(engine);
+  tracer.instant("b", "c", "1");
+  tracer.instant("a", "c", "2");
+  tracer.instant("b", "c", "3");
+  const std::string json = tracer.to_chrome_json();
+  // Two thread_name metadata records, three instants.
+  size_t count = 0, pos = 0;
+  while ((pos = json.find("thread_name", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace hmr::sim
+
+namespace hmr::sim {
+namespace {
+
+TEST(EngineTest, MaxEventsGuardsRunaways) {
+  Engine engine;
+  engine.set_max_events(100);
+  engine.spawn([](Engine& e) -> Task<> {
+    while (true) co_await e.delay(0.001);  // would run forever
+  }(engine));
+  EXPECT_DEATH(engine.run(), "max_events");
+}
+
+TEST(EngineTest, DetachedExceptionAborts) {
+  Engine engine;
+  engine.spawn([](Engine& e) -> Task<> {
+    co_await e.delay(0.1);
+    throw std::runtime_error("unhandled in daemon");
+  }(engine));
+  EXPECT_DEATH(engine.run(), "detached sim task threw");
+}
+
+TEST(EngineTest, NegativeDelayAborts) {
+  Engine engine;
+  // Tasks are lazy: the bad delay fires when the engine runs the task.
+  engine.spawn([](Engine& e) -> Task<> { co_await e.delay(-1.0); }(engine));
+  EXPECT_DEATH(engine.run(), "negative delay");
+}
+
+TEST(ResourceTest, OverReleaseAborts) {
+  Engine engine;
+  Resource r(engine, 1, "x");
+  EXPECT_DEATH(r.release(), "over-release");
+}
+
+TEST(ChannelTest, SendOnClosedAborts) {
+  Engine engine;
+  Channel<int> ch(engine, 1);
+  ch.close();
+  engine.spawn([](Channel<int>& ch) -> Task<> { co_await ch.send(1); }(ch));
+  EXPECT_DEATH(engine.run(), "closed channel");
+}
+
+}  // namespace
+}  // namespace hmr::sim

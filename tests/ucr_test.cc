@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "net/cluster.h"
+#include "ucr/endpoint.h"
+
+namespace hmr::ucr {
+namespace {
+
+using net::Cluster;
+using net::NetProfile;
+using sim::Engine;
+using sim::Task;
+
+struct UcrWorld {
+  Engine engine;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<Network> network;
+  std::unique_ptr<Listener> listener;
+  std::unique_ptr<Endpoint> client;
+  std::unique_ptr<Endpoint> server;
+
+  explicit UcrWorld(UcrParams params = {}) {
+    const auto profile = NetProfile::verbs_qdr();
+    cluster =
+        std::make_unique<Cluster>(engine, profile, Cluster::uniform(2, 1));
+    network = std::make_unique<Network>(engine, profile);
+    listener =
+        std::make_unique<Listener>(*network, cluster->host(1), params);
+    engine.spawn([](UcrWorld& w) -> Task<> {
+      w.server = co_await w.listener->accept();
+    }(*this));
+    engine.spawn([](UcrWorld& w, UcrParams params) -> Task<> {
+      w.client =
+          co_await connect(*w.network, w.cluster->host(0), *w.listener, params);
+    }(*this, params));
+    engine.run();
+    HMR_CHECK(client && server);
+  }
+
+  void teardown() {
+    client->close();
+    server->close();
+    engine.run();
+  }
+};
+
+TEST(UcrTest, ConnectEstablishesEndpointPair) {
+  UcrWorld w;
+  EXPECT_EQ(&w.client->local_host(), &w.cluster->host(0));
+  EXPECT_EQ(&w.client->remote_host(), &w.cluster->host(1));
+  EXPECT_EQ(&w.server->local_host(), &w.cluster->host(1));
+  w.teardown();
+}
+
+TEST(UcrTest, EagerSmallMessageRoundTrip) {
+  UcrWorld w;
+  std::string got;
+  w.engine.spawn([](UcrWorld& w, std::string& got) -> Task<> {
+    Bytes payload = {'p', 'i', 'n', 'g'};
+    co_await w.client->send(Message::data(std::move(payload), 1.0, 42));
+    auto reply = co_await w.server->recv();
+    EXPECT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->tag, 42u);
+    got.assign(reply->payload->begin(), reply->payload->end());
+  }(w, got));
+  w.engine.run();
+  EXPECT_EQ(got, "ping");
+  EXPECT_EQ(w.client->eager_sends(), 1u);
+  EXPECT_EQ(w.client->rendezvous_sends(), 0u);
+  w.teardown();
+}
+
+TEST(UcrTest, LargeMessageUsesRendezvous) {
+  UcrWorld w;
+  bool ok = false;
+  w.engine.spawn([](UcrWorld& w, bool& ok) -> Task<> {
+    Bytes big(200 * 1024, 0xcd);
+    co_await w.client->send(Message::data(std::move(big), 1.0, 7));
+    auto msg = co_await w.server->recv();
+    EXPECT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->tag, 7u);
+    EXPECT_EQ(msg->real_size(), 200u * 1024u);
+    EXPECT_EQ((*msg->payload)[1000], 0xcd);
+    ok = true;
+  }(w, ok));
+  w.engine.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(w.client->rendezvous_sends(), 1u);
+  w.teardown();
+}
+
+TEST(UcrTest, ModeledOnlyMessageKeepsNullPayload) {
+  UcrWorld w;
+  w.engine.spawn([](UcrWorld& w) -> Task<> {
+    co_await w.client->send(Message{nullptr, 1'000'000, 5});
+    auto msg = co_await w.server->recv();
+    EXPECT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->payload, nullptr);
+    EXPECT_EQ(msg->modeled_bytes, 1'000'000u);
+    EXPECT_EQ(msg->tag, 5u);
+  }(w));
+  w.engine.run();
+  w.teardown();
+}
+
+TEST(UcrTest, MixedSizesStayInOrder) {
+  UcrWorld w;
+  std::vector<std::uint64_t> tags;
+  w.engine.spawn([](UcrWorld& w) -> Task<> {
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      // Alternate eager and rendezvous.
+      const std::uint64_t modeled = (i % 2 == 0) ? 512 : 256 * 1024;
+      co_await w.client->send(Message{nullptr, modeled, i});
+    }
+    w.client->close();
+  }(w));
+  w.engine.spawn([](UcrWorld& w, std::vector<std::uint64_t>& tags) -> Task<> {
+    while (auto msg = co_await w.server->recv()) tags.push_back(msg->tag);
+  }(w, tags));
+  w.engine.run();
+  EXPECT_EQ(tags.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(tags.begin(), tags.end()));
+  w.server->close();
+  w.engine.run();
+}
+
+TEST(UcrTest, BidirectionalTraffic) {
+  UcrWorld w;
+  int exchanges = 0;
+  w.engine.spawn([](UcrWorld& w, int& exchanges) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      co_await w.client->send(Message{nullptr, 100, 1});
+      auto reply = co_await w.client->recv();
+      EXPECT_TRUE(reply.has_value() && reply->tag == 2);
+      ++exchanges;
+    }
+  }(w, exchanges));
+  w.engine.spawn([](UcrWorld& w) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      auto req = co_await w.server->recv();
+      EXPECT_TRUE(req.has_value() && req->tag == 1);
+      co_await w.server->send(Message{nullptr, 100, 2});
+    }
+  }(w));
+  w.engine.run();
+  EXPECT_EQ(exchanges, 5);
+  w.teardown();
+}
+
+TEST(UcrTest, CloseDeliversNulloptToPeer) {
+  UcrWorld w;
+  bool saw_nullopt = false;
+  w.engine.spawn([](UcrWorld& w, bool& saw) -> Task<> {
+    w.client->close();
+    auto msg = co_await w.server->recv();
+    saw = !msg.has_value();
+  }(w, saw_nullopt));
+  w.engine.run();
+  EXPECT_TRUE(saw_nullopt);
+  w.server->close();
+  w.engine.run();
+}
+
+TEST(UcrTest, RendezvousIsFasterThanEagerForBulk) {
+  // Same 16 MB modeled payload; tiny eager threshold forces chunked-eager
+  // behaviour to be emulated by... we instead compare one rendezvous send
+  // against many eager sends of the same total size.
+  const std::uint64_t total = 16 * 1024 * 1024;
+  double rzv_time, eager_time;
+  {
+    UcrWorld w;
+    w.engine.spawn([](UcrWorld& w, std::uint64_t total) -> Task<> {
+      co_await w.client->send(Message{nullptr, total, 0});
+      (void)co_await w.server->recv();
+    }(w, total));
+    const double t0 = w.engine.now();
+    w.engine.run();
+    rzv_time = w.engine.now() - t0;
+    w.teardown();
+  }
+  {
+    UcrWorld w;
+    const std::uint64_t kChunk = 8 * 1024;
+    // Producer and consumer must run concurrently: the endpoint's inbox
+    // and credits are bounded, so a send-everything-then-receive pattern
+    // would (correctly) stall.
+    w.engine.spawn([](UcrWorld& w, std::uint64_t total,
+                      std::uint64_t kChunk) -> Task<> {
+      for (std::uint64_t sent = 0; sent < total; sent += kChunk) {
+        co_await w.client->send(Message{nullptr, kChunk, 0});
+      }
+    }(w, total, kChunk));
+    w.engine.spawn([](UcrWorld& w, std::uint64_t total,
+                      std::uint64_t kChunk) -> Task<> {
+      for (std::uint64_t sent = 0; sent < total; sent += kChunk) {
+        (void)co_await w.server->recv();
+      }
+    }(w, total, kChunk));
+    const double t0 = w.engine.now();
+    w.engine.run();
+    eager_time = w.engine.now() - t0;
+    w.teardown();
+  }
+  EXPECT_LT(rzv_time, eager_time);
+}
+
+TEST(UcrTest, ListenerCloseUnblocksAccept) {
+  Engine engine;
+  const auto profile = NetProfile::verbs_qdr();
+  Cluster cluster(engine, profile, Cluster::uniform(2, 1));
+  Network network(engine, profile);
+  Listener listener(network, cluster.host(1));
+  bool got_null = false;
+  engine.spawn([](Listener& l, bool& out) -> Task<> {
+    auto ep = co_await l.accept();
+    out = ep == nullptr;
+  }(listener, got_null));
+  engine.spawn([](Engine& e, Listener& l) -> Task<> {
+    co_await e.delay(0.5);
+    l.close();
+  }(engine, listener));
+  engine.run();
+  EXPECT_TRUE(got_null);
+}
+
+// Property sweep: payload integrity across sizes spanning the
+// eager/rendezvous boundary.
+class UcrSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UcrSizeSweep, PayloadIntegrity) {
+  const size_t size = GetParam();
+  UcrWorld w;
+  bool ok = false;
+  w.engine.spawn([](UcrWorld& w, size_t size, bool& ok) -> Task<> {
+    Bytes payload(size);
+    std::iota(payload.begin(), payload.end(), std::uint8_t(0));
+    Bytes expected = payload;
+    co_await w.client->send(Message::data(std::move(payload), 1.0, 1));
+    auto msg = co_await w.server->recv();
+    EXPECT_TRUE(msg.has_value());
+    ok = msg.has_value() && *msg->payload == expected;
+  }(w, size, ok));
+  w.engine.run();
+  EXPECT_TRUE(ok);
+  w.teardown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UcrSizeSweep,
+                         ::testing::Values(1, 100, 16 * 1024 - 1, 16 * 1024,
+                                           16 * 1024 + 1, 128 * 1024,
+                                           1024 * 1024));
+
+}  // namespace
+}  // namespace hmr::ucr
+
+namespace hmr::ucr {
+namespace {
+
+UcrParams write_mode_params() {
+  UcrParams params;
+  params.rendezvous = RendezvousMode::kWrite;
+  return params;
+}
+
+TEST(UcrWriteModeTest, LargePayloadIntegrity) {
+  UcrWorld w(write_mode_params());
+  bool ok = false;
+  w.engine.spawn([](UcrWorld& w, bool& ok) -> Task<> {
+    Bytes big(300 * 1024);
+    std::iota(big.begin(), big.end(), std::uint8_t(3));
+    Bytes expected = big;
+    co_await w.client->send(Message::data(std::move(big), 1.0, 9));
+    auto msg = co_await w.server->recv();
+    EXPECT_TRUE(msg.has_value());
+    ok = msg.has_value() && msg->tag == 9 && *msg->payload == expected;
+  }(w, ok));
+  w.engine.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(w.client->rendezvous_sends(), 1u);
+  w.teardown();
+}
+
+TEST(UcrWriteModeTest, ModeledOnlyMessage) {
+  UcrWorld w(write_mode_params());
+  w.engine.spawn([](UcrWorld& w) -> Task<> {
+    co_await w.client->send(Message{nullptr, 2'000'000, 4});
+    auto msg = co_await w.server->recv();
+    EXPECT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->payload, nullptr);
+    EXPECT_EQ(msg->modeled_bytes, 2'000'000u);
+  }(w));
+  w.engine.run();
+  w.teardown();
+}
+
+TEST(UcrWriteModeTest, OrderPreservedAcrossModes) {
+  UcrWorld w(write_mode_params());
+  std::vector<std::uint64_t> tags;
+  w.engine.spawn([](UcrWorld& w) -> Task<> {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      const std::uint64_t modeled = (i % 2 == 0) ? 256 : 512 * 1024;
+      co_await w.client->send(Message{nullptr, modeled, i});
+    }
+    w.client->close();
+  }(w));
+  w.engine.spawn([](UcrWorld& w, std::vector<std::uint64_t>& tags) -> Task<> {
+    while (auto msg = co_await w.server->recv()) tags.push_back(msg->tag);
+  }(w, tags));
+  w.engine.run();
+  EXPECT_EQ(tags.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(tags.begin(), tags.end()));
+  w.server->close();
+  w.engine.run();
+}
+
+TEST(UcrWriteModeTest, TimingComparableToReadMode) {
+  auto time_one = [](UcrParams params) {
+    UcrWorld w(params);
+    const double t0 = w.engine.now();
+    w.engine.spawn([](UcrWorld& w) -> Task<> {
+      co_await w.client->send(Message{nullptr, 32 * 1024 * 1024, 0});
+      (void)co_await w.server->recv();
+    }(w));
+    w.engine.run();
+    const double elapsed = w.engine.now() - t0;
+    w.teardown();
+    return elapsed;
+  };
+  const double read_mode = time_one(UcrParams{});
+  const double write_mode = time_one(write_mode_params());
+  // Same bulk transfer either way; protocol overheads differ slightly.
+  EXPECT_NEAR(read_mode, write_mode, read_mode * 0.2);
+}
+
+}  // namespace
+}  // namespace hmr::ucr

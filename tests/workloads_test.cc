@@ -1,0 +1,223 @@
+// Tests for the workload generators and validators: the pieces that
+// decide whether a shuffle engine's output counts as correct.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "dataplane/kv.h"
+#include "workloads/datagen.h"
+#include "workloads/experiment.h"
+#include "workloads/jobs.h"
+#include "workloads/testbed.h"
+
+namespace hmr::workloads {
+namespace {
+
+using dataplane::KvPair;
+
+TestbedSpec small_bed() {
+  TestbedSpec spec;
+  spec.nodes = 3;
+  spec.hdfs.block_size = 4 * kMiB;
+  return spec;
+}
+
+DataGenSpec small_gen() {
+  DataGenSpec gen;
+  gen.dir = "/in";
+  gen.modeled_total = 16 * kMiB;
+  gen.part_modeled = 4 * kMiB;
+  gen.scale = 8.0;
+  gen.seed = 5;
+  return gen;
+}
+
+TEST(DatagenTest, TeragenWritesBlockSizedParts) {
+  Testbed bed(small_bed());
+  auto digest = bed.generate("teragen", small_gen());
+  EXPECT_TRUE(digest.ok());
+  const auto parts = bed.dfs().list("/in/");
+  EXPECT_EQ(parts.size(), 4u);
+  for (const auto& part : parts) {
+    const auto info = bed.dfs().stat(part).value();
+    EXPECT_EQ(info.blocks.size(), 1u) << part << " must be single-block";
+    EXPECT_LE(info.modeled_size(), 4 * kMiB);
+    EXPECT_GT(info.modeled_size(), 3 * kMiB);
+  }
+}
+
+TEST(DatagenTest, TeragenRecordsAre100ByteRows) {
+  Testbed bed(small_bed());
+  EXPECT_TRUE(bed.generate("teragen", small_gen()).ok());
+  auto payload = bed.dfs().peek(bed.dfs().list("/in/").front()).value();
+  auto records = dataplane::decode_run(payload).value();
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    EXPECT_EQ(record.key.size(), 10u);
+    EXPECT_EQ(record.value.size(), 90u);
+  }
+}
+
+TEST(DatagenTest, DeterministicDigestPerSeed) {
+  auto digest_for = [](std::uint64_t seed) {
+    Testbed bed(small_bed());
+    auto gen = small_gen();
+    gen.seed = seed;
+    return bed.generate("teragen", gen).value();
+  };
+  EXPECT_EQ(digest_for(1), digest_for(1));
+  EXPECT_NE(digest_for(1).checksum, digest_for(2).checksum);
+}
+
+TEST(DatagenTest, RandomWriterRespectsInflation) {
+  Testbed bed(small_bed());
+  auto gen = small_gen();
+  gen.scale = 64.0;
+  gen.record_inflation = 8.0;  // real records shrink 8x vs scale
+  EXPECT_TRUE(bed.generate("randomwriter", gen).ok());
+  auto payload = bed.dfs().peek(bed.dfs().list("/in/").front()).value();
+  auto records = dataplane::decode_run(payload).value();
+  ASSERT_FALSE(records.empty());
+  std::uint64_t max_real = 0;
+  for (const auto& record : records) {
+    max_real = std::max<std::uint64_t>(
+        max_real, record.key.size() + record.value.size());
+  }
+  // Paper records reach ~20010 bytes; carried at inflation/scale = 1/8.
+  EXPECT_LE(max_real, 20010u / 8u + 16u);
+  EXPECT_GT(max_real, 200u);  // variable sizes did show up
+}
+
+TEST(DatagenTest, TextgenProducesVocabularyWords) {
+  Testbed bed(small_bed());
+  EXPECT_TRUE(bed.generate("textgen", small_gen()).ok());
+  auto payload = bed.dfs().peek(bed.dfs().list("/in/").front()).value();
+  auto records = dataplane::decode_run(payload).value();
+  ASSERT_FALSE(records.empty());
+  const std::string text(records[0].value.begin(), records[0].value.end());
+  EXPECT_NE(text.find(' '), std::string::npos);
+}
+
+TEST(DatagenTest, DigestFoldIsOrderIndependent) {
+  DatasetDigest a, b;
+  const auto r1 = dataplane::make_kv("key1", "value1");
+  const auto r2 = dataplane::make_kv("key2", "value2");
+  a.fold(r1.key, r1.value);
+  a.fold(r2.key, r2.value);
+  b.fold(r2.key, r2.value);
+  b.fold(r1.key, r1.value);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.records, 2u);
+}
+
+TEST(ValidateTest, DetectsMissingOutput) {
+  Testbed bed(small_bed());
+  EXPECT_FALSE(validate_output(bed.dfs(), "/nothing").ok());
+}
+
+TEST(ValidateTest, DetectsUnsortedPart) {
+  Testbed bed(small_bed());
+  std::vector<KvPair> unsorted = {dataplane::make_kv("zz", "1"),
+                                  dataplane::make_kv("aa", "2")};
+  bed.engine().spawn([](Testbed& bed, Bytes run) -> sim::Task<> {
+    co_await bed.dfs().write(bed.cluster().host(1), "/out/part-00000",
+                             std::move(run));
+  }(bed, dataplane::encode_run(unsorted)));
+  bed.engine().run();
+  const auto report = validate_output(bed.dfs(), "/out").value();
+  EXPECT_FALSE(report.per_part_sorted);
+  EXPECT_FALSE(report.globally_sorted);
+}
+
+TEST(ValidateTest, DetectsCrossPartDisorder) {
+  Testbed bed(small_bed());
+  std::vector<KvPair> high = {dataplane::make_kv("zz", "1")};
+  std::vector<KvPair> low = {dataplane::make_kv("aa", "2")};
+  bed.engine().spawn([](Testbed& bed, Bytes a, Bytes b) -> sim::Task<> {
+    co_await bed.dfs().write(bed.cluster().host(1), "/out/part-00000",
+                             std::move(a));
+    co_await bed.dfs().write(bed.cluster().host(1), "/out/part-00001",
+                             std::move(b));
+  }(bed, dataplane::encode_run(high), dataplane::encode_run(low)));
+  bed.engine().run();
+  const auto report = validate_output(bed.dfs(), "/out").value();
+  EXPECT_TRUE(report.per_part_sorted);
+  EXPECT_FALSE(report.globally_sorted);
+}
+
+TEST(ValidateTest, DigestCatchesContentTampering) {
+  Testbed bed(small_bed());
+  auto digest = bed.generate("teragen", small_gen()).value();
+  // "Sort" that drops a record: digest must not match.
+  DatasetDigest tampered = digest;
+  const auto r = dataplane::make_kv("extra", "record");
+  tampered.fold(r.key, r.value);
+  EXPECT_NE(tampered, digest);
+}
+
+TEST(ExperimentTest, BlockSizeDefaultsFollowThePaper) {
+  // TeraSort: 256 MB (128 MB for Hadoop-A); Sort: 64 MB (§IV-B/C).
+  RunConfig config;
+  config.setup = EngineSetup::osu_ib();
+  config.workload = "terasort";
+  config.sort_modeled_bytes = 1 * kGiB;
+  config.nodes = 2;
+  config.target_real_bytes = 1 * kMiB;
+  const auto osu = run_experiment(config);
+  EXPECT_EQ(osu.job.num_maps, 4);  // 1 GB / 256 MB
+
+  config.setup = EngineSetup::hadoop_a();
+  const auto hadoop_a = run_experiment(config);
+  EXPECT_EQ(hadoop_a.job.num_maps, 8);  // 1 GB / 128 MB
+
+  config.setup = EngineSetup::osu_ib();
+  config.workload = "sort";
+  const auto sort = run_experiment(config);
+  EXPECT_EQ(sort.job.num_maps, 16);  // 1 GB / 64 MB
+}
+
+TEST(ExperimentTest, SeedsChangeLayoutNotValidity) {
+  RunConfig config;
+  config.setup = EngineSetup::osu_ib();
+  config.workload = "terasort";
+  config.sort_modeled_bytes = 1 * kGiB;
+  config.nodes = 2;
+  config.target_real_bytes = 1 * kMiB;
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    config.seed = seed;
+    EXPECT_TRUE(run_experiment(config).validated) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace hmr::workloads
+
+#include "workloads/report.h"
+
+namespace hmr::workloads {
+namespace {
+
+TEST(ReportTest, UtilizationMentionsEveryDisk) {
+  Testbed bed(small_bed());
+  EXPECT_TRUE(bed.generate("teragen", small_gen()).ok());
+  (void)bed.run_job(terasort_job(bed.dfs(), "/in", "/out", Conf{}));
+  const std::string report = utilization_report(bed);
+  for (size_t h = 0; h < bed.cluster().size(); ++h) {
+    EXPECT_NE(report.find(bed.cluster().host(h).name()), std::string::npos);
+  }
+  EXPECT_NE(report.find("network:"), std::string::npos);
+  EXPECT_NE(report.find("%"), std::string::npos);
+}
+
+TEST(ReportTest, JobReportCarriesCountersAndPhases) {
+  Testbed bed(small_bed());
+  EXPECT_TRUE(bed.generate("teragen", small_gen()).ok());
+  const auto result =
+      bed.run_job(terasort_job(bed.dfs(), "/in", "/out", Conf{}));
+  const std::string report = job_report(result);
+  EXPECT_NE(report.find("job time"), std::string::npos);
+  EXPECT_NE(report.find("MAP_INPUT_RECORDS"), std::string::npos);
+  EXPECT_NE(report.find("shuffled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmr::workloads
