@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_packet.dir/ablation_packet.cc.o"
+  "CMakeFiles/ablation_packet.dir/ablation_packet.cc.o.d"
+  "ablation_packet"
+  "ablation_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

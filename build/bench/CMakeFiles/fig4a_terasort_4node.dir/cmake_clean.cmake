@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_terasort_4node.dir/fig4a_terasort_4node.cc.o"
+  "CMakeFiles/fig4a_terasort_4node.dir/fig4a_terasort_4node.cc.o.d"
+  "fig4a_terasort_4node"
+  "fig4a_terasort_4node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_terasort_4node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

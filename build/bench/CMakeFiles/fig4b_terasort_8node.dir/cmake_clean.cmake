@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_terasort_8node.dir/fig4b_terasort_8node.cc.o"
+  "CMakeFiles/fig4b_terasort_8node.dir/fig4b_terasort_8node.cc.o.d"
+  "fig4b_terasort_8node"
+  "fig4b_terasort_8node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_terasort_8node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_terasort_scale.dir/fig5_terasort_scale.cc.o"
+  "CMakeFiles/fig5_terasort_scale.dir/fig5_terasort_scale.cc.o.d"
+  "fig5_terasort_scale"
+  "fig5_terasort_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_terasort_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

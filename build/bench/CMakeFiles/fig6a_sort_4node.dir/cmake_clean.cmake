@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_sort_4node.dir/fig6a_sort_4node.cc.o"
+  "CMakeFiles/fig6a_sort_4node.dir/fig6a_sort_4node.cc.o.d"
+  "fig6a_sort_4node"
+  "fig6a_sort_4node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_sort_4node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

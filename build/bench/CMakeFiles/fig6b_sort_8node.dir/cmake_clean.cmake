@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_sort_8node.dir/fig6b_sort_8node.cc.o"
+  "CMakeFiles/fig6b_sort_8node.dir/fig6b_sort_8node.cc.o.d"
+  "fig6b_sort_8node"
+  "fig6b_sort_8node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_sort_8node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

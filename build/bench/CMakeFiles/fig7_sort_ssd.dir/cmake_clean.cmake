@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sort_ssd.dir/fig7_sort_ssd.cc.o"
+  "CMakeFiles/fig7_sort_ssd.dir/fig7_sort_ssd.cc.o.d"
+  "fig7_sort_ssd"
+  "fig7_sort_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sort_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

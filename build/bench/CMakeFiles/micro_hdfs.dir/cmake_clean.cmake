@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hdfs.dir/micro_hdfs.cc.o"
+  "CMakeFiles/micro_hdfs.dir/micro_hdfs.cc.o.d"
+  "micro_hdfs"
+  "micro_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

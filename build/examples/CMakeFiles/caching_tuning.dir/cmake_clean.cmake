@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_tuning.dir/caching_tuning.cpp.o"
+  "CMakeFiles/caching_tuning.dir/caching_tuning.cpp.o.d"
+  "caching_tuning"
+  "caching_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

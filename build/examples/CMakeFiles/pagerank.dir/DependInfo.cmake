@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pagerank.cpp" "examples/CMakeFiles/pagerank.dir/pagerank.cpp.o" "gcc" "examples/CMakeFiles/pagerank.dir/pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hmr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdmashuffle/CMakeFiles/hmr_rdmashuffle.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/hmr_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/hmr_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/hmr_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucr/CMakeFiles/hmr_ucr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hmr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_job.dir/trace_job.cpp.o"
+  "CMakeFiles/trace_job.dir/trace_job.cpp.o.d"
+  "trace_job"
+  "trace_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_common.dir/bytes.cc.o"
+  "CMakeFiles/hmr_common.dir/bytes.cc.o.d"
+  "CMakeFiles/hmr_common.dir/conf.cc.o"
+  "CMakeFiles/hmr_common.dir/conf.cc.o.d"
+  "CMakeFiles/hmr_common.dir/crc32.cc.o"
+  "CMakeFiles/hmr_common.dir/crc32.cc.o.d"
+  "CMakeFiles/hmr_common.dir/logging.cc.o"
+  "CMakeFiles/hmr_common.dir/logging.cc.o.d"
+  "CMakeFiles/hmr_common.dir/stats.cc.o"
+  "CMakeFiles/hmr_common.dir/stats.cc.o.d"
+  "CMakeFiles/hmr_common.dir/status.cc.o"
+  "CMakeFiles/hmr_common.dir/status.cc.o.d"
+  "CMakeFiles/hmr_common.dir/table.cc.o"
+  "CMakeFiles/hmr_common.dir/table.cc.o.d"
+  "CMakeFiles/hmr_common.dir/units.cc.o"
+  "CMakeFiles/hmr_common.dir/units.cc.o.d"
+  "libhmr_common.a"
+  "libhmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/cache.cc" "src/dataplane/CMakeFiles/hmr_dataplane.dir/cache.cc.o" "gcc" "src/dataplane/CMakeFiles/hmr_dataplane.dir/cache.cc.o.d"
+  "/root/repo/src/dataplane/kv.cc" "src/dataplane/CMakeFiles/hmr_dataplane.dir/kv.cc.o" "gcc" "src/dataplane/CMakeFiles/hmr_dataplane.dir/kv.cc.o.d"
+  "/root/repo/src/dataplane/merger.cc" "src/dataplane/CMakeFiles/hmr_dataplane.dir/merger.cc.o" "gcc" "src/dataplane/CMakeFiles/hmr_dataplane.dir/merger.cc.o.d"
+  "/root/repo/src/dataplane/segment.cc" "src/dataplane/CMakeFiles/hmr_dataplane.dir/segment.cc.o" "gcc" "src/dataplane/CMakeFiles/hmr_dataplane.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_dataplane.dir/cache.cc.o"
+  "CMakeFiles/hmr_dataplane.dir/cache.cc.o.d"
+  "CMakeFiles/hmr_dataplane.dir/kv.cc.o"
+  "CMakeFiles/hmr_dataplane.dir/kv.cc.o.d"
+  "CMakeFiles/hmr_dataplane.dir/merger.cc.o"
+  "CMakeFiles/hmr_dataplane.dir/merger.cc.o.d"
+  "CMakeFiles/hmr_dataplane.dir/segment.cc.o"
+  "CMakeFiles/hmr_dataplane.dir/segment.cc.o.d"
+  "libhmr_dataplane.a"
+  "libhmr_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_hdfs.dir/hdfs.cc.o"
+  "CMakeFiles/hmr_hdfs.dir/hdfs.cc.o.d"
+  "libhmr_hdfs.a"
+  "libhmr_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_mapred.dir/jobrunner.cc.o"
+  "CMakeFiles/hmr_mapred.dir/jobrunner.cc.o.d"
+  "CMakeFiles/hmr_mapred.dir/maptask.cc.o"
+  "CMakeFiles/hmr_mapred.dir/maptask.cc.o.d"
+  "CMakeFiles/hmr_mapred.dir/reducetask.cc.o"
+  "CMakeFiles/hmr_mapred.dir/reducetask.cc.o.d"
+  "CMakeFiles/hmr_mapred.dir/runtime.cc.o"
+  "CMakeFiles/hmr_mapred.dir/runtime.cc.o.d"
+  "CMakeFiles/hmr_mapred.dir/vanilla.cc.o"
+  "CMakeFiles/hmr_mapred.dir/vanilla.cc.o.d"
+  "libhmr_mapred.a"
+  "libhmr_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmr_mapred.a"
+)

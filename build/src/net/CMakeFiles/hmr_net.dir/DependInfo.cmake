@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cluster.cc" "src/net/CMakeFiles/hmr_net.dir/cluster.cc.o" "gcc" "src/net/CMakeFiles/hmr_net.dir/cluster.cc.o.d"
+  "/root/repo/src/net/ibfab.cc" "src/net/CMakeFiles/hmr_net.dir/ibfab.cc.o" "gcc" "src/net/CMakeFiles/hmr_net.dir/ibfab.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/hmr_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/hmr_net.dir/network.cc.o.d"
+  "/root/repo/src/net/profile.cc" "src/net/CMakeFiles/hmr_net.dir/profile.cc.o" "gcc" "src/net/CMakeFiles/hmr_net.dir/profile.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/hmr_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/hmr_net.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

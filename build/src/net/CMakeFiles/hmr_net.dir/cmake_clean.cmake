@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_net.dir/cluster.cc.o"
+  "CMakeFiles/hmr_net.dir/cluster.cc.o.d"
+  "CMakeFiles/hmr_net.dir/ibfab.cc.o"
+  "CMakeFiles/hmr_net.dir/ibfab.cc.o.d"
+  "CMakeFiles/hmr_net.dir/network.cc.o"
+  "CMakeFiles/hmr_net.dir/network.cc.o.d"
+  "CMakeFiles/hmr_net.dir/profile.cc.o"
+  "CMakeFiles/hmr_net.dir/profile.cc.o.d"
+  "CMakeFiles/hmr_net.dir/socket.cc.o"
+  "CMakeFiles/hmr_net.dir/socket.cc.o.d"
+  "libhmr_net.a"
+  "libhmr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_rdmashuffle.dir/engine.cc.o"
+  "CMakeFiles/hmr_rdmashuffle.dir/engine.cc.o.d"
+  "libhmr_rdmashuffle.a"
+  "libhmr_rdmashuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_rdmashuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

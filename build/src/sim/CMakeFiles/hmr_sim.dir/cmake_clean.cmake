@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_sim.dir/engine.cc.o"
+  "CMakeFiles/hmr_sim.dir/engine.cc.o.d"
+  "CMakeFiles/hmr_sim.dir/sync.cc.o"
+  "CMakeFiles/hmr_sim.dir/sync.cc.o.d"
+  "CMakeFiles/hmr_sim.dir/trace.cc.o"
+  "CMakeFiles/hmr_sim.dir/trace.cc.o.d"
+  "libhmr_sim.a"
+  "libhmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_storage.dir/disk.cc.o"
+  "CMakeFiles/hmr_storage.dir/disk.cc.o.d"
+  "CMakeFiles/hmr_storage.dir/localfs.cc.o"
+  "CMakeFiles/hmr_storage.dir/localfs.cc.o.d"
+  "libhmr_storage.a"
+  "libhmr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

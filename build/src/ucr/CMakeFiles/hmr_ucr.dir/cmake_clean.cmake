@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_ucr.dir/endpoint.cc.o"
+  "CMakeFiles/hmr_ucr.dir/endpoint.cc.o.d"
+  "libhmr_ucr.a"
+  "libhmr_ucr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_ucr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

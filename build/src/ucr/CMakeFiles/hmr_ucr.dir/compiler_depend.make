@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hmr_ucr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmr_workloads.dir/datagen.cc.o"
+  "CMakeFiles/hmr_workloads.dir/datagen.cc.o.d"
+  "CMakeFiles/hmr_workloads.dir/experiment.cc.o"
+  "CMakeFiles/hmr_workloads.dir/experiment.cc.o.d"
+  "CMakeFiles/hmr_workloads.dir/jobs.cc.o"
+  "CMakeFiles/hmr_workloads.dir/jobs.cc.o.d"
+  "CMakeFiles/hmr_workloads.dir/report.cc.o"
+  "CMakeFiles/hmr_workloads.dir/report.cc.o.d"
+  "CMakeFiles/hmr_workloads.dir/testbed.cc.o"
+  "CMakeFiles/hmr_workloads.dir/testbed.cc.o.d"
+  "libhmr_workloads.a"
+  "libhmr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

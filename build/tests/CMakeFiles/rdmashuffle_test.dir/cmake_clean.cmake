@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmashuffle_test.dir/rdmashuffle_test.cc.o"
+  "CMakeFiles/rdmashuffle_test.dir/rdmashuffle_test.cc.o.d"
+  "rdmashuffle_test"
+  "rdmashuffle_test.pdb"
+  "rdmashuffle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmashuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

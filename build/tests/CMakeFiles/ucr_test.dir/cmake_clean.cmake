@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_test.dir/ucr_test.cc.o"
+  "CMakeFiles/ucr_test.dir/ucr_test.cc.o.d"
+  "ucr_test"
+  "ucr_test.pdb"
+  "ucr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

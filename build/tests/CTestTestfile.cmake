@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/ucr_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane_test[1]_include.cmake")
+include("/root/repo/build/tests/hdfs_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_test[1]_include.cmake")
+include("/root/repo/build/tests/engines_test[1]_include.cmake")
+include("/root/repo/build/tests/rdmashuffle_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
