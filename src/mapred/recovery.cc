@@ -1,0 +1,43 @@
+#include "mapred/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmr::mapred {
+
+FetchRetryPolicy FetchRetryPolicy::from_conf(const Conf& conf) {
+  FetchRetryPolicy policy;
+  policy.fetch_timeout =
+      conf.get_double(kFetchTimeoutSec, policy.fetch_timeout);
+  policy.max_retries =
+      int(conf.get_int(kFetchMaxRetries, policy.max_retries));
+  policy.backoff_base =
+      conf.get_double(kFetchBackoffBaseSec, policy.backoff_base);
+  policy.backoff_max =
+      conf.get_double(kFetchBackoffMaxSec, policy.backoff_max);
+  policy.backoff_jitter =
+      conf.get_double(kFetchBackoffJitter, policy.backoff_jitter);
+  policy.blacklist_threshold =
+      int(conf.get_int(kBlacklistFailures, policy.blacklist_threshold));
+  return policy;
+}
+
+double FetchRetryPolicy::backoff(int attempt, Rng& rng) const {
+  const double exponential =
+      backoff_base * std::pow(2.0, double(std::max(0, attempt - 1)));
+  const double capped = std::min(exponential, backoff_max);
+  return capped * (1.0 + backoff_jitter * rng.uniform());
+}
+
+sim::Task<> fetch_watchdog(sim::Engine& engine,
+                           std::shared_ptr<void> keep_alive,
+                           sim::Channel<FetchEvent>& events, double timeout,
+                           std::uint64_t timer_id) {
+  co_await engine.delay(timeout);
+  FetchEvent expired;
+  expired.timer_id = timer_id;
+  (void)events.try_send(std::move(expired));
+  (void)keep_alive;
+}
+
+}  // namespace hmr::mapred

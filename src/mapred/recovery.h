@@ -1,0 +1,55 @@
+// Shuffle-fetch recovery policy shared by the RDMA copier and the
+// vanilla HTTP copier: per-request timeouts, capped exponential backoff
+// with jitter, and the tracker-blacklist threshold. The paper's design
+// (§III-B) assumes a healthy fabric and names fault handling as §VI
+// future work; this is that extension.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/conf.h"
+#include "common/rng.h"
+#include "mapred/types.h"
+#include "net/message.h"
+#include "sim/channel.h"
+#include "sim/engine.h"
+
+namespace hmr::mapred {
+
+// Resolved once per job from the Conf (see mapred/types.h for the keys
+// and docs/CONFIG.md for the rationale).
+struct FetchRetryPolicy {
+  double fetch_timeout = 60.0;   // seconds; 0 disables timeouts
+  int max_retries = 10;          // per request, before the job aborts
+  double backoff_base = 0.2;     // first retry delay, seconds
+  double backoff_max = 5.0;      // exponential growth cap, seconds
+  double backoff_jitter = 0.25;  // +[0, jitter) randomized fraction
+  int blacklist_threshold = 3;   // consecutive failures per tracker
+
+  static FetchRetryPolicy from_conf(const Conf& conf);
+
+  // Delay before retry number `attempt` (1-based): capped exponential
+  // with multiplicative jitter. Deterministic given the rng stream.
+  double backoff(int attempt, Rng& rng) const;
+};
+
+// What a copier's response wait wakes up on: either a transport message
+// or a watchdog timer firing. `timer_id` identifies which request's
+// watchdog expired so stale timers from already-answered requests are
+// ignored.
+struct FetchEvent {
+  std::optional<net::Message> msg;
+  std::uint64_t timer_id = 0;
+};
+
+// Watchdog: after `timeout` simulated seconds, posts a timer event into
+// `events` (dropped if the waiter is long gone and the buffer is full).
+// `keep_alive` pins the owner of `events` so a timer pending after the
+// copier finished cannot dangle.
+sim::Task<> fetch_watchdog(sim::Engine& engine,
+                           std::shared_ptr<void> keep_alive,
+                           sim::Channel<FetchEvent>& events, double timeout,
+                           std::uint64_t timer_id);
+
+}  // namespace hmr::mapred

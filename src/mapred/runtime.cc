@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "mapred/maptask.h"
+#include "sim/trace.h"
+
 namespace hmr::mapred {
 
 JobRuntime::JobRuntime(Cluster& cluster, Network& network,
@@ -18,7 +21,8 @@ JobRuntime::JobRuntime(Cluster& cluster, Network& network,
       trackers(std::move(trackers_in)),
       completion_pulse(engine),
       all_maps_done(engine),
-      slowstart_reached(engine) {
+      slowstart_reached(engine),
+      retry(FetchRetryPolicy::from_conf(spec.conf)) {
 
   // One split per input file (workload writers emit block-sized parts).
   int map_id = 0;
@@ -70,6 +74,16 @@ void JobRuntime::record_map_output(MapOutputInfo info) {
   const int map_id = info.map_id;
   const int host_id = info.host_id;
   if (maps.at(map_id).done) {
+    if (rerunning_maps.erase(map_id) > 0) {
+      // Recovery re-execution (ensure_fetchable): re-home the served
+      // output on the healthy host. Completion events already fired for
+      // the original attempt; only the serving location changes.
+      tracker_for_host(host_id).map_outputs.insert_or_assign(
+          std::pair{job_id, map_id}, std::move(info));
+      maps.at(map_id).ran_on = host_id;
+      if (shuffle != nullptr) shuffle->on_map_finished(*this, map_id, host_id);
+      return;
+    }
     // A speculative duplicate lost the race; its output is discarded
     // (the JobTracker kills the slower attempt in real Hadoop).
     return;
@@ -98,6 +112,62 @@ void JobRuntime::record_map_output(MapOutputInfo info) {
 sim::Task<> JobRuntime::charge_cpu(Host& host, std::uint64_t modeled_bytes,
                                    double bw) {
   co_await host.compute(double(modeled_bytes) / bw);
+}
+
+bool JobRuntime::report_fetch_failure(int host_id) {
+  if (blacklisted_trackers.contains(host_id)) return false;
+  const int streak = ++fetch_failure_streak[host_id];
+  if (streak < retry.blacklist_threshold) return false;
+  blacklisted_trackers.insert(host_id);
+  ++result.trackers_blacklisted;
+  engine.metrics().counter("shuffle.trackers.blacklisted").add();
+  if (auto* tracer = engine.tracer()) {
+    tracer->instant(tracker_for_host(host_id).host->name(), "fault",
+                    "tracker_blacklisted");
+  }
+  return true;
+}
+
+void JobRuntime::report_fetch_success(int host_id) {
+  fetch_failure_streak[host_id] = 0;
+}
+
+sim::Task<> JobRuntime::ensure_fetchable(int map_id) {
+  while (maps.at(map_id).ran_on < 0 ||
+         tracker_blacklisted(maps.at(map_id).ran_on)) {
+    auto inflight = reruns.find(map_id);
+    if (inflight != reruns.end()) {
+      // Another copier already kicked off the re-execution: share it.
+      co_await inflight->second->wait();
+      continue;
+    }
+    auto event = std::make_unique<sim::Event>(engine);
+    sim::Event& rerun_done = *event;
+    reruns.emplace(map_id, std::move(event));
+    TaskTrackerState* target = nullptr;
+    for (auto* tracker : trackers) {
+      if (!tracker_blacklisted(tracker->host->id())) {
+        target = tracker;
+        break;
+      }
+    }
+    HMR_CHECK_MSG(target != nullptr,
+                  "every TaskTracker is blacklisted; map output for map " +
+                      std::to_string(map_id) + " is unfetchable");
+    ++result.map_refetch_reruns;
+    engine.metrics().counter("shuffle.refetch.reruns").add();
+    if (auto* tracer = engine.tracer()) {
+      tracer->instant(target->host->name(), "fault",
+                      "refetch_rerun map_" + std::to_string(map_id));
+    }
+    rerunning_maps.insert(map_id);
+    {
+      auto slot = co_await sim::hold(target->map_slots);
+      co_await run_map_task(*this, map_id, *target);
+    }
+    rerun_done.set();
+    reruns.erase(map_id);
+  }
 }
 
 }  // namespace hmr::mapred

@@ -8,11 +8,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "dataplane/segment.h"
 #include "hdfs/hdfs.h"
+#include "mapred/recovery.h"
 #include "mapred/types.h"
 #include "net/cluster.h"
 #include "net/network.h"
@@ -113,10 +115,34 @@ struct JobRuntime {
 
   JobResult result;
 
+  // Shuffle-fetch recovery (mapred/recovery.h): resolved policy,
+  // per-tracker consecutive-failure streaks, and the blacklist.
+  FetchRetryPolicy retry;
+  std::map<int, int> fetch_failure_streak;  // tracker host id -> streak
+  std::set<int> blacklisted_trackers;
+  // Maps currently being re-executed for re-fetch, so re-registration in
+  // record_map_output is distinguishable from a losing speculative
+  // attempt; `reruns` dedupes concurrent ensure_fetchable callers.
+  std::set<int> rerunning_maps;
+  std::map<int, std::unique_ptr<sim::Event>> reruns;
+
   TaskTrackerState& tracker_for_host(int host_id);
   TaskTrackerState& tracker_of_map(int map_id);
   // Registers a finished map's output and fires completion events.
   void record_map_output(MapOutputInfo info);
+
+  bool tracker_blacklisted(int host_id) const {
+    return blacklisted_trackers.contains(host_id);
+  }
+  // A fetch from `host_id` timed out. Returns true when this crossed the
+  // blacklist threshold (the tracker is newly blacklisted).
+  bool report_fetch_failure(int host_id);
+  // A fetch from `host_id` succeeded: resets its failure streak.
+  void report_fetch_success(int host_id);
+  // Guarantees maps[map_id].ran_on points at a non-blacklisted tracker,
+  // re-executing the map on a healthy tracker if necessary. Concurrent
+  // callers for the same map share one re-execution.
+  sim::Task<> ensure_fetchable(int map_id);
   // Charges `modeled_bytes` of CPU at the given per-core throughput on
   // `host` (holds one core).
   sim::Task<> charge_cpu(Host& host, std::uint64_t modeled_bytes, double bw);

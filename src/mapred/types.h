@@ -13,6 +13,10 @@
 #include "dataplane/kv.h"
 #include "dataplane/partitioner.h"
 
+namespace hmr::sim {
+class FaultPlan;
+}
+
 namespace hmr::mapred {
 
 // --- configuration keys -------------------------------------------------
@@ -70,6 +74,29 @@ inline constexpr const char* kStragglerSlowdown =
 inline constexpr const char* kSpeculativeExecution =
     "mapred.map.tasks.speculative.execution";
 
+// Shuffle-fetch recovery (both engines; see mapred/recovery.h and
+// docs/CONFIG.md). A fetch with no response within the timeout is
+// retried with capped exponential backoff; after N consecutive failures
+// the serving tracker is blacklisted and its map outputs are re-executed
+// on a healthy tracker.
+inline constexpr const char* kFetchTimeoutSec =
+    "mapred.shuffle.fetch.timeout.sec";  // 0 disables timeouts
+inline constexpr const char* kFetchMaxRetries =
+    "mapred.shuffle.fetch.max.retries";
+inline constexpr const char* kFetchBackoffBaseSec =
+    "mapred.shuffle.fetch.backoff.base.sec";
+inline constexpr const char* kFetchBackoffMaxSec =
+    "mapred.shuffle.fetch.backoff.max.sec";
+inline constexpr const char* kFetchBackoffJitter =
+    "mapred.shuffle.fetch.backoff.jitter";
+inline constexpr const char* kBlacklistFailures =
+    "mapred.shuffle.tracker.blacklist.failures";
+// RDMA responder-side hardening: a request that sat in the
+// DataRequestQueue longer than this is orphaned (its copier already
+// timed out) and is evicted instead of served. 0 disables.
+inline constexpr const char* kResponderDeadlineSec =
+    "mapred.rdma.responder.deadline.sec";
+
 // Compute-cost model (modeled bytes per second per core).
 inline constexpr const char* kMapCpuBw = "mapred.cpu.map.bytes_per_sec";
 inline constexpr const char* kReduceCpuBw = "mapred.cpu.reduce.bytes_per_sec";
@@ -95,6 +122,9 @@ struct JobSpec {
   ReduceFn combine_fn;   // optional map-side combiner
   std::shared_ptr<const dataplane::Partitioner> partitioner =
       std::make_shared<dataplane::HashPartitioner>();
+  // Optional fault injection (not owned; must outlive the run). Shuffle
+  // responders/servlets consult it per request — see sim/fault.h.
+  sim::FaultPlan* faults = nullptr;
 };
 
 struct JobResult {
@@ -117,6 +147,13 @@ struct JobResult {
   std::uint64_t failed_map_attempts = 0;
   std::uint64_t speculative_attempts = 0;
   std::uint64_t speculative_wins = 0;  // backup finished before original
+
+  // Shuffle recovery counters (mapred/recovery.h).
+  std::uint64_t fetch_timeouts = 0;    // requests with no response in time
+  std::uint64_t fetch_retries = 0;     // re-issued requests
+  std::uint64_t trackers_blacklisted = 0;
+  std::uint64_t map_refetch_reruns = 0;  // maps re-executed for fetching
+  std::uint64_t refetched_modeled_bytes = 0;  // served by re-executed maps
 
   // Classic Hadoop job counters (MAP_INPUT_RECORDS, SPILLED_RECORDS, ...).
   std::map<std::string, std::int64_t> counters;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "dataplane/merger.h"
+#include "sim/fault.h"
+#include "sim/trace.h"
 
 namespace hmr::mapred {
 namespace {
@@ -10,6 +12,10 @@ namespace {
 constexpr std::uint64_t kTagRequest = 1;
 constexpr std::uint64_t kTagResponse = 2;
 constexpr std::uint64_t kRequestWireBytes = 150;  // HTTP GET + headers
+// Responses echo {map_id, reduce_id} ahead of the body so copiers can
+// match them to requests and discard stale duplicates of timed-out
+// fetches (stall faults can answer a request long after its retry).
+constexpr std::uint64_t kResponsePrefixBytes = 8;
 
 Bytes encode_request(int map_id, int reduce_id) {
   ByteWriter w;
@@ -43,13 +49,25 @@ struct VanillaShuffleEngine::ReduceShuffleState {
   int reduce_id;
   Host& host;
   sim::Channel<int> ready;  // map ids in completion order
-  std::map<int, std::unique_ptr<net::Socket>> connections;  // by host id
+
+  // One keep-alive connection per tracker host. Shared-owned: the pump
+  // coroutine and pending watchdog timers may outlive the reducer's
+  // fetch phase. `lock` serializes request/response exchange — HTTP
+  // keep-alive connections are not multiplexed — so only the lock
+  // holder ever reads `events`.
+  struct ConnState {
+    explicit ConnState(sim::Engine& engine)
+        : events(engine, 64), lock(engine, 1, "copier.conn") {}
+    std::unique_ptr<net::Socket> sock;
+    sim::Channel<FetchEvent> events;  // responses + watchdog expiries
+    sim::Resource lock;
+    std::uint64_t timer_seq = 0;
+  };
+  std::map<int, std::shared_ptr<ConnState>> conns;  // by host id
+
   sim::Resource merge_lock;
-  // Serializes connection setup per tracker host, and request/response
-  // exchange per connection: HTTP keep-alive connections are not
-  // multiplexed.
+  // Serializes connection setup per tracker host.
   sim::Resource dial_lock;
-  std::map<int, std::unique_ptr<sim::Resource>> conn_locks;
 
   std::uint64_t budget;
   std::uint64_t in_mem_modeled = 0;
@@ -95,6 +113,34 @@ sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
   while (auto request = co_await sock->recv()) {
     HMR_CHECK(request->tag == kTagRequest && request->payload != nullptr);
     const auto [map_id, reduce_id] = decode_request(*request->payload);
+    // Injected faults (sim/fault.h): a dead tracker's servlet stops
+    // answering; a faulty one drops or stalls individual responses.
+    // Copiers recover via timeout/retry/blacklist.
+    if (job.spec.faults != nullptr) {
+      sim::FaultPlan& faults = *job.spec.faults;
+      if (faults.tracker_dead(host_id, job.engine.now())) {
+        job.engine.metrics().counter("shuffle.fault.dropped_requests")
+            .add();
+        continue;
+      }
+      double stall_seconds = 0;
+      bool drop = false;
+      switch (faults.response_fate(host_id, &stall_seconds)) {
+        case sim::FaultPlan::ResponseFate::kDrop:
+          job.engine.metrics().counter("shuffle.fault.dropped_responses")
+              .add();
+          drop = true;
+          break;
+        case sim::FaultPlan::ResponseFate::kStall:
+          job.engine.metrics().counter("shuffle.fault.stalled_responses")
+              .add();
+          co_await job.engine.delay(stall_seconds);
+          break;
+        case sim::FaultPlan::ResponseFate::kDeliver:
+          break;
+      }
+      if (drop) continue;
+    }
     auto it = tracker.map_outputs.find({job.job_id, map_id});
     HMR_CHECK_MSG(it != tracker.map_outputs.end(),
                   "servlet asked for unknown map output");
@@ -108,7 +154,11 @@ sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
     HMR_CHECK(view.ok());
 
     auto slice = info.output->partition_bytes(reduce_id);
-    Bytes body(slice.begin(), slice.end());
+    ByteWriter prefix;
+    prefix.put_u32(std::uint32_t(map_id));
+    prefix.put_u32(std::uint32_t(reduce_id));
+    Bytes body = prefix.take();
+    body.insert(body.end(), slice.begin(), slice.end());
     const auto modeled = info.modeled_partition_bytes(reduce_id);
     net::Message response = net::Message::data(std::move(body), 1.0,
                                                kTagResponse);
@@ -149,40 +199,125 @@ sim::Task<> VanillaShuffleEngine::in_memory_merge(JobRuntime& job,
 }
 
 sim::Task<> VanillaShuffleEngine::copier_loop(JobRuntime& job,
-                                              ReduceShuffleState& state) {
+                                              ReduceShuffleState& state,
+                                              int copier_id) {
+  auto rng = job.engine.make_rng("vanilla.retry.r" +
+                                 std::to_string(state.reduce_id) + ".c" +
+                                 std::to_string(copier_id));
   while (auto map_id = co_await state.ready.recv()) {
-    const MapTaskInfo& map = job.maps.at(*map_id);
-    const int server_host = map.ran_on;
+    co_await fetch_one(job, state, *map_id, rng);
+  }
+}
 
+sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
+                                            ReduceShuffleState& state,
+                                            int map_id, Rng& rng) {
+  using ConnState = ReduceShuffleState::ConnState;
+  if (job.tracker_blacklisted(job.maps.at(map_id).ran_on)) {
+    // The serving tracker was blacklisted before this fetch started:
+    // wait for (or trigger) re-execution on a healthy tracker.
+    co_await job.ensure_fetchable(map_id);
+  }
+  int attempt = 0;
+  bool refetching = false;
+  while (true) {
+    const int server_host = job.maps.at(map_id).ran_on;
+
+    // Dial once per tracker; the pump turns socket deliveries into fetch
+    // events so a watchdog timer can race them.
+    std::shared_ptr<ConnState> conn;
     {
       auto dialing = co_await sim::hold(state.dial_lock);
-      if (!state.connections.contains(server_host)) {
-        auto sock =
-            co_await net::connect(job.network, state.host,
-                                  *listeners_.at(server_host));
-        state.connections.emplace(server_host, std::move(sock));
-        state.conn_locks.emplace(
-            server_host, std::make_unique<sim::Resource>(
-                             state.engine, 1, "copier.conn"));
+      auto it = state.conns.find(server_host);
+      if (it != state.conns.end()) {
+        conn = it->second;
+      } else {
+        auto fresh = std::make_shared<ConnState>(state.engine);
+        fresh->sock = co_await net::connect(job.network, state.host,
+                                            *listeners_.at(server_host));
+        job.engine.spawn([](std::shared_ptr<ConnState> conn) -> sim::Task<> {
+          while (auto msg = co_await conn->sock->recv()) {
+            FetchEvent event;
+            event.msg = std::move(*msg);
+            // Sized so delivery never parks the pump: one outstanding
+            // request per connection plus bounded stale duplicates.
+            (void)conn->events.try_send(std::move(event));
+          }
+        }(fresh));
+        state.conns.emplace(server_host, fresh);
+        conn = std::move(fresh);
       }
     }
-    net::Socket& sock = *state.connections.at(server_host);
 
-    // One request/response in flight per connection.
-    auto exchange = co_await sim::hold(*state.conn_locks.at(server_host));
+    // One request/response in flight per connection: only the lock
+    // holder reads the event channel.
+    auto exchange = co_await sim::hold(conn->lock);
     net::Message request = net::Message::data(
-        encode_request(*map_id, state.reduce_id), 1.0, kTagRequest);
+        encode_request(map_id, state.reduce_id), 1.0, kTagRequest);
     request.modeled_bytes = kRequestWireBytes;
-    co_await sock.send(std::move(request));
-    auto response = co_await sock.recv();
+    co_await conn->sock->send(std::move(request));
+    const std::uint64_t timer_id = ++conn->timer_seq;
+    if (job.retry.fetch_timeout > 0) {
+      job.engine.spawn(fetch_watchdog(job.engine, conn, conn->events,
+                                      job.retry.fetch_timeout, timer_id));
+    }
+    std::optional<net::Message> response;
+    while (true) {
+      auto event = co_await conn->events.recv();
+      HMR_CHECK(event.has_value());  // the events channel is never closed
+      if (event->msg.has_value()) {
+        HMR_CHECK(event->msg->tag == kTagResponse &&
+                  event->msg->payload != nullptr);
+        ByteReader r(*event->msg->payload);
+        const int got_map = int(r.u32().value());
+        const int got_reduce = int(r.u32().value());
+        if (got_map == map_id && got_reduce == state.reduce_id) {
+          response = std::move(event->msg);
+          break;
+        }
+        // Stale duplicate of a fetch some copier already retried.
+        job.engine.metrics().counter("shuffle.fetch.stale_dropped")
+            .add();
+        continue;
+      }
+      if (event->timer_id == timer_id) break;  // our watchdog fired
+      // Watchdog of an already-answered request: ignore.
+    }
     exchange.release();
-    HMR_CHECK_MSG(response.has_value() && response->tag == kTagResponse,
-                  "shuffle connection dropped");
 
+    if (!response.has_value()) {
+      ++attempt;
+      ++job.result.fetch_timeouts;
+      job.engine.metrics().counter("shuffle.fetch.timeouts").add();
+      if (auto* tracer = job.engine.tracer()) {
+        tracer->instant(state.host.name(), "fault",
+                        "fetch_timeout map_" + std::to_string(map_id));
+      }
+      HMR_CHECK_MSG(attempt <= job.retry.max_retries,
+                    "fetch of map " + std::to_string(map_id) + " exceeded " +
+                        kFetchMaxRetries);
+      (void)job.report_fetch_failure(server_host);
+      if (job.tracker_blacklisted(server_host)) {
+        co_await job.ensure_fetchable(map_id);
+        if (job.maps.at(map_id).ran_on != server_host) refetching = true;
+      } else {
+        co_await job.engine.delay(job.retry.backoff(attempt, rng));
+      }
+      ++job.result.fetch_retries;
+      job.engine.metrics().counter("shuffle.fetch.retries").add();
+      continue;
+    }
+
+    job.report_fetch_success(server_host);
     const std::uint64_t modeled = response->modeled_bytes;
     job.result.shuffled_modeled_bytes += modeled;
+    if (refetching) job.result.refetched_modeled_bytes += modeled;
     Segment segment;
-    segment.data = response->payload;
+    // Strip the {map_id, reduce_id} match prefix: merge sources must see
+    // clean kv data.
+    segment.data = std::make_shared<const Bytes>(
+        response->payload->begin() + kResponsePrefixBytes,
+        response->payload->end());
     segment.modeled = modeled;
 
     if (modeled > state.budget / 4) {
@@ -191,14 +326,14 @@ sim::Task<> VanillaShuffleEngine::copier_loop(JobRuntime& job,
       const std::string path = "shuffle/" + job.spec.name + "/r" +
                                std::to_string(state.reduce_id) + "/big" +
                                std::to_string(state.spill_seq++);
-      Bytes body = segment.data ? Bytes(*segment.data) : Bytes{};
+      Bytes body(*segment.data);
       const Status written = co_await state.host.fs().write_file(
           path, std::move(body), job.data_scale);
       HMR_CHECK(written.ok());
       segment.data = nullptr;
       segment.disk_path = path;
       state.on_disk.push_back(std::move(segment));
-      continue;
+      co_return;
     }
 
     state.in_mem.push_back(std::move(segment));
@@ -206,6 +341,7 @@ sim::Task<> VanillaShuffleEngine::copier_loop(JobRuntime& job,
     if (state.in_mem_modeled > (state.budget * 2) / 3) {
       co_await in_memory_merge(job, state);
     }
+    co_return;
   }
 }
 
@@ -237,11 +373,11 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
   for (int c = 0; c < copies; ++c) {
     copiers.add();
     job.engine.spawn([](VanillaShuffleEngine& self, JobRuntime& job,
-                        ReduceShuffleState& state,
+                        ReduceShuffleState& state, int copier_id,
                         sim::WaitGroup& done) -> sim::Task<> {
-      co_await self.copier_loop(job, state);
+      co_await self.copier_loop(job, state, copier_id);
       done.done();
-    }(*this, job, state, copiers));
+    }(*this, job, state, c, copiers));
   }
   co_await fetch_done.wait();
   co_await copiers.wait();
@@ -320,11 +456,13 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
     co_await sink.send(std::move(batch));
   }
 
-  // Clean up shuffle spill files and close connections.
+  // Clean up shuffle spill files and close connections. Closing our
+  // outgoing half makes the servlet exit; its socket teardown then ends
+  // the pump for this connection.
   for (const auto& segment : state.on_disk) {
     (void)host.fs().remove(segment.disk_path);
   }
-  for (auto& [_, sock] : state.connections) sock->close();
+  for (auto& [_, conn] : state.conns) conn->sock->close();
   sink.close();
 }
 

@@ -42,7 +42,12 @@ class VanillaShuffleEngine final : public ShuffleEngine {
   sim::Task<> servlet_conn_loop(JobRuntime& job,
                                 std::unique_ptr<net::Socket> sock,
                                 int host_id);
-  sim::Task<> copier_loop(JobRuntime& job, ReduceShuffleState& state);
+  sim::Task<> copier_loop(JobRuntime& job, ReduceShuffleState& state,
+                          int copier_id);
+  // Fetches one map's partition with timeout/retry/blacklist recovery
+  // (mapred/recovery.h) and stores it in memory or on disk.
+  sim::Task<> fetch_one(JobRuntime& job, ReduceShuffleState& state,
+                        int map_id, Rng& rng);
   sim::Task<> in_memory_merge(JobRuntime& job, ReduceShuffleState& state);
 
   std::map<int, std::unique_ptr<net::Listener>> listeners_;  // by host id

@@ -26,12 +26,29 @@ sim::Task<> Host::compute(double seconds) {
   co_await engine_.delay(seconds);
 }
 
+void Host::degrade_nic(double factor) {
+  egress_.bw *= factor;
+  ingress_.bw *= factor;
+}
+
 Cluster::Cluster(sim::Engine& engine, const NetProfile& profile,
                  const std::vector<HostSpec>& specs)
     : engine_(engine), profile_(profile) {
   int id = 0;
   for (const auto& spec : specs) {
     hosts_.push_back(std::make_unique<Host>(engine, id++, spec, profile_));
+  }
+}
+
+void Cluster::inject_faults(const sim::FaultPlan& plan) {
+  for (const auto& degrade : plan.nic_degrades()) {
+    Host& host = *hosts_.at(size_t(degrade.host_id));
+    engine_.spawn([](sim::Engine& engine, Host& host, double at,
+                     double factor) -> sim::Task<> {
+      const double dt = at - engine.now();
+      if (dt > 0) co_await engine.delay(dt);
+      host.degrade_nic(factor);
+    }(engine_, host, degrade.at, degrade.factor));
   }
 }
 

@@ -13,6 +13,7 @@
 
 #include "net/profile.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/sync.h"
 #include "storage/localfs.h"
 
@@ -51,6 +52,11 @@ class Host {
   // Occupies one core for `seconds` of simulated time.
   sim::Task<> compute(double seconds);
 
+  // Fault injection: multiplies both NIC directions' bandwidth by
+  // `factor`. Flows in progress see the new share on their next
+  // transmit step.
+  void degrade_nic(double factor);
+
  private:
   sim::Engine& engine_;
   int id_;
@@ -74,6 +80,11 @@ class Cluster {
   size_t size() const { return hosts_.size(); }
   Host& host(size_t i) { return *hosts_.at(i); }
   std::vector<Host*> hosts();
+
+  // Arms the plan's NIC degradations: spawns a timer per entry that
+  // fires Host::degrade_nic at the scheduled time. (Tracker kills and
+  // response drops are consulted inline by the shuffle engines.)
+  void inject_faults(const sim::FaultPlan& plan);
 
   // Uniform cluster of n hosts named host0..host{n-1}.
   static std::vector<HostSpec> uniform(int n, int disks_per_host,

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "dataplane/merger.h"
+#include "mapred/recovery.h"
+#include "sim/fault.h"
+#include "sim/trace.h"
 
 namespace hmr::rdmashuffle {
 
@@ -10,6 +13,20 @@ using dataplane::KvPair;
 using mapred::KvBatch;
 using mapred::MapOutputInfo;
 using mapred::TaskTrackerState;
+
+namespace {
+
+// Built outside the coroutine bodies: GCC 12 emits a spurious -Wrestrict
+// for char* + std::string&& chains inlined into coroutine frames.
+std::string map_cache_key(std::uint32_t job_id, std::uint32_t map_id) {
+  std::string key = "j";
+  key += std::to_string(job_id);
+  key += "_map_";
+  key += std::to_string(map_id);
+  return key;
+}
+
+}  // namespace
 
 RdmaShuffleOptions RdmaShuffleOptions::osu_ib(const Conf& conf) {
   RdmaShuffleOptions opt;
@@ -22,6 +39,8 @@ RdmaShuffleOptions RdmaShuffleOptions::osu_ib(const Conf& conf) {
   opt.responder_threads =
       int(conf.get_int(mapred::kResponderThreads, opt.responder_threads));
   opt.overlap_reduce = conf.get_bool(mapred::kOverlapReduce, true);
+  opt.responder_deadline = conf.get_double(mapred::kResponderDeadlineSec,
+                                           opt.responder_deadline);
   if (conf.get_string(mapred::kRdmaRendezvous, "read") == "write") {
     opt.ucr.rendezvous = ucr::RendezvousMode::kWrite;
   }
@@ -42,6 +61,8 @@ RdmaShuffleOptions RdmaShuffleOptions::hadoop_a(const Conf& conf) {
   opt.overlap_reduce = true;
   opt.pipelined_refill = false;  // levitated merge fetches on demand
   opt.charge_by_count = true;    // buffers provisioned by pair count
+  opt.responder_deadline = conf.get_double(mapred::kResponderDeadlineSec,
+                                           opt.responder_deadline);
   return opt;
 }
 
@@ -86,10 +107,10 @@ sim::Task<> RdmaShuffleEngine::rdma_listener(JobRuntime& job,
 sim::Task<> RdmaShuffleEngine::rdma_receiver(JobRuntime& job,
                                              TrackerService& service,
                                              ucr::Endpoint& endpoint) {
-  (void)job;
   while (auto msg = co_await endpoint.recv()) {
     HMR_CHECK(msg->tag == kTagDataRequest && msg->payload != nullptr);
-    PendingRequest pending{DataRequest::decode(*msg->payload), &endpoint};
+    PendingRequest pending{DataRequest::decode(*msg->payload), &endpoint,
+                           job.engine.now()};
     co_await service.request_queue.send(std::move(pending));
   }
   // Peer closed: complete the symmetric close so the peer's inbox drains.
@@ -101,6 +122,15 @@ sim::Task<> RdmaShuffleEngine::rdma_responder(JobRuntime& job,
                                               TrackerService& service,
                                               int host_id) {
   while (auto pending = co_await service.request_queue.recv()) {
+    if (options_.responder_deadline > 0 &&
+        job.engine.now() - pending->enqueued_at >
+            options_.responder_deadline) {
+      // Orphaned request: the copier that sent it timed out long ago and
+      // has retried elsewhere. Serving it would waste responder and disk
+      // time on an answer nobody is waiting for.
+      job.engine.metrics().counter("osu.responder.evicted").add();
+      continue;
+    }
     co_await respond(job, service, host_id, std::move(*pending));
   }
   daemons_->done();
@@ -110,6 +140,31 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
                                        TrackerService& service, int host_id,
                                        PendingRequest pending) {
   const DataRequest& req = pending.request;
+  // Injected faults (sim/fault.h): a dead tracker's shuffle service stops
+  // answering entirely; a faulty one drops or stalls individual
+  // responses. Copiers recover via timeout/retry/blacklist.
+  if (job.spec.faults != nullptr) {
+    sim::FaultPlan& faults = *job.spec.faults;
+    if (faults.tracker_dead(host_id, job.engine.now())) {
+      job.engine.metrics().counter("shuffle.fault.dropped_requests")
+          .add();
+      co_return;
+    }
+    double stall_seconds = 0;
+    switch (faults.response_fate(host_id, &stall_seconds)) {
+      case sim::FaultPlan::ResponseFate::kDrop:
+        job.engine.metrics().counter("shuffle.fault.dropped_responses")
+            .add();
+        co_return;
+      case sim::FaultPlan::ResponseFate::kStall:
+        job.engine.metrics().counter("shuffle.fault.stalled_responses")
+            .add();
+        co_await job.engine.delay(stall_seconds);
+        break;
+      case sim::FaultPlan::ResponseFate::kDeliver:
+        break;
+    }
+  }
   TaskTrackerState& tracker = job.tracker_for_host(host_id);
   auto it = tracker.map_outputs.find({int(req.job_id), int(req.map_id)});
   HMR_CHECK_MSG(it != tracker.map_outputs.end(),
@@ -119,8 +174,7 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
 
   // PrefetchCache lookup (§III-B3); a miss serves from disk immediately
   // and re-queues the output for caching with raised priority.
-  const std::string cache_key = "j" + std::to_string(req.job_id) +
-                                "_map_" + std::to_string(req.map_id);
+  const std::string cache_key = map_cache_key(req.job_id, req.map_id);
   bool from_disk = true;
   std::shared_ptr<const dataplane::MapOutput> source = info.output;
   if (options_.use_cache) {
@@ -154,6 +208,7 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
   header.job_id = req.job_id;
   header.map_id = req.map_id;
   header.reduce_id = req.reduce_id;
+  header.cursor_real = req.cursor_real;
   header.n_pairs = n_pairs;
   header.chunk_real_bytes = chunk.size();
   header.eof = req.cursor_real + chunk.size() >= partition.size();
@@ -165,6 +220,12 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
       static_cast<std::uint64_t>(double(chunk.size()) * info.scale);
   job.result.shuffled_modeled_bytes +=
       static_cast<std::uint64_t>(double(chunk.size()) * info.scale);
+  if (pending.endpoint->closed()) {
+    // The copier timed out, recovered elsewhere, and tore this
+    // connection down while the response was stalled or reading disk.
+    job.engine.metrics().counter("osu.respond.orphaned").add();
+    co_return;
+  }
   const double st0 = job.engine.now();
   co_await pending.endpoint->send(net::Message::share(
       std::make_shared<const Bytes>(std::move(body)), modeled,
@@ -180,8 +241,8 @@ sim::Task<> RdmaShuffleEngine::prefetcher(JobRuntime& job,
   while (auto tagged = co_await service.prefetch_queue.recv()) {
     const int map_id = *tagged & 0xffffff;
     const int priority = *tagged >> 24;
-    const std::string cache_key =
-        "j" + std::to_string(job.job_id) + "_map_" + std::to_string(map_id);
+    const std::string cache_key = map_cache_key(std::uint32_t(job.job_id),
+                                                std::uint32_t(map_id));
     if (service.cache.contains(cache_key)) {
       service.cache.boost(cache_key, priority);
       continue;
@@ -234,36 +295,231 @@ void RdmaShuffleEngine::on_map_finished(JobRuntime& job, int map_id,
 // ReduceTask side: RdmaCopier + streaming priority-queue merge
 // ---------------------------------------------------------------------
 
-namespace {
+sim::Task<ucr::Endpoint*> RdmaShuffleEngine::ensure_client_endpoint(
+    JobRuntime& job, Host& host, std::shared_ptr<CopierState> state,
+    int server) {
+  // Connect once per TaskTracker (guarded against concurrent dials).
+  auto lock = co_await sim::hold(state->conn_lock);
+  auto it = state->conns.find(server);
+  if (it != state->conns.end()) co_return it->second;
+  auto ep = co_await ucr::connect(job.network, host,
+                                  *services_.at(server)->listener,
+                                  options_.ucr);
+  ucr::Endpoint* endpoint = ep.get();
+  state->conns.emplace(server, endpoint);
+  client_endpoints_.push_back(std::move(ep));
+  // Response router for this connection: demultiplexes onto the per-map
+  // stream event channels. A response for an unrouted map is a stale
+  // duplicate of a request its copier already gave up on — dropped, not
+  // fatal (faults can stall responses past the stream's lifetime).
+  daemons_->add();
+  job.engine.spawn([](RdmaShuffleEngine& self, JobRuntime& job,
+                      ucr::Endpoint& ep,
+                      std::shared_ptr<CopierState> state) -> sim::Task<> {
+    while (auto msg = co_await ep.recv()) {
+      HMR_CHECK(msg->tag == kTagDataResponse);
+      ByteReader r(*msg->payload);
+      const auto header = DataResponse::decode_header(r);
+      auto route = state->routes.find(int(header.map_id));
+      if (route == state->routes.end()) {
+        job.engine.metrics().counter("shuffle.fetch.stale_dropped")
+            .add();
+        continue;
+      }
+      mapred::FetchEvent event;
+      event.msg = std::move(*msg);
+      // The events channel is sized so delivery never parks the router:
+      // each stream has at most one outstanding request plus a bounded
+      // number of stale duplicates and watchdog markers.
+      HMR_CHECK(route->second->events.try_send(std::move(event)));
+    }
+    self.daemons_->done();
+  }(*this, job, *endpoint, state));
+  co_return endpoint;
+}
 
-struct StreamChunk {
-  std::vector<KvPair> pairs;
-  std::uint64_t mem_charge = 0;
-};
+sim::Task<> RdmaShuffleEngine::copier_driver(
+    JobRuntime& job, int reduce_id, Host& host,
+    std::shared_ptr<CopierState> state, std::shared_ptr<MapStream> stream,
+    int map_id, double kv_inflation, std::uint64_t max_record_modeled,
+    sim::WaitGroup& done) {
+  co_await job.map_done.at(map_id)->wait();
+  if (job.tracker_blacklisted(job.maps.at(map_id).ran_on)) {
+    // The serving tracker was blacklisted before this stream started:
+    // wait for (or trigger) re-execution on a healthy tracker.
+    co_await job.ensure_fetchable(map_id);
+  }
+  int server = job.maps.at(map_id).ran_on;
+  ucr::Endpoint* endpoint =
+      co_await ensure_client_endpoint(job, host, state, server);
+  auto rng = job.engine.make_rng("shuffle.retry.r" +
+                                 std::to_string(reduce_id) + ".m" +
+                                 std::to_string(map_id));
+  bool refetching = false;
 
-struct MapStream {
-  explicit MapStream(sim::Engine& engine)
-      : responses(engine, 1), chunks(engine, 2), demand(engine) {}
-  sim::Channel<net::Message> responses;
-  sim::Channel<StreamChunk> chunks;
-  // Set by the merge while it is blocked on this stream: the driver may
-  // deliver uncharged instead of waiting for shuffle memory, and
-  // on-demand (non-pipelined) drivers may issue the next request.
-  bool urgent = false;
-  sim::Event demand;  // pulsed when the merge starts waiting
-};
+  // One request/response exchange for this stream. Stale duplicates
+  // (cursor mismatch) are discarded; nullopt means the watchdog fired
+  // before the matching response arrived.
+  auto exchange =
+      [&](const DataRequest& req) -> sim::Task<std::optional<net::Message>> {
+    Bytes wire = req.encode();
+    net::Message request =
+        net::Message::data(std::move(wire), 1.0, kTagDataRequest)
+            .with_modeled(kRequestWireBytes);
+    co_await endpoint->send(std::move(request));
+    const std::uint64_t timer_id = ++stream->timer_seq;
+    if (job.retry.fetch_timeout > 0) {
+      job.engine.spawn(mapred::fetch_watchdog(job.engine, stream,
+                                              stream->events,
+                                              job.retry.fetch_timeout,
+                                              timer_id));
+    }
+    while (true) {
+      auto event = co_await stream->events.recv();
+      HMR_CHECK(event.has_value());  // the events channel is never closed
+      if (event->msg.has_value()) {
+        ByteReader r(*event->msg->payload);
+        const auto header = DataResponse::decode_header(r);
+        if (header.cursor_real == req.cursor_real) {
+          co_return std::move(event->msg);
+        }
+        job.engine.metrics().counter("shuffle.fetch.stale_dropped")
+            .add();
+        continue;
+      }
+      if (event->timer_id == timer_id) co_return std::nullopt;
+      // Watchdog of an already-answered request: ignore.
+    }
+  };
 
-struct CopierState {
-  CopierState(sim::Engine& engine, std::uint64_t mem_bytes)
-      : mem(engine, std::int64_t(mem_bytes), "shuffle.mem"),
-        conn_lock(engine, 1, "copier.conn") {}
-  std::map<int, ucr::Endpoint*> conns;     // tracker host id -> endpoint
-  std::map<int, MapStream*> routes;        // map id -> stream
-  sim::Resource mem;                       // reducer shuffle buffer
-  sim::Resource conn_lock;
-};
+  // exchange() with recovery: capped exponential backoff between
+  // retries; once the serving tracker crosses the blacklist threshold
+  // the fetch relocates to a re-executed attempt and resumes from the
+  // SAME cursor — deterministic map execution makes the rerun's
+  // partition byte-identical, so no delivered chunk is ever re-merged.
+  auto exchange_with_retry =
+      [&](const DataRequest& req) -> sim::Task<net::Message> {
+    int attempt = 0;
+    while (true) {
+      auto response = co_await exchange(req);
+      if (response.has_value()) {
+        job.report_fetch_success(server);
+        co_return std::move(*response);
+      }
+      ++attempt;
+      ++job.result.fetch_timeouts;
+      job.engine.metrics().counter("shuffle.fetch.timeouts").add();
+      if (auto* tracer = job.engine.tracer()) {
+        tracer->instant(host.name(), "fault",
+                        "fetch_timeout map_" + std::to_string(map_id));
+      }
+      HMR_CHECK_MSG(attempt <= job.retry.max_retries,
+                    "fetch of map " + std::to_string(map_id) +
+                        " exceeded " + mapred::kFetchMaxRetries);
+      (void)job.report_fetch_failure(server);
+      if (job.tracker_blacklisted(server)) {
+        co_await job.ensure_fetchable(map_id);
+        const int relocated = job.maps.at(map_id).ran_on;
+        if (relocated != server) {
+          server = relocated;
+          endpoint =
+              co_await ensure_client_endpoint(job, host, state, server);
+          refetching = true;
+        }
+      } else {
+        co_await job.engine.delay(job.retry.backoff(attempt, rng));
+      }
+      ++job.result.fetch_retries;
+      job.engine.metrics().counter("shuffle.fetch.retries").add();
+    }
+  };
 
-}  // namespace
+  state->routes.emplace(map_id, stream.get());
+  std::uint64_t cursor = 0;
+  const std::uint64_t max_real_bytes =
+      options_.packet_bytes == 0
+          ? 0
+          : job.real_from_modeled(options_.packet_bytes);
+  bool first_request = true;
+  while (true) {
+    if (!first_request && !options_.pipelined_refill && !stream->urgent) {
+      // Network-levitated merge: wait until the merge actually needs
+      // the next packet of this segment.
+      co_await stream->demand.wait();
+    }
+    first_request = false;
+
+    // Provision the receive buffer *before* fetching (pre-allocated
+    // buffers): byte-budgeted engines reserve the packet size,
+    // fixed-count engines reserve count x largest record — the
+    // §IV-C pathology. The stream the merge is blocked on bypasses
+    // the wait (uncharged emergency buffer) so memory pressure
+    // serializes fetches onto the merge's critical path instead of
+    // deadlocking it.
+    const std::uint64_t count_budget =
+        options_.kv_per_packet == 0
+            ? 0
+            : std::max<std::uint64_t>(
+                  1, std::uint64_t(double(options_.kv_per_packet) /
+                                   kv_inflation));
+    std::uint64_t charge = options_.charge_by_count && count_budget > 0
+                               ? count_budget * max_record_modeled
+                               : options_.packet_bytes;
+    if (charge == 0) charge = max_record_modeled;
+    charge =
+        std::min<std::uint64_t>(charge, std::uint64_t(state->mem.capacity()));
+    bool charged = state->mem.try_acquire(std::int64_t(charge));
+    if (!charged && !stream->urgent) {
+      // Buffers are full: degrade to on-demand fetching — sleep until
+      // the merge actually blocks on this stream, then deliver as an
+      // uncharged emergency chunk (or charged, if memory freed up).
+      co_await stream->demand.wait();
+      charged = state->mem.try_acquire(std::int64_t(charge));
+    }
+
+    DataRequest req;
+    req.job_id = std::uint32_t(job.job_id);
+    req.map_id = std::uint32_t(map_id);
+    req.reduce_id = std::uint32_t(reduce_id);
+    req.cursor_real = cursor;
+    // kv-count budgets are in real-world pairs; each carried pair
+    // stands for kv_inflation of them (mapred::kKvInflation).
+    req.max_pairs = count_budget;
+    req.max_real_bytes = max_real_bytes;
+    const double rt0 = job.engine.now();
+    net::Message response = co_await exchange_with_retry(req);
+    if (!charged) {
+      // Over-budget segment: the merge had no room to keep this
+      // buffer resident, so an earlier delivery was dropped and the
+      // packet is fetched again now that the merge demands it —
+      // the levitated-merge thrash of fixed-count buffers (§IV-C).
+      net::Message again = co_await exchange_with_retry(req);
+      response = std::move(again);
+    }
+    job.engine.metrics().histogram("osu.fetch.rtt")
+        .record(job.engine.now() - rt0);
+    ByteReader r(*response.payload);
+    const auto header = DataResponse::decode_header(r);
+    auto records = r.bytes(header.chunk_real_bytes);
+    HMR_CHECK(records.ok());
+    auto pairs = dataplane::decode_run(records.value());
+    HMR_CHECK(pairs.ok());
+    cursor += header.chunk_real_bytes;
+    if (refetching) {
+      job.result.refetched_modeled_bytes += static_cast<std::uint64_t>(
+          double(header.chunk_real_bytes) * job.data_scale);
+    }
+
+    StreamChunk chunk;
+    chunk.pairs = std::move(pairs.value());
+    chunk.mem_charge = charged ? charge : 0;
+    co_await stream->chunks.send(std::move(chunk));
+    if (header.eof) break;
+  }
+  stream->chunks.close();
+  state->routes.erase(map_id);
+  done.done();
+}
 
 sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
                                                int reduce_id, Host& host,
@@ -278,150 +534,19 @@ sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
   const std::uint64_t max_record_modeled = job.spec.conf.get_bytes(
       mapred::kMaxRecordBytes,
       static_cast<std::uint64_t>(102.0 * job.data_scale));
-  std::vector<std::unique_ptr<MapStream>> streams;
+  std::vector<std::shared_ptr<MapStream>> streams;
   streams.reserve(job.maps.size());
   for (size_t m = 0; m < job.maps.size(); ++m) {
-    streams.push_back(std::make_unique<MapStream>(job.engine));
+    streams.push_back(std::make_shared<MapStream>(job.engine));
   }
 
   // --- RdmaCopier: one driver per map stream -------------------------
   sim::WaitGroup drivers(job.engine);
   for (size_t m = 0; m < job.maps.size(); ++m) {
     drivers.add();
-    job.engine.spawn([](RdmaShuffleEngine& self, JobRuntime& job,
-                        int reduce_id, Host& host,
-                        std::shared_ptr<CopierState> state, MapStream& stream,
-                        int map_id, double kv_inflation,
-                        std::uint64_t max_record_modeled,
-                        sim::WaitGroup& done) -> sim::Task<> {
-      co_await job.map_done.at(map_id)->wait();
-      const int server = job.maps.at(map_id).ran_on;
-
-      // Connect once per TaskTracker (guarded against concurrent dials).
-      ucr::Endpoint* endpoint = nullptr;
-      {
-        auto lock = co_await sim::hold(state->conn_lock);
-        auto it = state->conns.find(server);
-        if (it == state->conns.end()) {
-          auto ep = co_await ucr::connect(
-              job.network, host, *self.services_.at(server)->listener,
-              self.options_.ucr);
-          endpoint = ep.get();
-          state->conns.emplace(server, endpoint);
-          self.client_endpoints_.push_back(std::move(ep));
-          // Response router for this connection.
-          self.daemons_->add();
-          job.engine.spawn([](RdmaShuffleEngine& self, ucr::Endpoint& ep,
-                              std::shared_ptr<CopierState> state)
-                               -> sim::Task<> {
-            while (auto msg = co_await ep.recv()) {
-              HMR_CHECK(msg->tag == kTagDataResponse);
-              ByteReader r(*msg->payload);
-              const auto header = DataResponse::decode_header(r);
-              auto route = state->routes.find(int(header.map_id));
-              HMR_CHECK_MSG(route != state->routes.end(),
-                            "response for unknown stream");
-              co_await route->second->responses.send(std::move(*msg));
-            }
-            self.daemons_->done();
-          }(self, *endpoint, state));
-        } else {
-          endpoint = it->second;
-        }
-      }
-
-      state->routes.emplace(map_id, &stream);
-      std::uint64_t cursor = 0;
-      const std::uint64_t max_real_bytes =
-          self.options_.packet_bytes == 0
-              ? 0
-              : job.real_from_modeled(self.options_.packet_bytes);
-      bool first_request = true;
-      while (true) {
-        if (!first_request && !self.options_.pipelined_refill &&
-            !stream.urgent) {
-          // Network-levitated merge: wait until the merge actually needs
-          // the next packet of this segment.
-          co_await stream.demand.wait();
-        }
-        first_request = false;
-
-        // Provision the receive buffer *before* fetching (pre-allocated
-        // buffers): byte-budgeted engines reserve the packet size,
-        // fixed-count engines reserve count x largest record — the
-        // §IV-C pathology. The stream the merge is blocked on bypasses
-        // the wait (uncharged emergency buffer) so memory pressure
-        // serializes fetches onto the merge's critical path instead of
-        // deadlocking it.
-        const std::uint64_t count_budget =
-            self.options_.kv_per_packet == 0
-                ? 0
-                : std::max<std::uint64_t>(
-                      1, std::uint64_t(double(self.options_.kv_per_packet) /
-                                       kv_inflation));
-        std::uint64_t charge =
-            self.options_.charge_by_count && count_budget > 0
-                ? count_budget * max_record_modeled
-                : self.options_.packet_bytes;
-        if (charge == 0) charge = max_record_modeled;
-        charge = std::min<std::uint64_t>(charge,
-                                         std::uint64_t(state->mem.capacity()));
-        bool charged = state->mem.try_acquire(std::int64_t(charge));
-        if (!charged && !stream.urgent) {
-          // Buffers are full: degrade to on-demand fetching — sleep until
-          // the merge actually blocks on this stream, then deliver as an
-          // uncharged emergency chunk (or charged, if memory freed up).
-          co_await stream.demand.wait();
-          charged = state->mem.try_acquire(std::int64_t(charge));
-        }
-
-        DataRequest req;
-        req.job_id = std::uint32_t(job.job_id);
-        req.map_id = std::uint32_t(map_id);
-        req.reduce_id = std::uint32_t(reduce_id);
-        req.cursor_real = cursor;
-        // kv-count budgets are in real-world pairs; each carried pair
-        // stands for kv_inflation of them (mapred::kKvInflation).
-        req.max_pairs = count_budget;
-        req.max_real_bytes = max_real_bytes;
-        const double rt0 = job.engine.now();
-        co_await endpoint->send(net::Message::data(req.encode(), 1.0,
-                                                   kTagDataRequest)
-                                    .with_modeled(kRequestWireBytes));
-        auto response = co_await stream.responses.recv();
-        if (!charged) {
-          // Over-budget segment: the merge had no room to keep this
-          // buffer resident, so an earlier delivery was dropped and the
-          // packet is fetched again now that the merge demands it —
-          // the levitated-merge thrash of fixed-count buffers (§IV-C).
-          Bytes again = req.encode();
-          co_await endpoint->send(net::Message::data(std::move(again), 1.0,
-                                                     kTagDataRequest)
-                                      .with_modeled(kRequestWireBytes));
-          response = co_await stream.responses.recv();
-        }
-        job.engine.metrics().histogram("osu.fetch.rtt")
-            .record(job.engine.now() - rt0);
-        HMR_CHECK(response.has_value());
-        ByteReader r(*response->payload);
-        const auto header = DataResponse::decode_header(r);
-        auto records = r.bytes(header.chunk_real_bytes);
-        HMR_CHECK(records.ok());
-        auto pairs = dataplane::decode_run(records.value());
-        HMR_CHECK(pairs.ok());
-        cursor += header.chunk_real_bytes;
-
-        StreamChunk chunk;
-        chunk.pairs = std::move(pairs.value());
-        chunk.mem_charge = charged ? charge : 0;
-        co_await stream.chunks.send(std::move(chunk));
-        if (header.eof) break;
-      }
-      stream.chunks.close();
-      state->routes.erase(map_id);
-      done.done();
-    }(*this, job, reduce_id, host, state, *streams[m], int(m),
-      kv_inflation, max_record_modeled, drivers));
+    job.engine.spawn(copier_driver(job, reduce_id, host, state, streams[m],
+                                   int(m), kv_inflation, max_record_modeled,
+                                   drivers));
   }
 
   // --- streaming priority-queue merge (§III-B2) -----------------------

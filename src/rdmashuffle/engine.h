@@ -41,6 +41,11 @@ using mapred::KvSink;
 
 struct RdmaShuffleOptions {
   bool use_cache = true;
+  // Tracker-side request hardening: a request that sat in the
+  // DataRequestQueue longer than this was already given up on by its
+  // copier (fetch timeout + retries) — serving it would waste responder
+  // and disk time, so it is evicted instead. 0 disables.
+  double responder_deadline = 120.0;  // seconds
   // TaskTracker cache budget. The paper's headline figures ran on the
   // 24 GB storage nodes (§IV-A/B: "storage nodes have twice as much
   // memory ... our implementation has more benefits in storage nodes").
@@ -109,6 +114,37 @@ class RdmaShuffleEngine : public mapred::ShuffleEngine {
   struct PendingRequest {
     DataRequest request;
     ucr::Endpoint* endpoint;
+    double enqueued_at = 0.0;  // for responder deadline eviction
+  };
+  // One fetched chunk flowing from a copier driver into the merge.
+  struct StreamChunk {
+    std::vector<dataplane::KvPair> pairs;
+    std::uint64_t mem_charge = 0;
+  };
+  // Per-map reduce-side stream state. Shared-owned because watchdog
+  // timers may still be pending after the driver finished.
+  struct MapStream {
+    explicit MapStream(sim::Engine& engine)
+        : events(engine, 64), chunks(engine, 2), demand(engine) {}
+    // Responses (routed by map id) interleaved with watchdog expiries.
+    sim::Channel<mapred::FetchEvent> events;
+    sim::Channel<StreamChunk> chunks;
+    std::uint64_t timer_seq = 0;  // id of the current request's watchdog
+    // Set by the merge while it is blocked on this stream: the driver may
+    // deliver uncharged instead of waiting for shuffle memory, and
+    // on-demand (non-pipelined) drivers may issue the next request.
+    bool urgent = false;
+    sim::Event demand;  // pulsed when the merge starts waiting
+  };
+  // Per-reducer copier state shared by that reducer's stream drivers.
+  struct CopierState {
+    CopierState(sim::Engine& engine, std::uint64_t mem_bytes)
+        : mem(engine, std::int64_t(mem_bytes), "shuffle.mem"),
+          conn_lock(engine, 1, "copier.conn") {}
+    std::map<int, ucr::Endpoint*> conns;  // tracker host id -> endpoint
+    std::map<int, MapStream*> routes;     // map id -> stream
+    sim::Resource mem;                    // reducer shuffle buffer
+    sim::Resource conn_lock;
   };
   // Per-TaskTracker service state.
   struct TrackerService {
@@ -135,6 +171,19 @@ class RdmaShuffleEngine : public mapred::ShuffleEngine {
   // Serves one request: cache lookup / disk read / chunk extraction.
   sim::Task<> respond(JobRuntime& job, TrackerService& service, int host_id,
                       PendingRequest pending);
+  // Dials (once per tracker) and returns the reducer's endpoint to
+  // `server`, spawning the response router on first connect.
+  sim::Task<ucr::Endpoint*> ensure_client_endpoint(
+      JobRuntime& job, Host& host, std::shared_ptr<CopierState> state,
+      int server);
+  // RdmaCopier: fetches one map's partition chunk by chunk with
+  // timeout/retry/blacklist recovery, feeding the stream's chunk queue.
+  sim::Task<> copier_driver(JobRuntime& job, int reduce_id, Host& host,
+                            std::shared_ptr<CopierState> state,
+                            std::shared_ptr<MapStream> stream, int map_id,
+                            double kv_inflation,
+                            std::uint64_t max_record_modeled,
+                            sim::WaitGroup& done);
 
   std::string name_;
   RdmaShuffleOptions options_;

@@ -52,6 +52,9 @@ struct DataResponse {
   std::uint32_t job_id = 0;
   std::uint32_t map_id = 0;
   std::uint32_t reduce_id = 0;
+  std::uint64_t cursor_real = 0;  // echo of the request's cursor: the
+                                  // copier uses it to discard stale
+                                  // duplicates of timed-out requests
   std::uint64_t n_pairs = 0;
   std::uint64_t chunk_real_bytes = 0;
   bool eof = false;
@@ -62,6 +65,7 @@ struct DataResponse {
     w.put_u32(job_id);
     w.put_u32(map_id);
     w.put_u32(reduce_id);
+    w.put_u64(cursor_real);
     w.put_u64(n_pairs);
     w.put_u64(chunk_real_bytes);
     w.put_u8(eof ? 1 : 0);
@@ -72,6 +76,7 @@ struct DataResponse {
     resp.job_id = r.u32().value();
     resp.map_id = r.u32().value();
     resp.reduce_id = r.u32().value();
+    resp.cursor_real = r.u64().value();
     resp.n_pairs = r.u64().value();
     resp.chunk_real_bytes = r.u64().value();
     resp.eof = r.u8().value() != 0;

@@ -1,0 +1,20 @@
+#include "sim/fault.h"
+
+namespace hmr::sim {
+
+FaultPlan::ResponseFate FaultPlan::response_fate(int host_id,
+                                                 double* stall_seconds) {
+  auto it = response_faults_.find(host_id);
+  if (it == response_faults_.end()) return ResponseFate::kDeliver;
+  const ResponseFault& fault = it->second;
+  if (fault.drop_prob > 0.0 && rng_.chance(fault.drop_prob)) {
+    return ResponseFate::kDrop;
+  }
+  if (fault.stall_prob > 0.0 && rng_.chance(fault.stall_prob)) {
+    if (stall_seconds != nullptr) *stall_seconds = fault.stall_seconds;
+    return ResponseFate::kStall;
+  }
+  return ResponseFate::kDeliver;
+}
+
+}  // namespace hmr::sim

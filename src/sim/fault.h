@@ -1,0 +1,84 @@
+// Declarative fault injection for the shuffle path (the paper's §VI
+// future work: the design assumes a healthy fabric; this plan lets a
+// simulation break it on purpose).
+//
+// A FaultPlan is pure data plus a seeded RNG stream: higher layers
+// (shuffle responders/servlets, net::Cluster) consult it at the moments
+// a real fault would bite — serving a DataRequest, mid-job on a NIC.
+// Three fault classes:
+//
+//  * kill_tracker   — from `at` onward the host's shuffle service stops
+//                     responding (a hung TaskTracker JVM: connections
+//                     still accept, requests are silently swallowed).
+//  * drop/stall_responses — each response is independently dropped or
+//                     delayed with the given probability (flaky HCA,
+//                     overloaded responder pool).
+//  * degrade_nic    — at `at` the host's NIC bandwidth is multiplied by
+//                     `factor` (cable renegotiation, failed bonding leg).
+//
+// Queries are deterministic given the seed, so faulty runs replay
+// exactly — the recovery tests depend on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hmr::sim {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1) : rng_(seed, "sim.faultplan") {}
+
+  // From time `at`, host_id's shuffle service drops every request.
+  void kill_tracker(int host_id, double at) { kills_[host_id] = at; }
+  // Each response from host_id is dropped with probability `prob`.
+  void drop_responses(int host_id, double prob) {
+    response_faults_[host_id].drop_prob = prob;
+  }
+  // Each response from host_id is delayed `stall_seconds` with
+  // probability `prob` before being served.
+  void stall_responses(int host_id, double prob, double stall_seconds) {
+    auto& fault = response_faults_[host_id];
+    fault.stall_prob = prob;
+    fault.stall_seconds = stall_seconds;
+  }
+  // At time `at`, multiply host_id's NIC bandwidth by `factor`.
+  void degrade_nic(int host_id, double at, double factor) {
+    degrades_.push_back(NicDegrade{host_id, at, factor});
+  }
+
+  bool tracker_dead(int host_id, double now) const {
+    auto it = kills_.find(host_id);
+    return it != kills_.end() && now >= it->second;
+  }
+
+  enum class ResponseFate { kDeliver, kDrop, kStall };
+  // Rolls the per-response dice for host_id (advances the plan's RNG
+  // stream; call once per response). On kStall, *stall_seconds is the
+  // delay to apply before serving.
+  ResponseFate response_fate(int host_id, double* stall_seconds);
+
+  struct NicDegrade {
+    int host_id = -1;
+    double at = 0.0;
+    double factor = 1.0;
+  };
+  const std::vector<NicDegrade>& nic_degrades() const { return degrades_; }
+
+ private:
+  struct ResponseFault {
+    double drop_prob = 0.0;
+    double stall_prob = 0.0;
+    double stall_seconds = 0.0;
+  };
+
+  std::map<int, double> kills_;  // host id -> death time
+  std::map<int, ResponseFault> response_faults_;
+  std::vector<NicDegrade> degrades_;
+  Rng rng_;
+};
+
+}  // namespace hmr::sim

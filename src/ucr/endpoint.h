@@ -58,6 +58,10 @@ class Endpoint {
   sim::Task<std::optional<Message>> recv();
   // Sends a CLOSE control message; idempotent.
   void close();
+  // True once close() ran (locally or via the symmetric close on peer
+  // disconnect). Senders with delayed work — e.g. a fault-stalled
+  // responder — must check before send().
+  bool closed() const { return closed_; }
 
   Host& local_host() { return qp_->local_host(); }
   Host& remote_host() { return qp_->remote_host(); }

@@ -85,6 +85,10 @@ RunOutcome run_experiment(const RunConfig& config) {
   mapred::JobSpec job =
       terasort ? terasort_job(bed.dfs(), gen.dir, "/bench/out", conf)
                : sort_job(bed.dfs(), gen.dir, "/bench/out", conf);
+  if (config.faults != nullptr) {
+    bed.cluster().inject_faults(*config.faults);
+    job.faults = config.faults;
+  }
 
   RunOutcome outcome;
   outcome.job = bed.run_job(std::move(job));
@@ -92,6 +96,7 @@ RunOutcome run_experiment(const RunConfig& config) {
   if (config.validate) {
     auto report = validate_output(bed.dfs(), "/bench/out");
     HMR_CHECK_MSG(report.ok(), "output missing after job");
+    outcome.validation = *report;
     const bool ok = terasort ? report->valid_terasort(*digest)
                              : report->valid_sort(*digest);
     HMR_CHECK_MSG(ok, "output validation FAILED for " + config.setup.label);

@@ -40,11 +40,18 @@ struct RunConfig {
   std::uint64_t target_real_bytes = 16 * 1024 * 1024;
   std::uint64_t seed = 1;
   bool validate = true;
+  // Optional fault injection (not owned; must outlive the run): NIC
+  // degradations are armed on the cluster and shuffle responders/servlets
+  // consult the plan per request. See sim/fault.h and docs/CONFIG.md.
+  sim::FaultPlan* faults = nullptr;
 };
 
 struct RunOutcome {
   mapred::JobResult job;
   bool validated = false;
+  // Order/content check of the output (digest comparable across runs:
+  // a recovered faulty run must reproduce the fault-free checksum).
+  ValidationReport validation;
   double seconds() const { return job.elapsed(); }
 };
 

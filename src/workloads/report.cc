@@ -64,6 +64,18 @@ std::string job_report(const mapred::JobResult& result) {
                               std::to_string(result.cache_misses) +
                               " misses");
   }
+  if (result.fetch_timeouts > 0 || result.trackers_blacklisted > 0) {
+    add("shuffle recovery",
+        std::to_string(result.fetch_timeouts) + " timeouts / " +
+            std::to_string(result.fetch_retries) + " retries / " +
+            std::to_string(result.trackers_blacklisted) + " blacklisted");
+  }
+  if (result.map_refetch_reruns > 0) {
+    add("  refetched", format_bytes(result.refetched_modeled_bytes) +
+                           " via " +
+                           std::to_string(result.map_refetch_reruns) +
+                           " map re-runs");
+  }
   for (const auto& [name, value] : result.counters) {
     add(("  " + name).c_str(), std::to_string(value));
   }

@@ -5,7 +5,10 @@
 
 #include "common/units.h"
 #include "mapred/jobrunner.h"
+#include "mapred/recovery.h"
+#include "sim/fault.h"
 #include "workloads/datagen.h"
+#include "workloads/experiment.h"
 #include "workloads/jobs.h"
 #include "workloads/testbed.h"
 
@@ -524,6 +527,164 @@ TEST(CountersTest, CombinerShrinksRecordFlow) {
 TEST(CountersTest, UnknownCounterIsZero) {
   JobResult result;
   EXPECT_EQ(result.counter("NOPE"), 0);
+}
+
+}  // namespace
+}  // namespace hmr::mapred
+
+// ------------------------------------------------- shuffle fault recovery
+
+namespace hmr::mapred {
+namespace {
+
+TEST(FaultPlanTest, TrackerDeathIsAnInstant) {
+  sim::FaultPlan plan;
+  EXPECT_FALSE(plan.tracker_dead(1, 100.0));
+  plan.kill_tracker(1, 10.0);
+  EXPECT_FALSE(plan.tracker_dead(1, 9.99));
+  EXPECT_TRUE(plan.tracker_dead(1, 10.0));
+  EXPECT_TRUE(plan.tracker_dead(1, 1e9));
+  EXPECT_FALSE(plan.tracker_dead(2, 1e9));  // only host 1 dies
+}
+
+TEST(FaultPlanTest, ResponseFateProbabilityExtremes) {
+  double stall = 0.0;
+  sim::FaultPlan healthy;
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(healthy.response_fate(1, &stall),
+              sim::FaultPlan::ResponseFate::kDeliver);
+  }
+  sim::FaultPlan lossy;
+  lossy.drop_responses(1, 1.0);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lossy.response_fate(1, &stall),
+              sim::FaultPlan::ResponseFate::kDrop);
+  }
+  sim::FaultPlan sticky;
+  sticky.stall_responses(2, 1.0, 4.5);
+  EXPECT_EQ(sticky.response_fate(2, &stall),
+            sim::FaultPlan::ResponseFate::kStall);
+  EXPECT_EQ(stall, 4.5);
+  // Faults are per host: host 3 has none configured.
+  EXPECT_EQ(sticky.response_fate(3, &stall),
+            sim::FaultPlan::ResponseFate::kDeliver);
+}
+
+TEST(FaultPlanTest, NicDegradesAreRecordedInOrder) {
+  sim::FaultPlan plan;
+  plan.degrade_nic(1, 5.0, 0.25);
+  plan.degrade_nic(2, 7.0, 0.5);
+  ASSERT_EQ(plan.nic_degrades().size(), 2u);
+  EXPECT_EQ(plan.nic_degrades()[0].host_id, 1);
+  EXPECT_EQ(plan.nic_degrades()[0].at, 5.0);
+  EXPECT_EQ(plan.nic_degrades()[0].factor, 0.25);
+  EXPECT_EQ(plan.nic_degrades()[1].host_id, 2);
+}
+
+TEST(FetchRetryPolicyTest, FromConfDefaultsAndOverrides) {
+  const auto defaults = FetchRetryPolicy::from_conf(Conf{});
+  EXPECT_EQ(defaults.fetch_timeout, 60.0);
+  EXPECT_EQ(defaults.max_retries, 10);
+  EXPECT_EQ(defaults.backoff_base, 0.2);
+  EXPECT_EQ(defaults.backoff_max, 5.0);
+  EXPECT_EQ(defaults.backoff_jitter, 0.25);
+  EXPECT_EQ(defaults.blacklist_threshold, 3);
+
+  Conf conf;
+  conf.set_double(kFetchTimeoutSec, 2.5);
+  conf.set_int(kFetchMaxRetries, 4);
+  conf.set_double(kFetchBackoffBaseSec, 0.05);
+  conf.set_double(kFetchBackoffMaxSec, 1.5);
+  conf.set_double(kFetchBackoffJitter, 0.0);
+  conf.set_int(kBlacklistFailures, 7);
+  const auto tuned = FetchRetryPolicy::from_conf(conf);
+  EXPECT_EQ(tuned.fetch_timeout, 2.5);
+  EXPECT_EQ(tuned.max_retries, 4);
+  EXPECT_EQ(tuned.backoff_base, 0.05);
+  EXPECT_EQ(tuned.backoff_max, 1.5);
+  EXPECT_EQ(tuned.backoff_jitter, 0.0);
+  EXPECT_EQ(tuned.blacklist_threshold, 7);
+}
+
+TEST(FetchRetryPolicyTest, BackoffGrowsIsCappedAndDeterministic) {
+  FetchRetryPolicy policy;
+  policy.backoff_base = 0.2;
+  policy.backoff_max = 5.0;
+  policy.backoff_jitter = 0.25;
+  Rng a(42, "backoff.test");
+  Rng b(42, "backoff.test");
+  double prev = 0.0;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const double d_a = policy.backoff(attempt, a);
+    const double d_b = policy.backoff(attempt, b);
+    EXPECT_EQ(d_a, d_b) << "attempt " << attempt;  // same stream, same delay
+    EXPECT_GE(d_a, policy.backoff_base);
+    EXPECT_LE(d_a, policy.backoff_max * (1.0 + policy.backoff_jitter));
+    if (attempt <= 5) {
+      EXPECT_GT(d_a, prev);  // exponential phase
+    }
+    prev = d_a;
+  }
+  // Without jitter the schedule is the exact capped power-of-two ramp.
+  policy.backoff_jitter = 0.0;
+  EXPECT_EQ(policy.backoff(1, a), 0.2);
+  EXPECT_EQ(policy.backoff(2, a), 0.4);
+  EXPECT_EQ(policy.backoff(3, a), 0.8);
+  EXPECT_EQ(policy.backoff(10, a), 5.0);  // capped
+}
+
+workloads::RunConfig tiny_vanilla() {
+  workloads::RunConfig config;
+  config.setup = workloads::EngineSetup::ipoib();
+  config.workload = "terasort";
+  config.sort_modeled_bytes = 512 * kMiB;
+  config.nodes = 3;
+  config.block_size = 32 * kMiB;
+  config.target_real_bytes = 2 * kMiB;
+  return config;
+}
+
+TEST(VanillaRecoveryTest, KilledTrackerRecoversWithIdenticalOutput) {
+  const auto clean = workloads::run_experiment(tiny_vanilla());
+  ASSERT_TRUE(clean.validated);
+
+  // The HTTP servlet on host 1 hangs before the shuffle starts: every
+  // fetch from it must time out, blacklist it, and re-run its maps.
+  sim::FaultPlan plan(3);
+  plan.kill_tracker(1, 0.0);
+  auto config = tiny_vanilla();
+  config.faults = &plan;
+  config.setup.extra.set_double(kFetchTimeoutSec, 2.0);
+  config.setup.extra.set_double(kFetchBackoffBaseSec, 0.1);
+  config.setup.extra.set_double(kFetchBackoffMaxSec, 0.5);
+  config.setup.extra.set_int(kBlacklistFailures, 2);
+  const auto faulted = workloads::run_experiment(config);
+
+  ASSERT_TRUE(faulted.validated);
+  EXPECT_EQ(faulted.validation.digest.records, clean.validation.digest.records);
+  EXPECT_EQ(faulted.validation.digest.checksum,
+            clean.validation.digest.checksum);
+  EXPECT_GT(faulted.job.fetch_timeouts, 0u);
+  EXPECT_EQ(faulted.job.trackers_blacklisted, 1u);
+  EXPECT_GT(faulted.job.map_refetch_reruns, 0u);
+  EXPECT_GT(faulted.job.refetched_modeled_bytes, 0u);
+}
+
+TEST(VanillaRecoveryTest, DroppedResponsesRetryToCompletion) {
+  sim::FaultPlan plan(9);
+  plan.drop_responses(2, 0.2);
+  auto config = tiny_vanilla();
+  config.faults = &plan;
+  config.setup.extra.set_double(kFetchTimeoutSec, 1.0);
+  config.setup.extra.set_double(kFetchBackoffBaseSec, 0.05);
+  config.setup.extra.set_double(kFetchBackoffMaxSec, 0.2);
+  config.setup.extra.set_int(kBlacklistFailures, 1000000);
+  config.setup.extra.set_int(kFetchMaxRetries, 50);
+  const auto outcome = workloads::run_experiment(config);
+  ASSERT_TRUE(outcome.validated);
+  EXPECT_GT(outcome.job.fetch_timeouts, 0u);
+  EXPECT_GT(outcome.job.fetch_retries, 0u);
+  EXPECT_EQ(outcome.job.trackers_blacklisted, 0u);
 }
 
 }  // namespace

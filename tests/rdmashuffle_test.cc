@@ -7,7 +7,9 @@
 #include "mapred/types.h"
 #include "rdmashuffle/engine.h"
 #include "rdmashuffle/protocol.h"
+#include "sim/fault.h"
 #include "workloads/experiment.h"
+#include "workloads/report.h"
 
 namespace hmr::rdmashuffle {
 namespace {
@@ -36,6 +38,7 @@ TEST(ProtocolTest, DataResponseHeaderRoundTrip) {
   resp.job_id = 1;
   resp.map_id = 7;
   resp.reduce_id = 9;
+  resp.cursor_real = 987654;
   resp.n_pairs = 333;
   resp.chunk_real_bytes = 44444;
   resp.eof = true;
@@ -46,6 +49,9 @@ TEST(ProtocolTest, DataResponseHeaderRoundTrip) {
   ByteReader reader(wire);
   const auto decoded = DataResponse::decode_header(reader);
   EXPECT_EQ(decoded.map_id, 7u);
+  // The cursor echo is what lets a copier discard stale duplicates of
+  // timed-out requests.
+  EXPECT_EQ(decoded.cursor_real, 987654u);
   EXPECT_EQ(decoded.n_pairs, 333u);
   EXPECT_EQ(decoded.chunk_real_bytes, 44444u);
   EXPECT_TRUE(decoded.eof);
@@ -184,6 +190,131 @@ TEST(OptionsTest, RendezvousModeFromConf) {
             ucr::RendezvousMode::kWrite);
   EXPECT_EQ(RdmaShuffleOptions::osu_ib(Conf{}).ucr.rendezvous,
             ucr::RendezvousMode::kRead);
+}
+
+TEST(OptionsTest, ResponderDeadlineFromConf) {
+  EXPECT_GT(RdmaShuffleOptions::osu_ib(Conf{}).responder_deadline, 0.0);
+  Conf conf;
+  conf.set_double(mapred::kResponderDeadlineSec, 7.5);
+  EXPECT_EQ(RdmaShuffleOptions::osu_ib(conf).responder_deadline, 7.5);
+  EXPECT_EQ(RdmaShuffleOptions::hadoop_a(conf).responder_deadline, 7.5);
+}
+
+// ------------------------------------------------- fault recovery
+
+// Short timeouts/backoffs keep the simulated recovery fast; threshold 2
+// blacklists a dead tracker after two consecutive timeouts.
+void arm_fast_recovery(workloads::RunConfig& config) {
+  config.setup.extra.set_double(mapred::kFetchTimeoutSec, 2.0);
+  config.setup.extra.set_double(mapred::kFetchBackoffBaseSec, 0.1);
+  config.setup.extra.set_double(mapred::kFetchBackoffMaxSec, 0.5);
+  config.setup.extra.set_int(mapred::kBlacklistFailures, 2);
+}
+
+TEST(RdmaRecoveryTest, KilledTrackerRecoversWithIdenticalOutput) {
+  const auto clean = workloads::run_experiment(
+      tiny(workloads::EngineSetup::osu_ib()));
+  ASSERT_TRUE(clean.validated);
+
+  // Kill tracker host 1's shuffle service mid-shuffle (host 0 is the
+  // master and runs no TaskTracker).
+  sim::FaultPlan plan(11);
+  const double mid_shuffle =
+      clean.job.submit_time +
+      0.5 * (clean.job.shuffle_done_time - clean.job.submit_time);
+  plan.kill_tracker(1, mid_shuffle);
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.faults = &plan;
+  arm_fast_recovery(config);
+  const auto faulted = workloads::run_experiment(config);
+
+  ASSERT_TRUE(faulted.validated);
+  // The acceptance bar: byte-identical output despite losing a tracker.
+  EXPECT_EQ(faulted.validation.digest.records,
+            clean.validation.digest.records);
+  EXPECT_EQ(faulted.validation.digest.checksum,
+            clean.validation.digest.checksum);
+  // Recovery must be visible in the result counters and the report.
+  EXPECT_GT(faulted.job.fetch_timeouts, 0u);
+  EXPECT_GT(faulted.job.fetch_retries, 0u);
+  EXPECT_EQ(faulted.job.trackers_blacklisted, 1u);
+  EXPECT_GT(faulted.job.map_refetch_reruns, 0u);
+  EXPECT_GT(faulted.job.refetched_modeled_bytes, 0u);
+  EXPECT_GT(faulted.job.elapsed(), clean.job.elapsed());
+  const std::string report = workloads::job_report(faulted.job);
+  EXPECT_NE(report.find("shuffle recovery"), std::string::npos);
+  EXPECT_NE(report.find("refetched"), std::string::npos);
+}
+
+TEST(RdmaRecoveryTest, DroppedResponsesRetryToCompletion) {
+  sim::FaultPlan plan(5);
+  plan.drop_responses(1, 0.2);
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.faults = &plan;
+  config.setup.extra.set_double(mapred::kFetchTimeoutSec, 1.0);
+  config.setup.extra.set_double(mapred::kFetchBackoffBaseSec, 0.05);
+  config.setup.extra.set_double(mapred::kFetchBackoffMaxSec, 0.2);
+  // A 20%-lossy responder is degraded, not dead: keep it off the
+  // blacklist and let retries absorb the losses.
+  config.setup.extra.set_int(mapred::kBlacklistFailures, 1000000);
+  config.setup.extra.set_int(mapred::kFetchMaxRetries, 50);
+  const auto outcome = workloads::run_experiment(config);
+  ASSERT_TRUE(outcome.validated);
+  EXPECT_GT(outcome.job.fetch_timeouts, 0u);
+  EXPECT_EQ(outcome.job.trackers_blacklisted, 0u);
+  EXPECT_EQ(outcome.job.map_refetch_reruns, 0u);
+}
+
+TEST(RdmaRecoveryTest, StalledResponsesAreDeduplicated) {
+  // Stalls longer than the fetch timeout force retries whose original
+  // responses still arrive later — the cursor echo must discard (or
+  // coalesce) the duplicates without corrupting the merge.
+  sim::FaultPlan plan(17);
+  plan.stall_responses(1, 0.1, 2.0);
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.faults = &plan;
+  config.setup.extra.set_double(mapred::kFetchTimeoutSec, 1.0);
+  config.setup.extra.set_double(mapred::kFetchBackoffBaseSec, 0.05);
+  config.setup.extra.set_double(mapred::kFetchBackoffMaxSec, 0.2);
+  config.setup.extra.set_int(mapred::kBlacklistFailures, 1000000);
+  config.setup.extra.set_int(mapred::kFetchMaxRetries, 50);
+  // A stalled response pins its responder thread (like a hung disk
+  // read); give the pool headroom so retries don't snowball into a
+  // retry storm — that failure mode is real but not what this test is
+  // about.
+  config.setup.extra.set_int(mapred::kResponderThreads, 16);
+  const auto outcome = workloads::run_experiment(config);
+  ASSERT_TRUE(outcome.validated);
+  EXPECT_GT(outcome.job.fetch_timeouts, 0u);
+}
+
+TEST(RdmaRecoveryTest, HadoopAKilledTrackerAlsoRecovers) {
+  // The on-demand (network-levitated) refill path shares the recovery
+  // machinery: timeouts fire on the merge's critical path.
+  sim::FaultPlan plan(23);
+  plan.kill_tracker(2, 0.0);  // dead before the shuffle even starts
+  auto config = tiny(workloads::EngineSetup::hadoop_a());
+  config.faults = &plan;
+  arm_fast_recovery(config);
+  const auto outcome = workloads::run_experiment(config);
+  ASSERT_TRUE(outcome.validated);
+  EXPECT_EQ(outcome.job.trackers_blacklisted, 1u);
+  EXPECT_GT(outcome.job.map_refetch_reruns, 0u);
+}
+
+TEST(RdmaRecoveryTest, NicDegradeSlowsButCompletes) {
+  const auto clean = workloads::run_experiment(
+      tiny(workloads::EngineSetup::osu_ib()));
+  sim::FaultPlan plan;
+  // In this tiny config the shuffle overlaps the map phase and the
+  // network is far from the bottleneck, so the cut must be near-fatal
+  // (32 Gbps -> ~64 Mbps) to surface in the job time at all.
+  plan.degrade_nic(1, 0.0, 0.002);
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.faults = &plan;
+  const auto degraded = workloads::run_experiment(config);
+  ASSERT_TRUE(degraded.validated);
+  EXPECT_GT(degraded.job.elapsed(), clean.job.elapsed() * 1.05);
 }
 
 }  // namespace
