@@ -12,6 +12,8 @@ int main() {
   std::printf("== Ablation A1: HDFS block size (TeraSort 20GB, 4 nodes) ==\n");
   Table table({"Block size", "IPoIB (32Gbps)", "HadoopA-IB (32Gbps)",
                "OSU-IB (32Gbps)"});
+  BenchJson bench("ablation_blocksize", "Ablation A1: HDFS block size",
+                  "terasort", 4);
   for (const std::uint64_t block_mb : {64, 128, 256, 512}) {
     std::vector<std::string> row{std::to_string(block_mb) + "MB"};
     for (auto setup : {EngineSetup::ipoib(), EngineSetup::hadoop_a(),
@@ -25,11 +27,15 @@ int main() {
       std::fprintf(stderr, "  block=%lluMB %s...\n",
                    static_cast<unsigned long long>(block_mb),
                    setup.label.c_str());
-      row.push_back(Table::num(run_experiment(config).seconds(), 1));
+      const auto outcome = run_experiment(config);
+      bench.add_run(setup.label + " block=" + std::to_string(block_mb) + "MB",
+                    20.0, outcome);
+      row.push_back(Table::num(outcome.seconds(), 1));
     }
     table.add_row(std::move(row));
   }
   std::fputs(table.to_ascii().c_str(), stdout);
   std::printf("(Job Execution Time in seconds; lower is better)\n");
+  bench.write_file();
   return 0;
 }

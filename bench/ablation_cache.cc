@@ -11,6 +11,8 @@ int main() {
   std::printf(
       "== Ablation A3: cache capacity (TeraSort 60GB, 8 nodes, 1 HDD) ==\n");
   Table table({"mapred.local.caching.bytes", "Job time (s)", "Hit rate"});
+  BenchJson bench("ablation_cache", "Ablation A3: cache capacity",
+                  "terasort", 8);
   for (const char* cache : {"0GB", "1GB", "2GB", "4GB", "8GB", "12GB"}) {
     RunConfig config;
     config.setup = EngineSetup::osu_ib();
@@ -24,6 +26,7 @@ int main() {
     config.nodes = 8;
     std::fprintf(stderr, "  cache=%s...\n", cache);
     const auto outcome = run_experiment(config);
+    bench.add_run(std::string("OSU-IB cache=") + cache, 60.0, outcome);
     const auto total = outcome.job.cache_hits + outcome.job.cache_misses;
     table.add_row({cache, Table::num(outcome.seconds(), 1),
                    total == 0 ? "-"
@@ -34,5 +37,6 @@ int main() {
   std::fputs(table.to_ascii().c_str(), stdout);
   std::printf("(per-node map output here is ~7.5GB: the sweep crosses the "
               "working-set size)\n");
+  bench.write_file();
   return 0;
 }

@@ -13,6 +13,9 @@ int main() {
     std::printf(
         "== Ablation A2a: OSU-IB packet byte budget (20GB, 4 nodes) ==\n");
     Table table({"mapred.rdma.packet.bytes", "TeraSort (s)", "Sort (s)"});
+    BenchJson bench("ablation_packet_bytes",
+                    "Ablation A2a: OSU-IB packet byte budget", "terasort+sort",
+                    4);
     for (const char* packet : {"64KB", "256KB", "1MB", "4MB", "16MB"}) {
       std::vector<std::string> row{packet};
       for (const char* workload : {"terasort", "sort"}) {
@@ -23,17 +26,24 @@ int main() {
         config.sort_modeled_bytes = 20 * kGiB;
         config.nodes = 4;
         std::fprintf(stderr, "  packet=%s %s...\n", packet, workload);
-        row.push_back(Table::num(run_experiment(config).seconds(), 1));
+        const auto outcome = run_experiment(config);
+        bench.add_run(std::string(workload) + " packet=" + packet, 20.0,
+                      outcome);
+        row.push_back(Table::num(outcome.seconds(), 1));
       }
       table.add_row(std::move(row));
     }
     std::fputs(table.to_ascii().c_str(), stdout);
+    bench.write_file();
   }
   {
     std::printf(
         "\n== Ablation A2b: Hadoop-A fixed kv count per packet (Sort 20GB, "
         "4 nodes) ==\n");
     Table table({"mapred.rdma.kv.per.packet", "Sort (s)"});
+    BenchJson bench("ablation_packet_kv",
+                    "Ablation A2b: Hadoop-A fixed kv count per packet", "sort",
+                    4);
     for (const int count : {64, 256, 1024, 4096}) {
       RunConfig config;
       config.setup = EngineSetup::hadoop_a();
@@ -42,10 +52,13 @@ int main() {
       config.sort_modeled_bytes = 20 * kGiB;
       config.nodes = 4;
       std::fprintf(stderr, "  kv=%d sort...\n", count);
-      table.add_row({std::to_string(count),
-                     Table::num(run_experiment(config).seconds(), 1)});
+      const auto outcome = run_experiment(config);
+      bench.add_run("hadoop-a kv=" + std::to_string(count), 20.0, outcome);
+      table.add_row(
+          {std::to_string(count), Table::num(outcome.seconds(), 1)});
     }
     std::fputs(table.to_ascii().c_str(), stdout);
+    bench.write_file();
     std::printf(
         "(fixed counts ignore record size: harmless on 100-byte TeraSort "
         "rows, ruinous on 20KB Sort records)\n");

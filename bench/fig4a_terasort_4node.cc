@@ -12,6 +12,7 @@ using namespace hmr::bench;
 
 int main() {
   FigureSpec spec;
+  spec.id = "fig4a";
   spec.title =
       "Figure 4(a): TeraSort, 4 DataNodes, single and dual HDD";
   spec.workload = "terasort";

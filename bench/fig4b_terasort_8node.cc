@@ -12,6 +12,7 @@ using namespace hmr::bench;
 
 int main() {
   FigureSpec spec;
+  spec.id = "fig4b";
   spec.title = "Figure 4(b): TeraSort, 8 DataNodes, single and dual HDD";
   spec.workload = "terasort";
   spec.nodes = 8;

@@ -12,6 +12,7 @@ using namespace hmr::bench;
 int main() {
   for (const auto& [gb, nodes] : {std::pair{100, 12}, std::pair{200, 24}}) {
     FigureSpec spec;
+    spec.id = "fig5_" + std::to_string(nodes) + "node";
     spec.title = "Figure 5: TeraSort " + std::to_string(gb) + "GB on " +
                  std::to_string(nodes) + " nodes";
     spec.workload = "terasort";

@@ -12,6 +12,7 @@ using namespace hmr::bench;
 
 int main() {
   FigureSpec spec;
+  spec.id = "fig6a";
   spec.title = "Figure 6(a): Sort, 4 DataNodes, single HDD";
   spec.workload = "sort";
   spec.nodes = 4;

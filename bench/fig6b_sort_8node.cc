@@ -8,6 +8,7 @@ using namespace hmr::bench;
 
 int main() {
   FigureSpec spec;
+  spec.id = "fig6b";
   spec.title = "Figure 6(b): Sort, 8 DataNodes, single HDD";
   spec.workload = "sort";
   spec.nodes = 8;

@@ -9,6 +9,7 @@ using namespace hmr::bench;
 
 int main() {
   FigureSpec spec;
+  spec.id = "fig7";
   spec.title = "Figure 7: Sort on SSD data stores, 4 DataNodes";
   spec.workload = "sort";
   spec.nodes = 4;

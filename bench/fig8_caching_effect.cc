@@ -12,6 +12,7 @@ using namespace hmr::bench;
 
 int main() {
   FigureSpec spec;
+  spec.id = "fig8";
   spec.title = "Figure 8: Effect of the caching mechanism (Sort on SSD)";
   spec.workload = "sort";
   spec.nodes = 4;

@@ -10,10 +10,12 @@
 
 #include "common/table.h"
 #include "common/units.h"
+#include "workloads/benchjson.h"
 #include "workloads/experiment.h"
 
 namespace hmr::bench {
 
+using workloads::BenchJson;
 using workloads::EngineSetup;
 using workloads::RunConfig;
 using workloads::run_experiment;
@@ -24,6 +26,7 @@ struct Series {
 };
 
 struct FigureSpec {
+  std::string id;        // BENCH_<id>.json; empty skips the JSON artifact
   std::string title;
   std::string workload;  // "terasort" | "sort"
   int nodes = 4;
@@ -33,21 +36,26 @@ struct FigureSpec {
   std::uint64_t target_real_bytes = 16 * 1024 * 1024;
 };
 
+inline std::string series_label(const FigureSpec& spec, const Series& series) {
+  std::string label = series.setup.label;
+  if (series.disks > 1) {
+    label += " " + std::to_string(series.disks) + "disks";
+  } else if (spec.series.size() > 4) {  // disk-count comparisons
+    label += " 1disk";
+  }
+  return label;
+}
+
 inline void run_figure(const FigureSpec& spec) {
   std::printf("== %s ==\n", spec.title.c_str());
   std::vector<std::string> headers{"Sort Size (GB)"};
   for (const auto& series : spec.series) {
-    std::string label = series.setup.label;
-    if (series.disks > 1) {
-      label += " " + std::to_string(series.disks) + "disks";
-    } else if (spec.series.size() > 4) {  // disk-count comparisons
-      label += " 1disk";
-    }
-    headers.push_back(std::move(label));
+    headers.push_back(series_label(spec, series));
   }
   Table table(std::move(headers));
   // Matrix of results for the improvement summary.
   std::vector<std::vector<double>> seconds(spec.sizes_gb.size());
+  BenchJson bench(spec.id, spec.title, spec.workload, spec.nodes);
 
   for (size_t row = 0; row < spec.sizes_gb.size(); ++row) {
     const auto gb = spec.sizes_gb[row];
@@ -64,15 +72,17 @@ inline void run_figure(const FigureSpec& spec) {
       std::fprintf(stderr, "  %s %lluGB %s...\n", spec.workload.c_str(),
                    static_cast<unsigned long long>(gb),
                    series.setup.label.c_str());
-      const double secs = run_experiment(config).seconds();
-      seconds[row].push_back(secs);
-      cells.push_back(Table::num(secs, 1));
+      const auto outcome = run_experiment(config);
+      bench.add_run(series_label(spec, series), double(gb), outcome);
+      seconds[row].push_back(outcome.seconds());
+      cells.push_back(Table::num(outcome.seconds(), 1));
     }
     table.add_row(std::move(cells));
   }
   std::fputs(table.to_ascii().c_str(), stdout);
   std::printf("(Job Execution Time in seconds; lower is better)\n\n");
   std::fflush(stdout);
+  if (!spec.id.empty()) bench.write_file();
 }
 
 // Improvement of column b over column a at one row, in percent.

@@ -1,0 +1,25 @@
+// bench/smoke: a fast TeraSort per shuffle engine (IPoIB sockets,
+// Hadoop-A, OSU-IB) sized to finish in seconds. Its BENCH_smoke.json is
+// what tools/bench_check diffs against bench/baselines/BENCH_smoke.json
+// in the CI bench-smoke job; regenerate the baseline with
+//   HMR_BENCH_DIR=bench/baselines ./build/bench/smoke
+// after any intentional performance change.
+#include "fig_common.h"
+
+using namespace hmr;
+using namespace hmr::bench;
+
+int main() {
+  FigureSpec spec;
+  spec.id = "smoke";
+  spec.title = "Smoke: TeraSort 2GB, 2 DataNodes, one run per engine";
+  spec.workload = "terasort";
+  spec.nodes = 2;
+  spec.sizes_gb = {2};
+  spec.series = {{EngineSetup::ipoib(), 1},
+                 {EngineSetup::hadoop_a(), 1},
+                 {EngineSetup::osu_ib(), 1}};
+  spec.target_real_bytes = 4 * kMiB;
+  run_figure(spec);
+  return 0;
+}

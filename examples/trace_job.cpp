@@ -35,11 +35,14 @@ int main(int argc, char** argv) {
   gen.scale = 1024.0;
   if (!bed.generate("teragen", gen).ok()) return 1;
 
-  sim::Tracer tracer(bed.engine());
-  bed.engine().set_tracer(&tracer);
-
   Conf conf;
   conf.set(mapred::kShuffleEngine, engine);
+  sim::Tracer tracer(bed.engine(),
+                     std::uint64_t(conf.get_int(
+                         mapred::kTraceMaxEvents,
+                         std::int64_t(sim::Tracer::kDefaultMaxEvents))));
+  bed.engine().set_tracer(&tracer);
+
   auto result = bed.run_job(terasort_job(bed.dfs(), "/in", "/out", conf));
   bed.engine().set_tracer(nullptr);
 
@@ -49,6 +52,12 @@ int main(int argc, char** argv) {
 
   std::printf("4GB TeraSort (%s): %.1f s simulated, %zu trace spans\n",
               engine.c_str(), result.elapsed(), tracer.size());
+  if (tracer.dropped_events() > 0) {
+    std::printf("trace buffer full: dropped %llu events "
+                "(raise %s)\n",
+                static_cast<unsigned long long>(tracer.dropped_events()),
+                mapred::kTraceMaxEvents);
+  }
   std::printf("wrote %s — open it in ui.perfetto.dev or chrome://tracing\n",
               out_path.c_str());
   return 0;

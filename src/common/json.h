@@ -1,0 +1,90 @@
+// Minimal dependency-free JSON tree: build + dump for the machine-
+// readable bench pipeline (BENCH_*.json), parse for tools/bench_check
+// and for round-trip tests. Not a general-purpose library: numbers are
+// doubles, object key order is preserved as inserted, and parse errors
+// report a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hmr {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Json(double n) : type_(Type::kNumber), num_(n) {}
+  explicit Json(std::int64_t n) : type_(Type::kNumber), num_(double(n)) {}
+  explicit Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Json(std::string_view s) : Json(std::string(s)) {}
+  explicit Json(const char* s) : Json(std::string(s)) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool dflt = false) const {
+    return is_bool() ? bool_ : dflt;
+  }
+  double as_double(double dflt = 0.0) const {
+    return is_number() ? num_ : dflt;
+  }
+  std::int64_t as_int(std::int64_t dflt = 0) const {
+    return is_number() ? std::int64_t(num_) : dflt;
+  }
+  const std::string& as_string() const { return str_; }
+
+  // --- object ---
+  void set(std::string key, Json value);
+  // nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return members_;
+  }
+
+  // --- array ---
+  void push_back(Json value) { elements_.push_back(std::move(value)); }
+  size_t size() const {
+    return is_object() ? members_.size() : elements_.size();
+  }
+  const Json& at(size_t i) const { return elements_.at(i); }
+  const std::vector<Json>& elements() const { return elements_; }
+
+  // Compact serialization (no whitespace).
+  std::string dump() const;
+
+  static Result<Json> parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> elements_;                          // kArray
+  std::vector<std::pair<std::string, Json>> members_;   // kObject
+};
+
+}  // namespace hmr

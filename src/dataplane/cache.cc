@@ -7,8 +7,45 @@ namespace hmr::dataplane {
 PrefetchCache::PrefetchCache(std::uint64_t capacity_bytes)
     : capacity_(capacity_bytes) {}
 
+void PrefetchCache::attach_metrics(MetricsRegistry& registry,
+                                   const std::string& prefix) {
+  hits_metric_ = &registry.counter(prefix + "hits");
+  misses_metric_ = &registry.counter(prefix + "misses");
+  insertions_metric_ = &registry.counter(prefix + "insertions");
+  evictions_metric_ = &registry.counter(prefix + "evictions");
+  rejected_metric_ = &registry.counter(prefix + "rejected");
+  used_metric_ = &registry.gauge(prefix + "used_bytes");
+  // Carry over anything counted before attachment.
+  hits_metric_->add(std::int64_t(stats_.hits));
+  misses_metric_->add(std::int64_t(stats_.misses));
+  insertions_metric_->add(std::int64_t(stats_.insertions));
+  evictions_metric_->add(std::int64_t(stats_.evictions));
+  rejected_metric_->add(std::int64_t(stats_.rejected));
+  sync_used_gauge();
+}
+
+bool PrefetchCache::invariant_holds() const {
+  if (ranks_.size() != entries_.size()) return false;
+  if (used_ > capacity_) return false;
+  std::uint64_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    total += entry.bytes;
+    if (ranks_.find(rank_of(key, entry)) == ranks_.end()) return false;
+  }
+  return total == used_;
+}
+
+void PrefetchCache::check_invariant() const {
+#ifndef NDEBUG
+  HMR_CHECK_MSG(invariant_holds(), "PrefetchCache accounting out of sync");
+#endif
+}
+
 bool PrefetchCache::make_room(std::uint64_t needed, const Rank& incoming) {
   if (needed > capacity_) return false;
+  // used_ <= capacity_ by the accounting invariant; guard the unsigned
+  // subtraction anyway so a future bug rejects instead of wrapping.
+  HMR_CHECK(used_ <= capacity_);
   while (capacity_ - used_ < needed) {
     HMR_CHECK(!ranks_.empty());
     const Rank& victim_rank = *ranks_.begin();
@@ -20,6 +57,7 @@ bool PrefetchCache::make_room(std::uint64_t needed, const Rank& incoming) {
     ranks_.erase(ranks_.begin());
     entries_.erase(it);
     ++stats_.evictions;
+    if (evictions_metric_ != nullptr) evictions_metric_->add();
   }
   return true;
 }
@@ -29,7 +67,9 @@ bool PrefetchCache::put(const std::string& key,
                         std::uint64_t charged_bytes, int priority) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    // Refresh in place, keeping the higher priority.
+    // Refresh in place: the old charge comes off the budget before
+    // make_room runs, and the entry leaves the rank index so it can
+    // never evict itself while making room for its own new size.
     unrank(key, it->second);
     used_ -= it->second.bytes;
     it->second.value = std::move(value);
@@ -39,6 +79,9 @@ bool PrefetchCache::put(const std::string& key,
     if (!make_room(charged_bytes, incoming)) {
       entries_.erase(it);
       ++stats_.rejected;
+      if (rejected_metric_ != nullptr) rejected_metric_->add();
+      sync_used_gauge();
+      check_invariant();
       return false;
     }
     it = entries_.find(key);
@@ -49,12 +92,18 @@ bool PrefetchCache::put(const std::string& key,
     used_ += charged_bytes;
     ranks_.insert(rank_of(key, it->second));
     ++stats_.insertions;
+    if (insertions_metric_ != nullptr) insertions_metric_->add();
+    sync_used_gauge();
+    check_invariant();
     return true;
   }
 
   const Rank incoming{priority, next_tick_, key};
   if (!make_room(charged_bytes, incoming)) {
     ++stats_.rejected;
+    if (rejected_metric_ != nullptr) rejected_metric_->add();
+    sync_used_gauge();
+    check_invariant();
     return false;
   }
   Entry entry;
@@ -66,6 +115,9 @@ bool PrefetchCache::put(const std::string& key,
   ranks_.insert(rank_of(key, entry));
   entries_.emplace(key, std::move(entry));
   ++stats_.insertions;
+  if (insertions_metric_ != nullptr) insertions_metric_->add();
+  sync_used_gauge();
+  check_invariant();
   return true;
 }
 
@@ -73,12 +125,15 @@ std::shared_ptr<const MapOutput> PrefetchCache::get(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (misses_metric_ != nullptr) misses_metric_->add();
     return nullptr;
   }
   ++stats_.hits;
+  if (hits_metric_ != nullptr) hits_metric_->add();
   unrank(key, it->second);
   it->second.tick = next_tick_++;
   ranks_.insert(rank_of(key, it->second));
+  check_invariant();
   return it->second.value;
 }
 
@@ -94,6 +149,7 @@ void PrefetchCache::boost(const std::string& key, int priority) {
   it->second.priority = priority;
   it->second.tick = next_tick_++;
   ranks_.insert(rank_of(key, it->second));
+  check_invariant();
 }
 
 bool PrefetchCache::erase(const std::string& key) {
@@ -102,6 +158,8 @@ bool PrefetchCache::erase(const std::string& key) {
   unrank(key, it->second);
   used_ -= it->second.bytes;
   entries_.erase(it);
+  sync_used_gauge();
+  check_invariant();
   return true;
 }
 
@@ -109,6 +167,8 @@ void PrefetchCache::clear() {
   entries_.clear();
   ranks_.clear();
   used_ = 0;
+  sync_used_gauge();
+  check_invariant();
 }
 
 }  // namespace hmr::dataplane

@@ -15,6 +15,7 @@
 #include <set>
 #include <string>
 
+#include "common/metrics.h"
 #include "dataplane/segment.h"
 
 namespace hmr::dataplane {
@@ -62,6 +63,16 @@ class PrefetchCache {
   size_t entries() const { return entries_.size(); }
   const CacheStats& stats() const { return stats_; }
 
+  // Mirrors stats into `registry` under `prefix` (e.g. "cache."):
+  // hit/miss/insertion/eviction/rejection counters plus a used-bytes
+  // gauge whose high-water mark survives clear().
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
+  // Accounting invariant: used_bytes() equals the sum of resident
+  // charged bytes, the rank index mirrors the entry map, and usage never
+  // exceeds the budget. Debug builds check this after every mutation.
+  bool invariant_holds() const;
+
  private:
   struct Entry {
     std::shared_ptr<const MapOutput> value;
@@ -80,6 +91,10 @@ class PrefetchCache {
   }
   // Evicts victims ranked strictly below `incoming` until `needed` fits.
   bool make_room(std::uint64_t needed, const Rank& incoming);
+  void check_invariant() const;
+  void sync_used_gauge() {
+    if (used_metric_ != nullptr) used_metric_->set(double(used_));
+  }
 
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
@@ -87,6 +102,13 @@ class PrefetchCache {
   std::map<std::string, Entry> entries_;
   std::set<Rank> ranks_;
   CacheStats stats_;
+  // Optional registry mirrors; null until attach_metrics().
+  Counter* hits_metric_ = nullptr;
+  Counter* misses_metric_ = nullptr;
+  Counter* insertions_metric_ = nullptr;
+  Counter* evictions_metric_ = nullptr;
+  Counter* rejected_metric_ = nullptr;
+  Gauge* used_metric_ = nullptr;
 };
 
 }  // namespace hmr::dataplane

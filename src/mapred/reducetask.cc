@@ -87,6 +87,12 @@ sim::Task<> run_reduce_task(JobRuntime& job, int reduce_id,
   KvSink sink(job.engine, /*capacity=*/16);
   sim::WaitGroup fetch_done(job.engine);
   fetch_done.add();
+  // Phase bookkeeping: the first reducer to spawn its fetcher opens the
+  // shuffle phase (engine-agnostic — both socket and verbs paths funnel
+  // through fetch_and_merge).
+  if (job.result.shuffle_start_time < 0) {
+    job.result.shuffle_start_time = job.engine.now();
+  }
   job.engine.spawn([](JobRuntime& job, int reduce_id, Host& host,
                       KvSink& sink, sim::WaitGroup& done) -> sim::Task<> {
     co_await job.shuffle->fetch_and_merge(job, reduce_id, host, sink);
@@ -103,6 +109,9 @@ sim::Task<> run_reduce_task(JobRuntime& job, int reduce_id,
   std::uint64_t consumed_real = 0;
   std::uint64_t input_records = 0;
   while (auto batch = co_await sink.recv()) {
+    if (job.result.reduce_start_time < 0) {
+      job.result.reduce_start_time = job.engine.now();
+    }
     std::uint64_t batch_real = 0;
     for (const auto& pair : *batch) batch_real += pair.serialized_size();
     consumed_real += batch_real;

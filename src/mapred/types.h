@@ -2,6 +2,7 @@
 // framework understands (the paper's tunables included).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/conf.h"
+#include "common/metrics.h"
 #include "dataplane/kv.h"
 #include "dataplane/partitioner.h"
 
@@ -97,6 +99,14 @@ inline constexpr const char* kBlacklistFailures =
 inline constexpr const char* kResponderDeadlineSec =
     "mapred.rdma.responder.deadline.sec";
 
+// Observability. kMetricsSnapshot controls whether JobRunner copies the
+// engine's metrics registry into JobResult::metrics at job end (on by
+// default; large sweeps can turn it off). kTraceMaxEvents caps the
+// Chrome-trace event buffer when tracing is enabled; events past the cap
+// are dropped and counted. 0 means unbounded.
+inline constexpr const char* kMetricsSnapshot = "mapred.metrics.snapshot";
+inline constexpr const char* kTraceMaxEvents = "sim.trace.max.events";
+
 // Compute-cost model (modeled bytes per second per core).
 inline constexpr const char* kMapCpuBw = "mapred.cpu.map.bytes_per_sec";
 inline constexpr const char* kReduceCpuBw = "mapred.cpu.reduce.bytes_per_sec";
@@ -127,10 +137,24 @@ struct JobSpec {
   sim::FaultPlan* faults = nullptr;
 };
 
+// Wall-clock phase decomposition of a job (seconds). Phases overlap in
+// real time — shuffle starts while maps still run — so their sum can
+// exceed the job's elapsed time; JobResult::overlap_fraction()
+// quantifies how much.
+struct PhaseTimes {
+  double map = 0;
+  double shuffle = 0;
+  double merge = 0;
+  double reduce = 0;
+  double sum() const { return map + shuffle + merge + reduce; }
+};
+
 struct JobResult {
   double submit_time = 0;
   double maps_done_time = 0;    // last map finished
+  double shuffle_start_time = -1;  // first reducer began fetching; <0 = never
   double shuffle_done_time = 0; // last reducer finished fetching
+  double reduce_start_time = -1;  // first reduce batch consumed; <0 = never
   double finish_time = 0;
 
   int num_maps = 0;
@@ -162,7 +186,41 @@ struct JobResult {
     return it == counters.end() ? 0 : it->second;
   }
 
+  // Snapshot of the engine's metrics registry at job end (empty when
+  // mapred.metrics.snapshot is off).
+  MetricsSnapshot metrics;
+
   double elapsed() const { return finish_time - submit_time; }
+
+  // Each phase is clamped to [0, elapsed()], so consumers (bench JSON
+  // validation included) can rely on phase <= wall-clock even for jobs
+  // that never reached a phase (sentinel timestamps stay negative).
+  PhaseTimes phases() const {
+    const double wall = std::max(0.0, elapsed());
+    const auto span = [wall](double begin, double end) {
+      if (begin < 0 || end < 0) return 0.0;
+      return std::clamp(end - begin, 0.0, wall);
+    };
+    PhaseTimes p;
+    p.map = span(submit_time, maps_done_time);
+    p.shuffle = span(shuffle_start_time, shuffle_done_time);
+    p.merge = span(shuffle_done_time, reduce_start_time);
+    p.reduce = span(reduce_start_time, finish_time);
+    return p;
+  }
+
+  // Fraction of phase time hidden by pipelining: 0 when phases ran
+  // strictly back-to-back, approaching 1 as they fully overlap.
+  double overlap_fraction() const {
+    const double total = phases().sum();
+    if (total <= 0) return 0.0;
+    return std::clamp(1.0 - std::max(0.0, elapsed()) / total, 0.0, 1.0);
+  }
+
+  double cache_hit_rate() const {
+    const auto lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : double(cache_hits) / double(lookups);
+  }
 };
 
 // Resolved numeric knobs, one decode of the Conf per job.

@@ -24,11 +24,18 @@ Bytes encode_request(int map_id, int reduce_id) {
   return w.take();
 }
 
-std::pair<int, int> decode_request(const Bytes& data) {
+// A request is exactly {map_id, reduce_id}; anything truncated or with
+// trailing bytes is malformed and must not crash the servlet.
+Result<std::pair<int, int>> decode_request(const Bytes& data) {
   ByteReader r(data);
-  const int map_id = int(r.u32().value());
-  const int reduce_id = int(r.u32().value());
-  return {map_id, reduce_id};
+  const auto map_id = r.u32();
+  if (!map_id.ok()) return map_id.status();
+  const auto reduce_id = r.u32();
+  if (!reduce_id.ok()) return reduce_id.status();
+  if (!r.at_end()) {
+    return Status::InvalidArgument("trailing bytes after shuffle request");
+  }
+  return std::pair<int, int>{int(*map_id), int(*reduce_id)};
 }
 
 }  // namespace
@@ -112,7 +119,14 @@ sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
   TaskTrackerState& tracker = job.tracker_for_host(host_id);
   while (auto request = co_await sock->recv()) {
     HMR_CHECK(request->tag == kTagRequest && request->payload != nullptr);
-    const auto [map_id, reduce_id] = decode_request(*request->payload);
+    const auto decoded = decode_request(*request->payload);
+    if (!decoded.ok()) {
+      // Malformed frame: drop it rather than crash the servlet; the
+      // copier's watchdog re-issues the request.
+      job.engine.metrics().counter("shuffle.malformed_msgs").add();
+      continue;
+    }
+    const auto [map_id, reduce_id] = *decoded;
     // Injected faults (sim/fault.h): a dead tracker's servlet stops
     // answering; a faulty one drops or stalls individual responses.
     // Copiers recover via timeout/retry/blacklist.
@@ -252,6 +266,7 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
     // One request/response in flight per connection: only the lock
     // holder reads the event channel.
     auto exchange = co_await sim::hold(conn->lock);
+    const double sent_at = job.engine.now();
     net::Message request = net::Message::data(
         encode_request(map_id, state.reduce_id), 1.0, kTagRequest);
     request.modeled_bytes = kRequestWireBytes;
@@ -269,9 +284,15 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
         HMR_CHECK(event->msg->tag == kTagResponse &&
                   event->msg->payload != nullptr);
         ByteReader r(*event->msg->payload);
-        const int got_map = int(r.u32().value());
-        const int got_reduce = int(r.u32().value());
-        if (got_map == map_id && got_reduce == state.reduce_id) {
+        const auto got_map = r.u32();
+        const auto got_reduce = r.u32();
+        if (!got_map.ok() || !got_reduce.ok()) {
+          // Response too short to even carry its match prefix: drop it
+          // like a stale duplicate; the watchdog covers the re-fetch.
+          job.engine.metrics().counter("shuffle.malformed_msgs").add();
+          continue;
+        }
+        if (int(*got_map) == map_id && int(*got_reduce) == state.reduce_id) {
           response = std::move(event->msg);
           break;
         }
@@ -309,6 +330,9 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
     }
 
     job.report_fetch_success(server_host);
+    job.engine.metrics()
+        .latency_histogram("vanilla.fetch.rtt")
+        .record(job.engine.now() - sent_at);
     const std::uint64_t modeled = response->modeled_bytes;
     job.result.shuffled_modeled_bytes += modeled;
     if (refetching) job.result.refetched_modeled_bytes += modeled;

@@ -35,13 +35,18 @@ Cluster::Cluster(sim::Engine& engine, const NetProfile& profile,
                  const std::vector<HostSpec>& specs)
     : engine_(engine), profile_(profile) {
   int id = 0;
+  std::uint64_t cores = 0;
   for (const auto& spec : specs) {
+    cores += std::uint64_t(spec.cores);
     hosts_.push_back(std::make_unique<Host>(engine, id++, spec, profile_));
   }
+  engine_.metrics().gauge("cluster.hosts").set(double(hosts_.size()));
+  engine_.metrics().gauge("cluster.cores").set(double(cores));
 }
 
 void Cluster::inject_faults(const sim::FaultPlan& plan) {
   for (const auto& degrade : plan.nic_degrades()) {
+    engine_.metrics().counter("cluster.nic_degrades_armed").add();
     Host& host = *hosts_.at(size_t(degrade.host_id));
     engine_.spawn([](sim::Engine& engine, Host& host, double at,
                      double factor) -> sim::Task<> {

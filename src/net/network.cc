@@ -27,12 +27,18 @@ class FlowReg {
 }  // namespace
 
 Network::Network(sim::Engine& engine, NetProfile profile)
-    : engine_(engine), profile_(std::move(profile)) {}
+    : engine_(engine),
+      profile_(std::move(profile)),
+      messages_metric_(engine.metrics().counter("net.messages")),
+      bytes_metric_(engine.metrics().counter("net.bytes")),
+      cpu_seconds_metric_(engine.metrics().gauge("net.cpu_seconds")) {}
 
 sim::Task<> Network::transmit(Host& src, Host& dst,
                               std::uint64_t modeled_bytes) {
   ++messages_;
   bytes_ += modeled_bytes;
+  messages_metric_.add();
+  bytes_metric_.add(std::int64_t(modeled_bytes));
 
   // Fixed per-message CPU (syscall / WQE posting) on the sender.
   if (profile_.per_msg_cpu > 0.0) {
@@ -42,6 +48,7 @@ sim::Task<> Network::transmit(Host& src, Host& dst,
     } else {
       co_await src.compute(profile_.per_msg_cpu);
       cpu_seconds_ += profile_.per_msg_cpu;
+      cpu_seconds_metric_.set(cpu_seconds_);
     }
   }
   co_await engine_.delay(profile_.base_latency);
@@ -76,6 +83,7 @@ sim::Task<> Network::transmit(Host& src, Host& dst,
         co_await engine_.delay(wire / 2);
       }
       cpu_seconds_ += wire;
+      cpu_seconds_metric_.set(cpu_seconds_);
     }
     left -= chunk;
   }

@@ -41,6 +41,11 @@ class Network {
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   double cpu_seconds_ = 0.0;
+  // Registry mirrors (sim/engine metrics); references are stable for the
+  // registry's lifetime, so the per-message hot path skips the name map.
+  Counter& messages_metric_;
+  Counter& bytes_metric_;
+  Gauge& cpu_seconds_metric_;
 };
 
 }  // namespace hmr::net

@@ -76,6 +76,9 @@ sim::Task<> RdmaShuffleEngine::start(JobRuntime& job) {
     const int host_id = tracker->host->id();
     auto service = std::make_unique<TrackerService>(job.engine,
                                                     options_.cache_bytes);
+    // All trackers mirror into one registry, so the cache.* counters
+    // aggregate cluster-wide; the used-bytes gauge keeps a high-water max.
+    service->cache.attach_metrics(job.engine.metrics(), "cache.");
     service->listener = std::make_unique<ucr::Listener>(
         job.network, *tracker->host, options_.ucr);
     daemons_->add();
@@ -109,7 +112,14 @@ sim::Task<> RdmaShuffleEngine::rdma_receiver(JobRuntime& job,
                                              ucr::Endpoint& endpoint) {
   while (auto msg = co_await endpoint.recv()) {
     HMR_CHECK(msg->tag == kTagDataRequest && msg->payload != nullptr);
-    PendingRequest pending{DataRequest::decode(*msg->payload), &endpoint,
+    auto req = DataRequest::decode(*msg->payload);
+    if (!req.ok()) {
+      // Malformed frame: drop it rather than crash the responder; the
+      // copier's watchdog re-issues the request.
+      job.engine.metrics().counter("shuffle.malformed_msgs").add();
+      continue;
+    }
+    PendingRequest pending{std::move(req).value(), &endpoint,
                            job.engine.now()};
     co_await service.request_queue.send(std::move(pending));
   }
@@ -131,6 +141,9 @@ sim::Task<> RdmaShuffleEngine::rdma_responder(JobRuntime& job,
       job.engine.metrics().counter("osu.responder.evicted").add();
       continue;
     }
+    job.engine.metrics()
+        .latency_histogram("osu.responder.queue_wait")
+        .record(job.engine.now() - pending->enqueued_at);
     co_await respond(job, service, host_id, std::move(*pending));
   }
   daemons_->done();
@@ -200,7 +213,7 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
     auto view = co_await tracker.host->fs().read_range(
         info.local_path, entry.offset + req.cursor_real, chunk.size());
     HMR_CHECK(view.ok());
-    job.engine.metrics().histogram("osu.respond.disk").record(
+    job.engine.metrics().latency_histogram("osu.respond.disk").record(
         job.engine.now() - dt0);
   }
 
@@ -230,7 +243,7 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
   co_await pending.endpoint->send(net::Message::share(
       std::make_shared<const Bytes>(std::move(body)), modeled,
       kTagDataResponse));
-  job.engine.metrics().histogram("osu.respond.send").record(
+  job.engine.metrics().latency_histogram("osu.respond.send").record(
       job.engine.now() - st0);
 }
 
@@ -320,7 +333,11 @@ sim::Task<ucr::Endpoint*> RdmaShuffleEngine::ensure_client_endpoint(
       HMR_CHECK(msg->tag == kTagDataResponse);
       ByteReader r(*msg->payload);
       const auto header = DataResponse::decode_header(r);
-      auto route = state->routes.find(int(header.map_id));
+      if (!header.ok()) {
+        job.engine.metrics().counter("shuffle.malformed_msgs").add();
+        continue;
+      }
+      auto route = state->routes.find(int(header->map_id));
       if (route == state->routes.end()) {
         job.engine.metrics().counter("shuffle.fetch.stale_dropped")
             .add();
@@ -380,7 +397,13 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
       if (event->msg.has_value()) {
         ByteReader r(*event->msg->payload);
         const auto header = DataResponse::decode_header(r);
-        if (header.cursor_real == req.cursor_real) {
+        if (!header.ok() || r.remaining() < header->chunk_real_bytes) {
+          // Malformed header or short body: drop it like a stale
+          // duplicate and let the watchdog/retry path re-fetch.
+          job.engine.metrics().counter("shuffle.malformed_msgs").add();
+          continue;
+        }
+        if (header->cursor_real == req.cursor_real) {
           co_return std::move(event->msg);
         }
         job.engine.metrics().counter("shuffle.fetch.stale_dropped")
@@ -496,10 +519,14 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
       net::Message again = co_await exchange_with_retry(req);
       response = std::move(again);
     }
-    job.engine.metrics().histogram("osu.fetch.rtt")
+    job.engine.metrics().latency_histogram("osu.fetch.rtt")
         .record(job.engine.now() - rt0);
     ByteReader r(*response.payload);
-    const auto header = DataResponse::decode_header(r);
+    // exchange() only returns messages whose header decoded and whose
+    // body length checked out, so failure here is an engine bug.
+    const auto decoded = DataResponse::decode_header(r);
+    HMR_CHECK(decoded.ok());
+    const DataResponse& header = *decoded;
     auto records = r.bytes(header.chunk_real_bytes);
     HMR_CHECK(records.ok());
     auto pairs = dataplane::decode_run(records.value());
@@ -583,7 +610,7 @@ sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
       cursor.pairs = std::move(chunk->pairs);
       cursor.idx = 0;
       cursor.mem_charge = chunk->mem_charge;
-      job.engine.metrics().histogram("osu.merge.chunk_wait")
+      job.engine.metrics().latency_histogram("osu.merge.chunk_wait")
           .record(job.engine.now() - t0);
       co_return true;
     }

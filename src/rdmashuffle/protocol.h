@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/status.h"
 
 namespace hmr::rdmashuffle {
 
@@ -35,15 +36,34 @@ struct DataRequest {
     w.put_u64(max_real_bytes);
     return w.take();
   }
-  static DataRequest decode(const Bytes& data) {
+  // A request is exactly the six fixed-width fields; anything truncated
+  // or with trailing bytes is malformed. Callers drop malformed messages
+  // (counting shuffle.malformed_msgs) and let the copier's watchdog
+  // retry — a bad frame must never take the responder down.
+  static Result<DataRequest> decode(const Bytes& data) {
     ByteReader r(data);
     DataRequest req;
-    req.job_id = r.u32().value();
-    req.map_id = r.u32().value();
-    req.reduce_id = r.u32().value();
-    req.cursor_real = r.u64().value();
-    req.max_pairs = r.u64().value();
-    req.max_real_bytes = r.u64().value();
+    const auto job_id = r.u32();
+    if (!job_id.ok()) return job_id.status();
+    req.job_id = *job_id;
+    const auto map_id = r.u32();
+    if (!map_id.ok()) return map_id.status();
+    req.map_id = *map_id;
+    const auto reduce_id = r.u32();
+    if (!reduce_id.ok()) return reduce_id.status();
+    req.reduce_id = *reduce_id;
+    const auto cursor_real = r.u64();
+    if (!cursor_real.ok()) return cursor_real.status();
+    req.cursor_real = *cursor_real;
+    const auto max_pairs = r.u64();
+    if (!max_pairs.ok()) return max_pairs.status();
+    req.max_pairs = *max_pairs;
+    const auto max_real_bytes = r.u64();
+    if (!max_real_bytes.ok()) return max_real_bytes.status();
+    req.max_real_bytes = *max_real_bytes;
+    if (!r.at_end()) {
+      return Status::InvalidArgument("trailing bytes after DataRequest");
+    }
     return req;
   }
 };
@@ -71,15 +91,32 @@ struct DataResponse {
     w.put_u8(eof ? 1 : 0);
     return w.take();
   }
-  static DataResponse decode_header(ByteReader& r) {
+  // Consumes the header, leaving `r` at the first kv record. A short
+  // header is malformed (see DataRequest::decode); the payload length is
+  // checked by the caller against chunk_real_bytes.
+  static Result<DataResponse> decode_header(ByteReader& r) {
     DataResponse resp;
-    resp.job_id = r.u32().value();
-    resp.map_id = r.u32().value();
-    resp.reduce_id = r.u32().value();
-    resp.cursor_real = r.u64().value();
-    resp.n_pairs = r.u64().value();
-    resp.chunk_real_bytes = r.u64().value();
-    resp.eof = r.u8().value() != 0;
+    const auto job_id = r.u32();
+    if (!job_id.ok()) return job_id.status();
+    resp.job_id = *job_id;
+    const auto map_id = r.u32();
+    if (!map_id.ok()) return map_id.status();
+    resp.map_id = *map_id;
+    const auto reduce_id = r.u32();
+    if (!reduce_id.ok()) return reduce_id.status();
+    resp.reduce_id = *reduce_id;
+    const auto cursor_real = r.u64();
+    if (!cursor_real.ok()) return cursor_real.status();
+    resp.cursor_real = *cursor_real;
+    const auto n_pairs = r.u64();
+    if (!n_pairs.ok()) return n_pairs.status();
+    resp.n_pairs = *n_pairs;
+    const auto chunk_real_bytes = r.u64();
+    if (!chunk_real_bytes.ok()) return chunk_real_bytes.status();
+    resp.chunk_real_bytes = *chunk_real_bytes;
+    const auto eof = r.u8();
+    if (!eof.ok()) return eof.status();
+    resp.eof = *eof != 0;
     return resp;
   }
 };

@@ -13,8 +13,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
-#include "common/stats.h"
 #include "common/status.h"
 #include "sim/task.h"
 
@@ -75,8 +75,8 @@ class Engine {
   // Safety valve for runaway simulations; 0 disables the limit.
   void set_max_events(std::uint64_t max_events) { max_events_ = max_events; }
 
-  MetricRegistry& metrics() { return metrics_; }
-  const MetricRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
   // Optional execution tracer (sim/trace.h); null when tracing is off.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
@@ -106,7 +106,7 @@ class Engine {
   std::uint64_t max_events_ = 0;
   std::int64_t live_processes_ = 0;
   std::uint64_t seed_;
-  MetricRegistry metrics_;
+  MetricsRegistry metrics_;
   Tracer* tracer_ = nullptr;
   // Frames of spawned-but-unfinished processes, destroyed at shutdown.
   std::unordered_set<void*> live_detached_;

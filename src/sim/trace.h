@@ -19,7 +19,15 @@ namespace hmr::sim {
 
 class Tracer {
  public:
-  explicit Tracer(Engine& engine) : engine_(engine) {}
+  // The event buffer would otherwise grow without bound on long
+  // simulations; past `max_events` new events are dropped and counted
+  // (trace.dropped_events in the engine's metrics). 0 = unbounded.
+  // Configurable per job via sim.trace.max.events.
+  static constexpr std::uint64_t kDefaultMaxEvents = 1'000'000;
+
+  explicit Tracer(Engine& engine,
+                  std::uint64_t max_events = kDefaultMaxEvents)
+      : engine_(engine), max_events_(max_events) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -27,6 +35,7 @@ class Tracer {
   // to the current simulated time.
   void complete(std::string_view track, std::string_view category,
                 std::string_view name, double start_time) {
+    if (at_capacity()) return;
     events_.push_back(Event{std::string(track), std::string(category),
                             std::string(name), start_time,
                             engine_.now(), /*instant=*/false});
@@ -34,12 +43,15 @@ class Tracer {
   // A zero-duration marker.
   void instant(std::string_view track, std::string_view category,
                std::string_view name) {
+    if (at_capacity()) return;
     events_.push_back(Event{std::string(track), std::string(category),
                             std::string(name), engine_.now(), engine_.now(),
                             /*instant=*/true});
   }
 
   size_t size() const { return events_.size(); }
+  std::uint64_t max_events() const { return max_events_; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
 
   // Chrome trace-event JSON ("traceEvents" array form). Tracks become
   // named threads of one process; timestamps are microseconds of
@@ -92,7 +104,17 @@ class Tracer {
     double end;
     bool instant;
   };
+
+  bool at_capacity() {
+    if (max_events_ == 0 || events_.size() < max_events_) return false;
+    ++dropped_events_;
+    engine_.metrics().counter("trace.dropped_events").add();
+    return true;
+  }
+
   Engine& engine_;
+  std::uint64_t max_events_;
+  std::uint64_t dropped_events_ = 0;
   std::vector<Event> events_;
 };
 

@@ -15,7 +15,7 @@
 #include <memory>
 #include <string>
 
-#include "common/stats.h"
+#include "common/metrics.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
 

@@ -43,10 +43,14 @@ std::string job_report(const mapred::JobResult& result) {
     out += line;
   };
   add("job time", Table::num(result.elapsed(), 1) + " s");
-  add("  map phase",
-      Table::num(result.maps_done_time - result.submit_time, 1) + " s");
-  add("  merge started at",
-      Table::num(result.shuffle_done_time - result.submit_time, 1) + " s");
+  const auto phases = result.phases();
+  add("  map phase", Table::num(phases.map, 1) + " s");
+  add("  shuffle phase", Table::num(phases.shuffle, 1) + " s");
+  add("  merge phase", Table::num(phases.merge, 1) + " s");
+  add("  reduce phase", Table::num(phases.reduce, 1) + " s");
+  add("  overlap",
+      Table::num(result.overlap_fraction() * 100.0, 1) + " % of " +
+          Table::num(phases.sum(), 1) + " s phase total");
   add("maps / reduces", std::to_string(result.num_maps) + " / " +
                             std::to_string(result.num_reduces));
   add("input", format_bytes(result.input_modeled_bytes));

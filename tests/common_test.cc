@@ -5,8 +5,9 @@
 #include "common/bytes.h"
 #include "common/conf.h"
 #include "common/crc32.h"
+#include "common/json.h"
 #include "common/rng.h"
-#include "common/stats.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -283,7 +284,7 @@ TEST(RngTest, ExponentialMeanMatches) {
 // ----------------------------------------------------------------- stats
 
 TEST(StatsTest, CounterBasics) {
-  MetricRegistry reg;
+  MetricsRegistry reg;
   reg.counter("shuffle.bytes").add(100);
   reg.counter("shuffle.bytes").add(50);
   EXPECT_EQ(reg.counter_value("shuffle.bytes"), 150);
@@ -303,7 +304,7 @@ TEST(StatsTest, HistogramSummary) {
 }
 
 TEST(StatsTest, RegistryReportMentionsAll) {
-  MetricRegistry reg;
+  MetricsRegistry reg;
   reg.counter("a").add(1);
   reg.histogram("lat").record(0.5);
   const std::string report = reg.report();
@@ -312,12 +313,122 @@ TEST(StatsTest, RegistryReportMentionsAll) {
 }
 
 TEST(StatsTest, ResetClears) {
-  MetricRegistry reg;
+  MetricsRegistry reg;
   reg.counter("a").add(5);
   reg.histogram("h").record(1.0);
   reg.reset();
   EXPECT_EQ(reg.counter_value("a"), 0);
   EXPECT_EQ(reg.find_histogram("h")->count(), 0u);
+}
+
+TEST(StatsTest, GaugeTracksHighWaterMark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("cache.used_bytes");
+  g.set(100.0);
+  g.set(40.0);
+  g.add(10.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("cache.used_bytes"), 50.0);
+  EXPECT_DOUBLE_EQ(g.max_value(), 100.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max_value(), 0.0);
+}
+
+TEST(StatsTest, FixedHistogramBucketsAndQuantiles) {
+  FixedHistogram h({1.0, 10.0, 100.0});
+  for (double v : {0.5, 0.7, 5.0, 50.0, 1000.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  ASSERT_EQ(h.counts().size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);  // 1000 overflows the last bound
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(StatsTest, LatencyHistogramRegistersOnce) {
+  MetricsRegistry reg;
+  FixedHistogram& h = reg.latency_histogram("rtt");
+  h.record(0.01);
+  EXPECT_EQ(&reg.latency_histogram("rtt"), &h);
+  EXPECT_EQ(reg.find_fixed_histogram("rtt")->count(), 1u);
+  const auto& bounds = latency_buckets();
+  EXPECT_GE(bounds.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST(StatsTest, SnapshotCarriesAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("c").add(7);
+  reg.gauge("g").set(3.5);
+  reg.histogram("h").record(2.0);
+  reg.latency_histogram("f").record(0.25);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 7);
+  EXPECT_EQ(snap.counter("absent"), 0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 3.5);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_EQ(snap.histograms.at("f").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("f").mean, 0.25);
+
+  // The JSON form round-trips through the parser.
+  const auto parsed = Json::parse(snap.to_json());
+  ASSERT_TRUE(parsed.ok());
+  const Json* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("c")->as_int(), 7);
+  EXPECT_DOUBLE_EQ(parsed->find("gauges")->find("g")->as_double(), 3.5);
+  EXPECT_EQ(
+      parsed->find("histograms")->find("h")->find("count")->as_int(), 1);
+}
+
+// ----------------------------------------------------------------- json
+
+TEST(JsonTest, BuildAndDump) {
+  Json doc = Json::object();
+  doc.set("name", Json("smoke"));
+  doc.set("n", Json(std::int64_t(3)));
+  doc.set("ratio", Json(0.5));
+  doc.set("ok", Json(true));
+  doc.set("none", Json());
+  Json arr = Json::array();
+  arr.push_back(Json(std::int64_t(1)));
+  arr.push_back(Json("two"));
+  doc.set("runs", std::move(arr));
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"smoke\",\"n\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"none\":null,\"runs\":[1,\"two\"]}");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,-3],\"b\":{\"nested\":\"va\\\"lue\"},\"c\":false}";
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->dump(), "{\"a\":[1,2.5,-3],\"b\":{\"nested\":"
+                            "\"va\\\"lue\"},\"c\":false}");
+  EXPECT_EQ(parsed->find("a")->at(1).as_double(), 2.5);
+  EXPECT_EQ(parsed->find("b")->find("nested")->as_string(), "va\"lue");
+}
+
+TEST(JsonTest, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "nul"}) {
+    EXPECT_FALSE(Json::parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonTest, SetUpsertsAndPreservesOrder) {
+  Json doc = Json::object();
+  doc.set("z", Json(std::int64_t(1)));
+  doc.set("a", Json(std::int64_t(2)));
+  doc.set("z", Json(std::int64_t(3)));  // upsert keeps position
+  EXPECT_EQ(doc.dump(), "{\"z\":3,\"a\":2}");
+  EXPECT_EQ(doc.find("z")->as_int(), 3);
+  EXPECT_EQ(doc.find("missing"), nullptr);
 }
 
 // ----------------------------------------------------------------- table

@@ -466,5 +466,70 @@ TEST(CacheTest, ManyEntriesStressEviction) {
   EXPECT_GT(cache.stats().evictions, 0u);
 }
 
+TEST(CacheTest, RefreshResizeKeepsAccounting) {
+  PrefetchCache cache(1000);
+  ASSERT_TRUE(cache.put("a", dummy_output(), 300));
+  ASSERT_TRUE(cache.put("b", dummy_output(), 300));
+  EXPECT_EQ(cache.used_bytes(), 600u);
+
+  // Shrink "a": only the new charge remains on the books.
+  ASSERT_TRUE(cache.put("a", dummy_output(), 100));
+  EXPECT_EQ(cache.used_bytes(), 400u);
+  EXPECT_TRUE(cache.invariant_holds());
+
+  // Grow "a" back past its original size; "b" is untouched.
+  ASSERT_TRUE(cache.put("a", dummy_output(), 600));
+  EXPECT_EQ(cache.used_bytes(), 900u);
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.invariant_holds());
+  EXPECT_EQ(cache.stats().insertions, 4u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CacheTest, RefreshGrowEvictsOthersNotItself) {
+  PrefetchCache cache(1000);
+  ASSERT_TRUE(cache.put("cold", dummy_output(), 400));
+  ASSERT_TRUE(cache.put("hot", dummy_output(), 400, /*priority=*/1));
+  // Growing "hot" to 700 needs room; the refreshed entry must not be
+  // considered its own eviction victim — "cold" goes instead.
+  ASSERT_TRUE(cache.put("hot", dummy_output(), 700, /*priority=*/1));
+  EXPECT_TRUE(cache.contains("hot"));
+  EXPECT_FALSE(cache.contains("cold"));
+  EXPECT_EQ(cache.used_bytes(), 700u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.invariant_holds());
+}
+
+TEST(CacheTest, RefreshRejectOversizedDropsEntry) {
+  PrefetchCache cache(1000);
+  ASSERT_TRUE(cache.put("a", dummy_output(), 300));
+  // A refresh larger than the whole budget is rejected. The stale value
+  // was already superseded, so the entry is dropped rather than kept,
+  // and the accounting must stay consistent afterwards.
+  EXPECT_FALSE(cache.put("a", dummy_output(), 1500));
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_TRUE(cache.invariant_holds());
+}
+
+TEST(CacheTest, AttachMetricsMirrorsStats) {
+  MetricsRegistry reg;
+  PrefetchCache cache(1000);
+  ASSERT_TRUE(cache.put("pre", dummy_output(), 100));  // before attach
+  cache.attach_metrics(reg, "cache.");
+  ASSERT_TRUE(cache.put("post", dummy_output(), 200));
+  (void)cache.get("pre");
+  (void)cache.get("absent");
+  EXPECT_EQ(reg.counter_value("cache.insertions"), 2);
+  EXPECT_EQ(reg.counter_value("cache.hits"), 1);
+  EXPECT_EQ(reg.counter_value("cache.misses"), 1);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("cache.used_bytes"),
+                   double(cache.used_bytes()));
+  cache.clear();
+  EXPECT_DOUBLE_EQ(reg.gauge_value("cache.used_bytes"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("cache.used_bytes").max_value(), 300.0);
+}
+
 }  // namespace
 }  // namespace hmr::dataplane

@@ -25,12 +25,13 @@ TEST(ProtocolTest, DataRequestRoundTrip) {
   req.max_pairs = 1024;
   req.max_real_bytes = 65536;
   const auto decoded = DataRequest::decode(req.encode());
-  EXPECT_EQ(decoded.job_id, req.job_id);
-  EXPECT_EQ(decoded.map_id, req.map_id);
-  EXPECT_EQ(decoded.reduce_id, req.reduce_id);
-  EXPECT_EQ(decoded.cursor_real, req.cursor_real);
-  EXPECT_EQ(decoded.max_pairs, req.max_pairs);
-  EXPECT_EQ(decoded.max_real_bytes, req.max_real_bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->job_id, req.job_id);
+  EXPECT_EQ(decoded->map_id, req.map_id);
+  EXPECT_EQ(decoded->reduce_id, req.reduce_id);
+  EXPECT_EQ(decoded->cursor_real, req.cursor_real);
+  EXPECT_EQ(decoded->max_pairs, req.max_pairs);
+  EXPECT_EQ(decoded->max_real_bytes, req.max_real_bytes);
 }
 
 TEST(ProtocolTest, DataResponseHeaderRoundTrip) {
@@ -48,14 +49,74 @@ TEST(ProtocolTest, DataResponseHeaderRoundTrip) {
   wire.push_back(0xEE);
   ByteReader reader(wire);
   const auto decoded = DataResponse::decode_header(reader);
-  EXPECT_EQ(decoded.map_id, 7u);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->map_id, 7u);
   // The cursor echo is what lets a copier discard stale duplicates of
   // timed-out requests.
-  EXPECT_EQ(decoded.cursor_real, 987654u);
-  EXPECT_EQ(decoded.n_pairs, 333u);
-  EXPECT_EQ(decoded.chunk_real_bytes, 44444u);
-  EXPECT_TRUE(decoded.eof);
+  EXPECT_EQ(decoded->cursor_real, 987654u);
+  EXPECT_EQ(decoded->n_pairs, 333u);
+  EXPECT_EQ(decoded->chunk_real_bytes, 44444u);
+  EXPECT_TRUE(decoded->eof);
   EXPECT_EQ(reader.remaining(), 1u);
+}
+
+// Fuzz-shaped hardening checks: every truncation of a valid frame must
+// come back as an error — never a crash — and never as a bogus value.
+
+TEST(ProtocolTest, DataRequestDecodeRejectsEveryTruncation) {
+  DataRequest req;
+  req.job_id = 3;
+  req.map_id = 123;
+  req.reduce_id = 45;
+  req.cursor_real = 1'000'000;
+  req.max_pairs = 1024;
+  req.max_real_bytes = 65536;
+  const Bytes wire = req.encode();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    const Bytes prefix(wire.begin(), wire.begin() + len);
+    const auto decoded = DataRequest::decode(prefix);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  // Trailing garbage is just as malformed as truncation.
+  Bytes padded = wire;
+  padded.push_back(0xAB);
+  EXPECT_FALSE(DataRequest::decode(padded).ok());
+}
+
+TEST(ProtocolTest, DataResponseHeaderDecodeRejectsEveryTruncation) {
+  DataResponse resp;
+  resp.job_id = 1;
+  resp.map_id = 7;
+  resp.reduce_id = 9;
+  resp.cursor_real = 987654;
+  resp.n_pairs = 333;
+  resp.chunk_real_bytes = 44444;
+  resp.eof = true;
+  const Bytes wire = resp.encode_header();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    const Bytes prefix(wire.begin(), wire.begin() + len);
+    ByteReader reader(prefix);
+    const auto decoded = DataResponse::decode_header(reader);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(ProtocolTest, DecodeSurvivesGarbageBytes) {
+  // Deterministic pseudo-garbage across a spread of lengths: decode must
+  // always return (ok or error), never abort.
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (size_t len : {0u, 1u, 7u, 35u, 36u, 37u, 64u, 200u}) {
+    Bytes noise(len);
+    for (auto& b : noise) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      b = std::uint8_t(x);
+    }
+    (void)DataRequest::decode(noise);
+    ByteReader reader(noise);
+    (void)DataResponse::decode_header(reader);
+  }
 }
 
 TEST(ProtocolTest, WireSizesAreSmall) {

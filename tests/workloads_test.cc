@@ -4,6 +4,7 @@
 
 #include "common/units.h"
 #include "dataplane/kv.h"
+#include "workloads/benchjson.h"
 #include "workloads/datagen.h"
 #include "workloads/experiment.h"
 #include "workloads/jobs.h"
@@ -217,6 +218,94 @@ TEST(ReportTest, JobReportCarriesCountersAndPhases) {
   EXPECT_NE(report.find("job time"), std::string::npos);
   EXPECT_NE(report.find("MAP_INPUT_RECORDS"), std::string::npos);
   EXPECT_NE(report.find("shuffled"), std::string::npos);
+  EXPECT_NE(report.find("overlap"), std::string::npos);
+}
+
+TEST(MetricsTest, PhaseTimesConsistentAcrossEngines) {
+  for (const char* engine : {"vanilla", "hadoop-a", "osu-ib"}) {
+    Testbed bed(small_bed());
+    ASSERT_TRUE(bed.generate("teragen", small_gen()).ok());
+    Conf conf;
+    conf.set(mapred::kShuffleEngine, engine);
+    const auto result =
+        bed.run_job(terasort_job(bed.dfs(), "/in", "/out", conf));
+    const double wall = result.elapsed();
+    ASSERT_GT(wall, 0.0) << engine;
+
+    const auto phases = result.phases();
+    for (double phase :
+         {phases.map, phases.shuffle, phases.merge, phases.reduce}) {
+      EXPECT_GE(phase, 0.0) << engine;
+      EXPECT_LE(phase, wall + 1e-9) << engine;
+    }
+    // The map wave and the shuffle both take real time on every engine.
+    EXPECT_GT(phases.map, 0.0) << engine;
+    EXPECT_GT(phases.shuffle, 0.0) << engine;
+    EXPECT_GE(result.overlap_fraction(), 0.0) << engine;
+    EXPECT_LE(result.overlap_fraction(), 1.0) << engine;
+
+    // The end-of-job snapshot is on by default and carries the cluster's
+    // counters.
+    EXPECT_GT(result.metrics.counters.size(), 0u) << engine;
+    EXPECT_GT(result.metrics.counter("net.bytes"), 0) << engine;
+  }
+}
+
+TEST(MetricsTest, SnapshotCanBeDisabledByConf) {
+  Testbed bed(small_bed());
+  ASSERT_TRUE(bed.generate("teragen", small_gen()).ok());
+  Conf conf;
+  conf.set_bool(mapred::kMetricsSnapshot, false);
+  const auto result =
+      bed.run_job(terasort_job(bed.dfs(), "/in", "/out", conf));
+  EXPECT_GT(result.elapsed(), 0.0);
+  EXPECT_EQ(result.metrics.counters.size(), 0u);
+}
+
+TEST(BenchJsonTest, SchemaRoundTripsThroughParser) {
+  Testbed bed(small_bed());
+  ASSERT_TRUE(bed.generate("teragen", small_gen()).ok());
+  RunOutcome outcome;
+  outcome.job = bed.run_job(terasort_job(bed.dfs(), "/in", "/out", Conf{}));
+  outcome.validated = true;
+
+  BenchJson bench("unit", "unit-test figure", "terasort", 3);
+  bench.add_run("OSU-IB (32Gbps)", 2.0, outcome);
+  const auto parsed = Json::parse(bench.to_json().dump());
+  ASSERT_TRUE(parsed.ok());
+
+  EXPECT_EQ(parsed->find("schema")->as_string(), "hmr-bench-v1");
+  EXPECT_EQ(parsed->find("figure")->as_string(), "unit");
+  EXPECT_EQ(parsed->find("nodes")->as_int(), 3);
+  const Json* runs = parsed->find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->size(), 1u);
+  const Json& run = runs->at(0);
+  EXPECT_EQ(run.find("series")->as_string(), "OSU-IB (32Gbps)");
+  EXPECT_DOUBLE_EQ(run.find("size_gb")->as_double(), 2.0);
+  const double seconds = run.find("seconds")->as_double();
+  EXPECT_GT(seconds, 0.0);
+  const Json* phases = run.find("phases");
+  ASSERT_NE(phases, nullptr);
+  for (const char* name : {"map", "shuffle", "merge", "reduce"}) {
+    const Json* phase = phases->find(name);
+    ASSERT_NE(phase, nullptr) << name;
+    EXPECT_GE(phase->as_double(), 0.0) << name;
+    EXPECT_LE(phase->as_double(), seconds + 1e-9) << name;
+  }
+  EXPECT_GE(run.find("overlap_fraction")->as_double(), 0.0);
+  EXPECT_LE(run.find("overlap_fraction")->as_double(), 1.0);
+  EXPECT_GE(run.find("cache_hit_rate")->as_double(), 0.0);
+  EXPECT_LE(run.find("cache_hit_rate")->as_double(), 1.0);
+  EXPECT_TRUE(run.find("validated")->as_bool());
+  const Json* recovery = run.find("recovery");
+  ASSERT_NE(recovery, nullptr);
+  for (const char* name :
+       {"fetch_timeouts", "fetch_retries", "trackers_blacklisted",
+        "map_refetch_reruns", "malformed_msgs"}) {
+    ASSERT_NE(recovery->find(name), nullptr) << name;
+    EXPECT_GE(recovery->find(name)->as_int(), 0) << name;
+  }
 }
 
 }  // namespace
