@@ -178,7 +178,10 @@ HistogramSummary summarize(const H& h) {
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
-  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g.value();
+    snap.gauge_maxima[name] = g.max_value();
+  }
   for (const auto& [name, h] : histograms_) {
     snap.histograms[name] = summarize(h);
   }
@@ -194,6 +197,9 @@ std::string MetricsSnapshot::to_json() const {
   Json jg = Json::object();
   for (const auto& [name, v] : gauges) jg.set(name, Json(v));
   root.set("gauges", std::move(jg));
+  Json jm = Json::object();
+  for (const auto& [name, v] : gauge_maxima) jm.set(name, Json(v));
+  root.set("gauge_maxima", std::move(jm));
   Json jh = Json::object();
   for (const auto& [name, s] : histograms) {
     Json one = Json::object();

@@ -130,11 +130,18 @@ struct HistogramSummary {
 struct MetricsSnapshot {
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;
+  // High-water marks, keyed like `gauges`: the peak matters for budget
+  // invariants (cache used-bytes) even when the level drained by job end.
+  std::map<std::string, double> gauge_maxima;
   std::map<std::string, HistogramSummary> histograms;
 
   std::int64_t counter(const std::string& name) const {
     auto it = counters.find(name);
     return it == counters.end() ? 0 : it->second;
+  }
+  double gauge_max(const std::string& name) const {
+    auto it = gauge_maxima.find(name);
+    return it == gauge_maxima.end() ? 0.0 : it->second;
   }
   // Compact JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string to_json() const;

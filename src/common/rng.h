@@ -30,6 +30,24 @@ constexpr std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
+// splitmix64 finalizer as a pure function: full-avalanche 64-bit mixing.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Stream derivation: sequential mixing, not a bare XOR. Folding the
+// name hash in with `seed ^ fnv1a(stream)` lets distinct (seed, stream)
+// pairs alias whenever the XORs coincide — e.g. seed2 = seed1 ^ h(a) ^
+// h(b) replays stream `a`'s values on stream `b`. Mixing the seed to
+// full avalanche *before* adding the hash, then mixing again, leaves no
+// such linear structure.
+constexpr std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                           std::string_view stream) {
+  return mix64(mix64(seed + 0x9e3779b97f4a7c15ull) + fnv1a(stream));
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
@@ -37,7 +55,7 @@ class Rng {
     for (auto& word : s_) word = splitmix64(sm);
   }
   Rng(std::uint64_t seed, std::string_view stream)
-      : Rng(seed ^ fnv1a(stream)) {}
+      : Rng(derive_stream_seed(seed, stream)) {}
 
   std::uint64_t next() {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;

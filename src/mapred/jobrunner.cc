@@ -34,7 +34,7 @@ sim::Task<> JobRunner::jt_rpc(Host& from) {
 }
 
 sim::Task<> JobRunner::map_worker(JobRuntime& job,
-                                  TaskTrackerState& tracker,
+                                  TaskTrackerState& tracker, int slot,
                                   std::vector<bool>& assigned,
                                   sim::WaitGroup& done) {
   const double failure_prob =
@@ -46,8 +46,11 @@ sim::Task<> JobRunner::map_worker(JobRuntime& job,
       job.spec.conf.get_double(kStragglerSlowdown, 4.0);
   const bool speculative =
       job.spec.conf.get_bool(kSpeculativeExecution, false);
+  // One stream per worker slot: the four slots on a host would otherwise
+  // share a stream name and draw identical failure/straggler sequences.
   auto rng = job.engine.make_rng("map.fault." +
-                                 std::to_string(tracker.host->id()));
+                                 std::to_string(tracker.host->id()) + "." +
+                                 std::to_string(slot));
   while (true) {
     // Locality-aware pick: prefer a split with a replica on this host,
     // otherwise steal the lowest-id remote split.
@@ -167,7 +170,7 @@ sim::Task<JobResult> JobRunner::run(JobSpec spec) {
   for (auto& tracker : job->trackers) {
     for (int s = 0; s < map_slots; ++s) {
       workers.add();
-      job->engine.spawn(map_worker(*job, *tracker, assigned, workers));
+      job->engine.spawn(map_worker(*job, *tracker, s, assigned, workers));
     }
     for (int s = 0; s < reduce_slots; ++s) {
       workers.add();

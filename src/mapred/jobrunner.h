@@ -35,7 +35,7 @@ class JobRunner {
   sim::Task<JobResult> run(JobSpec spec);
 
  private:
-  sim::Task<> map_worker(JobRuntime& job, TaskTrackerState& tracker,
+  sim::Task<> map_worker(JobRuntime& job, TaskTrackerState& tracker, int slot,
                          std::vector<bool>& assigned, sim::WaitGroup& done);
   sim::Task<> reduce_worker(JobRuntime& job, TaskTrackerState& tracker,
                             std::deque<int>& pending, sim::WaitGroup& done);

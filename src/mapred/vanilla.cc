@@ -270,6 +270,7 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
     net::Message request = net::Message::data(
         encode_request(map_id, state.reduce_id), 1.0, kTagRequest);
     request.modeled_bytes = kRequestWireBytes;
+    job.engine.metrics().counter("shuffle.fetch.requests").add();
     co_await conn->sock->send(std::move(request));
     const std::uint64_t timer_id = ++conn->timer_seq;
     if (job.retry.fetch_timeout > 0) {

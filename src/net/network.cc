@@ -31,6 +31,9 @@ Network::Network(sim::Engine& engine, NetProfile profile)
       profile_(std::move(profile)),
       messages_metric_(engine.metrics().counter("net.messages")),
       bytes_metric_(engine.metrics().counter("net.bytes")),
+      messages_received_metric_(
+          engine.metrics().counter("net.messages_received")),
+      bytes_received_metric_(engine.metrics().counter("net.bytes_received")),
       cpu_seconds_metric_(engine.metrics().gauge("net.cpu_seconds")) {}
 
 sim::Task<> Network::transmit(Host& src, Host& dst,
@@ -55,6 +58,10 @@ sim::Task<> Network::transmit(Host& src, Host& dst,
 
   if (modeled_bytes == 0 || &src == &dst) {
     // Loopback or pure control: latency only.
+    ++messages_received_;
+    bytes_received_ += modeled_bytes;
+    messages_received_metric_.add();
+    bytes_received_metric_.add(std::int64_t(modeled_bytes));
     co_return;
   }
 
@@ -87,6 +94,13 @@ sim::Task<> Network::transmit(Host& src, Host& dst,
     }
     left -= chunk;
   }
+  // Delivery accounting: a transmit destroyed mid-flight (e.g. a teardown
+  // cancelling the coroutine) leaves sent > received, which the simfuzz
+  // conservation oracle flags.
+  ++messages_received_;
+  bytes_received_ += modeled_bytes;
+  messages_received_metric_.add();
+  bytes_received_metric_.add(std::int64_t(modeled_bytes));
 }
 
 }  // namespace hmr::net

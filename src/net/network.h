@@ -32,6 +32,8 @@ class Network {
 
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t messages_received() const { return messages_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
   double cpu_seconds_charged() const { return cpu_seconds_; }
 
  private:
@@ -40,11 +42,15 @@ class Network {
   std::uint64_t chunk_bytes_ = 1 * 1024 * 1024;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
   double cpu_seconds_ = 0.0;
   // Registry mirrors (sim/engine metrics); references are stable for the
   // registry's lifetime, so the per-message hot path skips the name map.
   Counter& messages_metric_;
   Counter& bytes_metric_;
+  Counter& messages_received_metric_;
+  Counter& bytes_received_metric_;
   Gauge& cpu_seconds_metric_;
 };
 

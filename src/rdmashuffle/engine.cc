@@ -383,6 +383,7 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
     net::Message request =
         net::Message::data(std::move(wire), 1.0, kTagDataRequest)
             .with_modeled(kRequestWireBytes);
+    job.engine.metrics().counter("shuffle.fetch.requests").add();
     co_await endpoint->send(std::move(request));
     const std::uint64_t timer_id = ++stream->timer_seq;
     if (job.retry.fetch_timeout > 0) {

@@ -1,0 +1,147 @@
+#include "simfuzz/fuzzer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hmr::simfuzz {
+namespace {
+
+std::string record_path(const FuzzOptions& options, std::uint64_t seed) {
+  return options.out_dir + "/FUZZ_" + std::to_string(seed) + ".json";
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::error_code ec;  // best-effort; the open below reports real failures
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << body << "\n";
+  return bool(out);
+}
+
+}  // namespace
+
+Json repro_record(const FuzzReport& report, const std::string& status) {
+  Json j = Json::object();
+  j.set("schema", Json("hmr-simfuzz-v1"));
+  j.set("status", Json(status));
+  j.set("seed", Json(std::int64_t(report.scenario.seed)));
+  j.set("scenario", report.scenario.to_json());
+  j.set("violations", report.verdict.to_json());
+  if (!(report.shrunk == report.scenario)) {
+    j.set("shrunk", report.shrunk.to_json());
+    j.set("shrunk_violations", report.shrunk_verdict.to_json());
+  }
+  return j;
+}
+
+Scenario shrink(const Scenario& failing, const Verdict& failing_verdict,
+                int max_checks, Verdict* verdict, bool verbose) {
+  Scenario current = failing;
+  *verdict = failing_verdict;
+  int checks = 0;
+  bool progressed = true;
+  while (progressed && checks < max_checks) {
+    progressed = false;
+    for (const Scenario& candidate : current.shrink_candidates()) {
+      if (checks >= max_checks) break;
+      ++checks;
+      Verdict v = check_scenario(candidate);
+      if (!v.ok()) {
+        if (verbose) {
+          std::fprintf(stderr, "simfuzz: shrunk to %s (%s)\n",
+                       candidate.summary().c_str(), v.summary().c_str());
+        }
+        current = candidate;
+        *verdict = std::move(v);
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+FuzzReport check_and_report(const Scenario& scenario,
+                            const FuzzOptions& options) {
+  FuzzReport report;
+  report.scenario = scenario;
+  report.shrunk = scenario;
+
+  // Crash safety: the scenario hits disk before the first engine run, so
+  // an aborting scenario (an HMR_CHECK tripped mid-simulation) still
+  // leaves a replayable record with status "running".
+  const std::string path = record_path(options, scenario.seed);
+  if (!write_file(path, repro_record(report, "running").dump())) {
+    std::fprintf(stderr, "simfuzz: could not write %s\n", path.c_str());
+  }
+
+  report.verdict = check_scenario(scenario);
+  if (report.verdict.ok()) {
+    std::remove(path.c_str());
+    return report;
+  }
+  report.shrunk_verdict = report.verdict;
+  if (options.shrink) {
+    report.shrunk = shrink(scenario, report.verdict,
+                           options.max_shrink_checks,
+                           &report.shrunk_verdict, options.verbose);
+  }
+  report.record_path = path;
+  if (!write_file(path, repro_record(report, "failed").dump())) {
+    std::fprintf(stderr, "simfuzz: could not write %s\n", path.c_str());
+  }
+  return report;
+}
+
+FuzzReport fuzz_one(std::uint64_t seed, const FuzzOptions& options) {
+  return check_and_report(Scenario::generate(seed), options);
+}
+
+int fuzz_range(std::uint64_t base, int count, const FuzzOptions& options) {
+  int failures = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = base + std::uint64_t(i);
+    const Scenario scenario = Scenario::generate(seed);
+    if (options.verbose) {
+      std::fprintf(stderr, "simfuzz: [%d/%d] %s\n", i + 1, count,
+                   scenario.summary().c_str());
+    }
+    const FuzzReport report = check_and_report(scenario, options);
+    if (!report.ok()) {
+      ++failures;
+      std::fprintf(stderr, "simfuzz: seed %llu FAILED (%s) -> %s\n",
+                   static_cast<unsigned long long>(seed),
+                   report.verdict.summary().c_str(),
+                   report.record_path.c_str());
+    }
+  }
+  return failures;
+}
+
+Result<Scenario> load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  auto parsed = Json::parse(body.str());
+  if (!parsed.ok()) return parsed.status();
+  const Json& root = *parsed;
+  // A repro record wraps the scenario; prefer its shrunk form.
+  if (const Json* schema = root.find("schema");
+      schema != nullptr && schema->as_string() == "hmr-simfuzz-v1") {
+    if (const Json* shrunk = root.find("shrunk")) {
+      return Scenario::from_json(*shrunk);
+    }
+    if (const Json* scenario = root.find("scenario")) {
+      return Scenario::from_json(*scenario);
+    }
+    return Status::InvalidArgument(path + ": record has no scenario");
+  }
+  return Scenario::from_json(root);
+}
+
+}  // namespace hmr::simfuzz

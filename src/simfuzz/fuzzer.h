@@ -1,0 +1,66 @@
+// The fuzz loop: seed -> Scenario::generate -> check_scenario -> on
+// failure, greedy shrink + FUZZ_<seed>.json repro record.
+//
+// Records are written in two stages for crash safety: the scenario goes
+// to disk (status "running") *before* the first engine run, so even a
+// scenario that trips an HMR_CHECK abort leaves a replayable record
+// behind; passing seeds remove the file, failing seeds rewrite it with
+// the verdict and the shrunk scenario. Replaying is just re-running:
+// generation is a pure function of the seed, and scenario JSON
+// round-trips, so `--replay <seed>` and `--replay-file <record>`
+// reproduce the identical verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simfuzz/oracle.h"
+#include "simfuzz/scenario.h"
+
+namespace hmr::simfuzz {
+
+struct FuzzOptions {
+  std::string out_dir = ".";  // FUZZ_<seed>.json destination
+  bool shrink = true;
+  int max_shrink_checks = 24;  // full-battery runs spent shrinking
+  bool verbose = false;
+};
+
+struct FuzzReport {
+  Scenario scenario;
+  Verdict verdict;
+  // Simplest scenario still failing (== scenario when shrinking is off
+  // or found nothing simpler), and its verdict.
+  Scenario shrunk;
+  Verdict shrunk_verdict;
+  std::string record_path;  // written repro record; empty for passing runs
+
+  bool ok() const { return verdict.ok(); }
+};
+
+// Schema "hmr-simfuzz-v1" repro record for a (possibly still running)
+// report.
+Json repro_record(const FuzzReport& report, const std::string& status);
+
+// Checks `scenario`, shrinking and writing the repro record on failure.
+FuzzReport check_and_report(const Scenario& scenario,
+                            const FuzzOptions& options);
+
+// One seed end to end. Replaying a seed is calling this again.
+FuzzReport fuzz_one(std::uint64_t seed, const FuzzOptions& options);
+
+// Seeds [base, base + count); returns the number of failing seeds.
+int fuzz_range(std::uint64_t base, int count, const FuzzOptions& options);
+
+// Loads a scenario from either a bare scenario JSON file (the committed
+// corpus) or a FUZZ_*.json repro record (prefers the shrunk scenario).
+Result<Scenario> load_scenario_file(const std::string& path);
+
+// Greedy shrink: repeatedly takes the first shrink_candidate that still
+// fails, spending at most `max_checks` full oracle batteries. Returns
+// the simplest failing scenario found (possibly `failing` itself) and
+// stores its verdict in *verdict.
+Scenario shrink(const Scenario& failing, const Verdict& failing_verdict,
+                int max_checks, Verdict* verdict, bool verbose);
+
+}  // namespace hmr::simfuzz

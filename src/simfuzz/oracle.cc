@@ -1,0 +1,348 @@
+#include "simfuzz/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/units.h"
+#include "net/profile.h"
+#include "sim/fault.h"
+#include "workloads/testbed.h"
+
+namespace hmr::simfuzz {
+namespace {
+
+constexpr const char* kEngines[] = {"vanilla", "osu-ib", "hadoop-a"};
+
+// The OSU-IB per-tracker cache default (rdmashuffle::RdmaShuffleOptions).
+constexpr std::uint64_t kDefaultCacheBytes = 12ull * kGiB;
+
+net::NetProfile vanilla_profile(const std::string& name) {
+  if (name == "1gige") return net::NetProfile::one_gige();
+  if (name == "10gige") return net::NetProfile::ten_gige();
+  return net::NetProfile::ipoib_qdr();
+}
+
+std::string fmt(const char* format, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, format, args...);
+  return buf;
+}
+
+void add(Verdict* verdict, std::string oracle, std::string engine,
+         std::string detail) {
+  verdict->violations.push_back(
+      Violation{std::move(oracle), std::move(engine), std::move(detail)});
+}
+
+}  // namespace
+
+Json Violation::to_json() const {
+  Json j = Json::object();
+  j.set("oracle", Json(oracle));
+  j.set("engine", Json(engine));
+  j.set("detail", Json(detail));
+  return j;
+}
+
+Json Verdict::to_json() const {
+  Json j = Json::array();
+  for (const auto& violation : violations) j.push_back(violation.to_json());
+  return j;
+}
+
+std::string Verdict::summary() const {
+  if (ok()) return "ok";
+  std::string out = std::to_string(violations.size()) + " violations: ";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += violations[i].oracle;
+    if (!violations[i].engine.empty()) out += "[" + violations[i].engine + "]";
+  }
+  return out;
+}
+
+std::string job_result_json(const mapred::JobResult& job) {
+  Json j = Json::object();
+  j.set("submit_time", Json(job.submit_time));
+  j.set("maps_done_time", Json(job.maps_done_time));
+  j.set("shuffle_start_time", Json(job.shuffle_start_time));
+  j.set("shuffle_done_time", Json(job.shuffle_done_time));
+  j.set("reduce_start_time", Json(job.reduce_start_time));
+  j.set("finish_time", Json(job.finish_time));
+  j.set("num_maps", Json(std::int64_t(job.num_maps)));
+  j.set("num_reduces", Json(std::int64_t(job.num_reduces)));
+  j.set("input_modeled_bytes", Json(std::int64_t(job.input_modeled_bytes)));
+  j.set("shuffled_modeled_bytes",
+        Json(std::int64_t(job.shuffled_modeled_bytes)));
+  j.set("output_modeled_bytes", Json(std::int64_t(job.output_modeled_bytes)));
+  j.set("output_records", Json(std::int64_t(job.output_records)));
+  j.set("cache_hits", Json(std::int64_t(job.cache_hits)));
+  j.set("cache_misses", Json(std::int64_t(job.cache_misses)));
+  j.set("spills", Json(std::int64_t(job.spills)));
+  j.set("failed_map_attempts", Json(std::int64_t(job.failed_map_attempts)));
+  j.set("speculative_attempts", Json(std::int64_t(job.speculative_attempts)));
+  j.set("speculative_wins", Json(std::int64_t(job.speculative_wins)));
+  j.set("fetch_timeouts", Json(std::int64_t(job.fetch_timeouts)));
+  j.set("fetch_retries", Json(std::int64_t(job.fetch_retries)));
+  j.set("trackers_blacklisted", Json(std::int64_t(job.trackers_blacklisted)));
+  j.set("map_refetch_reruns", Json(std::int64_t(job.map_refetch_reruns)));
+  j.set("refetched_modeled_bytes",
+        Json(std::int64_t(job.refetched_modeled_bytes)));
+  Json counters = Json::object();
+  for (const auto& [name, value] : job.counters) {
+    counters.set(name, Json(value));
+  }
+  j.set("counters", std::move(counters));
+  auto metrics = Json::parse(job.metrics.to_json());
+  HMR_CHECK(metrics.ok());
+  j.set("metrics", std::move(*metrics));
+  return j.dump();
+}
+
+EngineRun run_engine(const Scenario& scenario, const std::string& engine) {
+  EngineRun run;
+  run.engine = engine;
+  const bool terasort = scenario.workload == "terasort";
+
+  workloads::TestbedSpec bed_spec;
+  bed_spec.nodes = scenario.nodes;
+  bed_spec.disks_per_node = scenario.disks;
+  bed_spec.ssd = scenario.ssd;
+  bed_spec.profile = engine == "vanilla"
+                         ? vanilla_profile(scenario.vanilla_profile)
+                         : net::NetProfile::verbs_qdr();
+  bed_spec.hdfs.block_size = scenario.block_bytes;
+  bed_spec.seed = scenario.seed;
+  workloads::Testbed bed(bed_spec);
+
+  const double scale =
+      std::max(1.0, double(scenario.modeled_bytes) /
+                        double(scenario.target_real_bytes));
+  workloads::DataGenSpec gen;
+  gen.dir = "/fuzz/in";
+  gen.modeled_total = scenario.modeled_bytes;
+  gen.part_modeled = scenario.block_bytes;
+  gen.scale = scale;
+  gen.seed = scenario.seed;
+  if (!terasort) gen.record_inflation = std::max(1.0, scale / 32.0);
+  auto digest = bed.generate(terasort ? "teragen" : "randomwriter", gen);
+  HMR_CHECK_MSG(digest.ok(), "simfuzz: input generation failed");
+  run.input_digest = *digest;
+
+  Conf conf = scenario.base_conf();
+  conf.set(mapred::kShuffleEngine, engine);
+  conf.set_double(mapred::kKvInflation,
+                  terasort ? scale : gen.record_inflation);
+  conf.set_bytes(mapred::kMaxRecordBytes,
+                 terasort ? std::uint64_t(102.0 * scale)
+                          : std::uint64_t(20010.0 * gen.record_inflation));
+  mapred::JobSpec job =
+      terasort ? workloads::terasort_job(bed.dfs(), gen.dir, "/fuzz/out", conf)
+               : workloads::sort_job(bed.dfs(), gen.dir, "/fuzz/out", conf);
+
+  sim::FaultPlan plan = scenario.build_fault_plan();
+  if (scenario.has_shuffle_faults()) {
+    bed.cluster().inject_faults(plan);
+    job.faults = &plan;
+  }
+  run.job = bed.run_job(std::move(job));
+  // After run_job the engine has run dry: every in-flight transmit
+  // completed, so conservation laws are checkable on this snapshot.
+  run.end_metrics = bed.engine().metrics().snapshot();
+
+  auto report = workloads::validate_output(bed.dfs(), "/fuzz/out");
+  run.output_present = report.ok();
+  if (report.ok()) run.validation = *report;
+  run.result_json = job_result_json(run.job);
+  return run;
+}
+
+void check_engine_run(const Scenario& scenario, const EngineRun& run,
+                      Verdict* verdict) {
+  const std::string& e = run.engine;
+  const mapred::JobResult& job = run.job;
+  const MetricsSnapshot& m = run.end_metrics;
+
+  // --- output correctness -----------------------------------------------
+  if (!run.output_present) {
+    add(verdict, "output.missing", e, "no part files under /fuzz/out");
+  } else {
+    if (!run.validation.per_part_sorted) {
+      add(verdict, "output.part_order", e, "a part file is out of order");
+    }
+    if (scenario.workload == "terasort" && !run.validation.globally_sorted) {
+      add(verdict, "output.global_order", e,
+          "terasort part files do not concatenate sorted");
+    }
+    if (run.validation.digest != run.input_digest) {
+      add(verdict, "output.digest", e,
+          fmt("records %llu -> %llu, checksum %016llx -> %016llx",
+              (unsigned long long)run.input_digest.records,
+              (unsigned long long)run.validation.digest.records,
+              (unsigned long long)run.input_digest.checksum,
+              (unsigned long long)run.validation.digest.checksum));
+    }
+  }
+
+  // --- job shape --------------------------------------------------------
+  if (job.num_maps != scenario.num_maps()) {
+    add(verdict, "shape.num_maps", e,
+        fmt("expected %d map tasks, job ran %d", scenario.num_maps(),
+            job.num_maps));
+  }
+  if (job.num_reduces <= 0) {
+    add(verdict, "shape.num_reduces", e,
+        fmt("job ran %d reduce tasks", job.num_reduces));
+  }
+
+  // --- phase-time sanity ------------------------------------------------
+  // Timestamps are checked raw: PhaseTimes clamps, so a negative span
+  // would otherwise hide there.
+  if (!(job.elapsed() > 0)) {
+    add(verdict, "phase.elapsed", e, fmt("elapsed %g", job.elapsed()));
+  }
+  if (job.maps_done_time < job.submit_time ||
+      job.maps_done_time > job.finish_time) {
+    add(verdict, "phase.map_span", e,
+        fmt("maps done at %g outside job [%g, %g]", job.maps_done_time,
+            job.submit_time, job.finish_time));
+  }
+  if (job.shuffle_start_time >= 0 &&
+      (job.shuffle_start_time < job.submit_time ||
+       job.shuffle_done_time > job.finish_time ||
+       job.shuffle_done_time < job.shuffle_start_time)) {
+    add(verdict, "phase.shuffle_span", e,
+        fmt("shuffle [%g, %g] outside job [%g, %g]", job.shuffle_start_time,
+            job.shuffle_done_time, job.submit_time, job.finish_time));
+  }
+  const double overlap = job.overlap_fraction();
+  if (std::isnan(overlap) || overlap < 0.0 || overlap > 1.0) {
+    add(verdict, "phase.overlap_fraction", e, fmt("overlap %g", overlap));
+  }
+
+  // --- conservation laws ------------------------------------------------
+  const auto counter = [&m](const char* name) { return m.counter(name); };
+  if (counter("net.bytes") != counter("net.bytes_received")) {
+    add(verdict, "conservation.net_bytes", e,
+        fmt("sent %lld != received %lld",
+            (long long)counter("net.bytes"),
+            (long long)counter("net.bytes_received")));
+  }
+  if (counter("net.messages") != counter("net.messages_received")) {
+    add(verdict, "conservation.net_messages", e,
+        fmt("sent %lld != received %lld",
+            (long long)counter("net.messages"),
+            (long long)counter("net.messages_received")));
+  }
+  const auto requests = counter("shuffle.fetch.requests");
+  const auto timeouts = counter("shuffle.fetch.timeouts");
+  const auto retries = counter("shuffle.fetch.retries");
+  if (!(retries <= timeouts && timeouts <= requests)) {
+    add(verdict, "conservation.fetch_ladder", e,
+        fmt("retries %lld <= timeouts %lld <= requests %lld violated",
+            (long long)retries, (long long)timeouts, (long long)requests));
+  }
+  // JobResult recovery counters and their metric twins are incremented in
+  // tandem; divergence means one path lost an increment.
+  const auto twin = [&](const char* field, std::uint64_t result_value,
+                        const char* metric) {
+    if (std::int64_t(result_value) != counter(metric)) {
+      add(verdict, std::string("conservation.twin.") + field, e,
+          fmt("JobResult %llu != metric %lld",
+              (unsigned long long)result_value, (long long)counter(metric)));
+    }
+  };
+  twin("fetch_timeouts", job.fetch_timeouts, "shuffle.fetch.timeouts");
+  twin("fetch_retries", job.fetch_retries, "shuffle.fetch.retries");
+  twin("trackers_blacklisted", job.trackers_blacklisted,
+       "shuffle.trackers.blacklisted");
+  twin("map_refetch_reruns", job.map_refetch_reruns,
+       "shuffle.refetch.reruns");
+  if (counter("shuffle.malformed_msgs") != 0) {
+    add(verdict, "conservation.malformed", e,
+        fmt("%lld malformed shuffle messages",
+            (long long)counter("shuffle.malformed_msgs")));
+  }
+  if (e == "osu-ib" && scenario.caching) {
+    const std::uint64_t budget =
+        scenario.cache_bytes > 0 ? scenario.cache_bytes : kDefaultCacheBytes;
+    const double peak = m.gauge_max("cache.used_bytes");
+    if (peak > double(budget)) {
+      add(verdict, "conservation.cache_budget", e,
+          fmt("cache used-bytes peaked at %.0f over budget %llu", peak,
+              (unsigned long long)budget));
+    }
+  }
+  if (!scenario.has_shuffle_faults()) {
+    // A healthy fabric must look healthy: any nonzero fault counter means
+    // an engine misattributed ordinary traffic to the fault machinery.
+    for (const char* name :
+         {"shuffle.fault.dropped_requests", "shuffle.fault.dropped_responses",
+          "shuffle.fault.stalled_responses", "shuffle.fetch.timeouts",
+          "shuffle.trackers.blacklisted", "shuffle.refetch.reruns"}) {
+      if (counter(name) != 0) {
+        add(verdict, "conservation.healthy_fabric", e,
+            fmt("%s = %lld with no faults injected", name,
+                (long long)counter(name)));
+      }
+    }
+  }
+}
+
+void check_cross_engine(const std::vector<EngineRun>& runs,
+                        Verdict* verdict) {
+  if (runs.size() < 2) return;
+  const EngineRun& ref = runs.front();
+  for (size_t i = 1; i < runs.size(); ++i) {
+    const EngineRun& other = runs[i];
+    const std::string pair = ref.engine + " vs " + other.engine;
+    if (other.input_digest != ref.input_digest) {
+      add(verdict, "cross.input_digest", "",
+          pair + ": engines consumed different inputs");
+    }
+    if (ref.output_present && other.output_present &&
+        other.validation.digest != ref.validation.digest) {
+      add(verdict, "cross.output_digest", "",
+          fmt("%s: records %llu vs %llu, checksum %016llx vs %016llx",
+              pair.c_str(),
+              (unsigned long long)ref.validation.digest.records,
+              (unsigned long long)other.validation.digest.records,
+              (unsigned long long)ref.validation.digest.checksum,
+              (unsigned long long)other.validation.digest.checksum));
+    }
+    if (other.job.output_records != ref.job.output_records) {
+      add(verdict, "cross.output_records", "",
+          fmt("%s: %llu vs %llu", pair.c_str(),
+              (unsigned long long)ref.job.output_records,
+              (unsigned long long)other.job.output_records));
+    }
+    if (other.job.num_maps != ref.job.num_maps ||
+        other.job.num_reduces != ref.job.num_reduces) {
+      add(verdict, "cross.task_counts", "",
+          fmt("%s: %dx%d vs %dx%d tasks", pair.c_str(), ref.job.num_maps,
+              ref.job.num_reduces, other.job.num_maps,
+              other.job.num_reduces));
+    }
+  }
+}
+
+Verdict check_scenario(const Scenario& scenario) {
+  Verdict verdict;
+  std::vector<EngineRun> runs;
+  for (const char* engine : kEngines) {
+    runs.push_back(run_engine(scenario, engine));
+    check_engine_run(scenario, runs.back(), &verdict);
+  }
+  check_cross_engine(runs, &verdict);
+  if (scenario.check_determinism) {
+    const EngineRun rerun = run_engine(scenario, "osu-ib");
+    if (rerun.result_json != runs[1].result_json) {
+      add(&verdict, "determinism.job_result", "osu-ib",
+          "re-run produced a different serialized JobResult");
+    }
+  }
+  return verdict;
+}
+
+}  // namespace hmr::simfuzz

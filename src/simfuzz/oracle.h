@@ -1,0 +1,84 @@
+// The fuzzer's oracle battery. A Scenario is run through each shuffle
+// engine by a non-aborting twin of workloads::run_experiment (validation
+// failures become recorded Violations instead of HMR_CHECK aborts, so
+// the fuzz loop can shrink and report), then checked against:
+//
+//  * per-engine: output present, sorted (globally for terasort), and
+//    checksum-identical to the input digest; phase timestamps sane
+//    (shuffle span inside the job span, overlap fraction in [0, 1]);
+//    conservation laws over the engine's metrics registry (bytes sent ==
+//    bytes received, retries <= timeouts <= requests, JobResult recovery
+//    counters == their metric twins, cache used-bytes peak within
+//    budget, zero fault/malformed counters on a healthy fabric).
+//  * cross-engine: all engines consumed the identical input and produced
+//    checksum-identical output with the same record count and task
+//    counts — the paper's claim that the RDMA designs change *when*
+//    bytes move, never *what* the job computes.
+//  * sampled determinism: re-running one engine reproduces a
+//    byte-identical serialized JobResult.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "mapred/types.h"
+#include "simfuzz/scenario.h"
+#include "workloads/jobs.h"
+
+namespace hmr::simfuzz {
+
+// Everything one engine run exposes to the oracles.
+struct EngineRun {
+  std::string engine;  // "vanilla" | "osu-ib" | "hadoop-a"
+  mapred::JobResult job;
+  workloads::DatasetDigest input_digest;
+  bool output_present = false;
+  workloads::ValidationReport validation;
+  // The engine registry AFTER run_job returned (the engine has run dry,
+  // so in-flight transfers that straddled the job-end snapshot in
+  // job.metrics have finished) — conservation laws hold only here.
+  MetricsSnapshot end_metrics;
+  // Canonical serialization for the golden-determinism oracle.
+  std::string result_json;
+};
+
+struct Violation {
+  std::string oracle;  // dotted id, e.g. "conservation.net_bytes"
+  std::string engine;  // empty for cross-engine oracles
+  std::string detail;
+
+  Json to_json() const;
+};
+
+struct Verdict {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  Json to_json() const;
+  // "ok" or "3 violations: conservation.net_bytes[osu-ib], ..."
+  std::string summary() const;
+};
+
+// Canonical JobResult serialization: every timestamp, counter, and the
+// metrics snapshot, insertion-ordered. Byte-equal strings <=> equal runs.
+std::string job_result_json(const mapred::JobResult& job);
+
+// Builds a fresh Testbed, generates input, runs the job under this
+// scenario's fault plan, and collects the oracle inputs. Never aborts on
+// wrong *output*; it still HMR_CHECKs on harness bugs (generation
+// failure), and scenarios whose faults make completion impossible abort
+// in the runtime by design (the generator never emits those).
+EngineRun run_engine(const Scenario& scenario, const std::string& engine);
+
+// Appends per-engine violations for one run.
+void check_engine_run(const Scenario& scenario, const EngineRun& run,
+                      Verdict* verdict);
+// Appends cross-engine equivalence violations over all runs.
+void check_cross_engine(const std::vector<EngineRun>& runs, Verdict* verdict);
+
+// The full battery: all three engines, per-engine + cross-engine checks,
+// plus the sampled determinism re-run when the scenario asks for it.
+Verdict check_scenario(const Scenario& scenario);
+
+}  // namespace hmr::simfuzz

@@ -175,10 +175,27 @@ sim::Task<> Endpoint::recv_loop() {
         break;
       }
       case kClose:
+        // The peer has closed. This loop exits, so any FIN/RTR still in
+        // flight toward us lands in a dead CQ — flush the senders parked
+        // on them now, and refuse rendezvous from here on (send()
+        // checks peer_closed_). A FIN the peer posted before its CLOSE
+        // is ordered ahead of it on the RC wire, so it was already
+        // handled above; only genuinely unanswerable waits remain.
+        peer_closed_ = true;
         inbox_.close();
+        flush_pending_sends();
         co_return;
     }
   }
+}
+
+void Endpoint::flush_pending_sends() {
+  for (auto& [seq, fin] : awaiting_fin_) {
+    fin->aborted = true;
+    fin->done.set();
+  }
+  awaiting_fin_.clear();
+  awaiting_rtr_.clear();
 }
 
 sim::Task<> Endpoint::handle_rts(const Message& ctrl) {
@@ -265,6 +282,12 @@ sim::Task<> Endpoint::send(Message msg) {
   HMR_CHECK_MSG(!closed_, "send on closed UCR endpoint");
   auto order = co_await sim::hold(send_order_);
   auto window = co_await sim::hold(send_window_);
+  if (closed_ || peer_closed_) {
+    // The connection tore down while this send was parked behind the
+    // order/window resources. Nobody is left to read the payload; drop
+    // it, like a WR flushed from an error-state QP.
+    co_return;
+  }
 
   if (msg.modeled_bytes <= params_.eager_threshold) {
     ++eager_sends_;
@@ -305,6 +328,14 @@ sim::Task<> Endpoint::send(Message msg) {
                                  pack_tag(kRts, 0));
     HMR_CHECK(qp_->post_send({.wr_id = wr, .message = std::move(rts)}).ok());
     (void)co_await std::move(wait);
+    if (peer_closed_ && !fin->aborted) {
+      // The peer's CLOSE raced ahead of this RTS (flush_pending_sends
+      // ran before the FIN was registered); flush this transfer by hand.
+      fin->aborted = true;
+      fin->done.set();
+      awaiting_fin_.erase(header.seq);
+      awaiting_rtr_.erase(header.seq);
+    }
     co_await fin->done.wait();
     co_return;
   }
@@ -330,8 +361,21 @@ sim::Task<> Endpoint::send(Message msg) {
                                pack_tag(kRts, 0));
   HMR_CHECK(qp_->post_send({.wr_id = wr, .message = std::move(rts)}).ok());
   (void)co_await std::move(wait);
+  if (peer_closed_ && !fin->aborted) {
+    // The peer's CLOSE raced ahead of this RTS; flush by hand (see the
+    // write-mode branch above).
+    fin->aborted = true;
+    fin->done.set();
+    awaiting_fin_.erase(header.seq);
+  }
   co_await fin->done.wait();
-  HMR_CHECK(pd_.deregister(mr->rkey()).ok());
+  // An aborted transfer skips deregistration: the peer may still be
+  // mid-RDMA-read (it answers with a FIN we will never see), and
+  // yanking the region under the read would fault it. The MR is
+  // reclaimed with the endpoint.
+  if (!fin->aborted) {
+    HMR_CHECK(pd_.deregister(mr->rkey()).ok());
+  }
 }
 
 sim::Task<std::optional<Message>> Endpoint::recv() {

@@ -86,6 +86,10 @@ class Endpoint {
   sim::Task<ibv::Completion> await_wr(std::uint64_t wr_id);
   sim::Task<> handle_rts(const Message& ctrl);
   sim::Task<> handle_rtr(const Message& ctrl);
+  // Connection teardown: completes every send parked on a rendezvous
+  // FIN/RTR that the departed peer will never deliver (the verbs
+  // analogue of an error-state QP flushing its outstanding WRs).
+  void flush_pending_sends();
 
   Network& network_;
   UcrParams params_;
@@ -108,6 +112,9 @@ class Endpoint {
   struct PendingFin {
     explicit PendingFin(sim::Engine& engine) : done(engine) {}
     sim::Event done;
+    // Set when the transfer was flushed by connection teardown rather
+    // than completed by the peer's FIN; the payload never moved.
+    bool aborted = false;
   };
   std::map<std::uint64_t, std::shared_ptr<PendingFin>> awaiting_fin_;
   // Write-mode rendezvous: sender-side payloads parked until the RTR
@@ -127,6 +134,9 @@ class Endpoint {
   std::map<std::uint64_t, PostedRecvBuffer> advertised_;
   std::uint64_t next_rzv_seq_ = 1;
   bool closed_ = false;
+  // The peer's CLOSE arrived: its recv loop is gone, so no RTS posted
+  // from here on will ever be answered. Sends turn into no-ops.
+  bool peer_closed_ = false;
   std::uint64_t eager_sends_ = 0;
   std::uint64_t rendezvous_sends_ = 0;
 };

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <set>
+#include <string>
 
 #include "common/bytes.h"
 #include "common/conf.h"
@@ -242,6 +244,46 @@ TEST(RngTest, StreamsDiffer) {
   bool differs = false;
   for (int i = 0; i < 16 && !differs; ++i) differs = a.next() != b.next();
   EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, StreamDerivationAvalanchesOnSeedBits) {
+  // Flipping any single seed bit must rewrite the derived stream seed;
+  // a linear fold (the pre-hardening XOR) fails this for the bits the
+  // name hash happens to cancel.
+  const std::uint64_t base = derive_stream_seed(123, "mapper");
+  for (int bit = 0; bit < 64; ++bit) {
+    EXPECT_NE(base, derive_stream_seed(123 ^ (1ull << bit), "mapper"))
+        << "bit " << bit;
+  }
+}
+
+TEST(RngTest, StreamDerivationHasNoXorStructure) {
+  // The old derivation folded the name in with `seed ^ fnv1a(stream)`,
+  // so the crafted seed2 = seed1 ^ h(a) ^ h(b) replayed stream `a`'s
+  // values on stream `b`. The sequentially-mixed derivation must not.
+  const std::uint64_t seed1 = 123;
+  const std::uint64_t seed2 = seed1 ^ fnv1a("alpha") ^ fnv1a("beta");
+  EXPECT_NE(derive_stream_seed(seed1, "alpha"),
+            derive_stream_seed(seed2, "beta"));
+  Rng a(seed1, "alpha"), b(seed2, "beta");
+  bool differs = false;
+  for (int i = 0; i < 16 && !differs; ++i) differs = a.next() != b.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, SlotSuffixedStreamsDecorrelate) {
+  // Worker pools derive per-slot streams ("map.fault.<host>.<slot>");
+  // neighbouring suffixes must produce unrelated sequences, or every
+  // slot on a host rolls the same fault dice.
+  std::set<std::uint64_t> firsts;
+  for (int host = 1; host <= 4; ++host) {
+    for (int slot = 0; slot < 4; ++slot) {
+      Rng rng(1, "map.fault." + std::to_string(host) + "." +
+                     std::to_string(slot));
+      firsts.insert(rng.next());
+    }
+  }
+  EXPECT_EQ(firsts.size(), 16u);  // all 16 streams open differently
 }
 
 TEST(RngTest, BelowStaysInRange) {

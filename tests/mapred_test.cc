@@ -570,6 +570,34 @@ TEST(FaultPlanTest, ResponseFateProbabilityExtremes) {
             sim::FaultPlan::ResponseFate::kDeliver);
 }
 
+TEST(FaultPlanTest, DropRollsBeforeStall) {
+  // When both faults are certain, the drop die is rolled first and
+  // wins; the stall configuration never fires.
+  sim::FaultPlan plan;
+  plan.drop_responses(1, 1.0);
+  plan.stall_responses(1, 1.0, 9.0);
+  double stall = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(plan.response_fate(1, &stall),
+              sim::FaultPlan::ResponseFate::kDrop);
+  }
+  EXPECT_EQ(stall, 0.0);  // never written
+}
+
+TEST(FaultPlanTest, FateSequenceIsSeedDeterministic) {
+  auto fates = [](std::uint64_t seed) {
+    sim::FaultPlan plan(seed);
+    plan.drop_responses(1, 0.3);
+    plan.stall_responses(1, 0.3, 1.0);
+    std::vector<sim::FaultPlan::ResponseFate> out;
+    double stall = 0.0;
+    for (int i = 0; i < 64; ++i) out.push_back(plan.response_fate(1, &stall));
+    return out;
+  };
+  EXPECT_EQ(fates(5), fates(5));  // replays exactly
+  EXPECT_NE(fates(5), fates(6));  // and the seed matters
+}
+
 TEST(FaultPlanTest, NicDegradesAreRecordedInOrder) {
   sim::FaultPlan plan;
   plan.degrade_nic(1, 5.0, 0.25);

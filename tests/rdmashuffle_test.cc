@@ -378,5 +378,67 @@ TEST(RdmaRecoveryTest, NicDegradeSlowsButCompletes) {
   EXPECT_GT(degraded.job.elapsed(), clean.job.elapsed() * 1.05);
 }
 
+TEST(RdmaRecoveryTest, KillAfterJobEndIsHarmless) {
+  // A kill armed far past the job's lifetime must leave no trace: no
+  // timeouts, no blacklisting, byte-identical output to a clean run.
+  const auto clean = workloads::run_experiment(
+      tiny(workloads::EngineSetup::osu_ib()));
+  sim::FaultPlan plan(13);
+  plan.kill_tracker(1, 1e9);
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.faults = &plan;
+  arm_fast_recovery(config);
+  const auto outcome = workloads::run_experiment(config);
+  ASSERT_TRUE(outcome.validated);
+  EXPECT_EQ(outcome.job.fetch_timeouts, 0u);
+  EXPECT_EQ(outcome.job.trackers_blacklisted, 0u);
+  EXPECT_EQ(outcome.validation.digest.checksum,
+            clean.validation.digest.checksum);
+}
+
+TEST(RdmaRecoveryTest, RecoveryCountersMatchMetricTwins) {
+  // The JobResult recovery counters and the metrics-registry counters
+  // are incremented on independent paths; a faulted run must keep the
+  // twins equal (the fuzzer's conservation oracle, pinned as a unit
+  // test).
+  sim::FaultPlan plan(31);
+  plan.kill_tracker(1, 0.0);
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.faults = &plan;
+  arm_fast_recovery(config);
+  const auto outcome = workloads::run_experiment(config);
+  ASSERT_TRUE(outcome.validated);
+  const auto& m = outcome.job.metrics;
+  EXPECT_GT(outcome.job.fetch_timeouts, 0u);
+  EXPECT_EQ(std::int64_t(outcome.job.fetch_timeouts),
+            m.counter("shuffle.fetch.timeouts"));
+  EXPECT_EQ(std::int64_t(outcome.job.fetch_retries),
+            m.counter("shuffle.fetch.retries"));
+  EXPECT_EQ(std::int64_t(outcome.job.trackers_blacklisted),
+            m.counter("shuffle.trackers.blacklisted"));
+  EXPECT_EQ(std::int64_t(outcome.job.map_refetch_reruns),
+            m.counter("shuffle.refetch.reruns"));
+}
+
+TEST(RdmaRecoveryDeathTest, AllTrackersKilledAborts) {
+  // With every tracker dead there is nowhere left to re-execute map
+  // output; the runtime refuses to spin forever and aborts with a
+  // diagnostic naming the exhausted blacklist.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::FaultPlan plan(29);
+        plan.kill_tracker(1, 0.0);
+        plan.kill_tracker(2, 0.0);
+        plan.kill_tracker(3, 0.0);
+        auto config = tiny(workloads::EngineSetup::osu_ib());
+        config.faults = &plan;
+        arm_fast_recovery(config);
+        config.setup.extra.set_int(mapred::kFetchMaxRetries, 1000);
+        (void)workloads::run_experiment(config);
+      },
+      "every TaskTracker is blacklisted");
+}
+
 }  // namespace
 }  // namespace hmr::rdmashuffle

@@ -1,0 +1,234 @@
+// Tests for the deterministic simulation fuzzer (src/simfuzz): scenario
+// generation invariants, JSON round-trips, the greedy shrinker, the
+// oracle battery, golden determinism per engine, and the committed
+// corpus under tests/fuzz_corpus/.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "simfuzz/fuzzer.h"
+#include "simfuzz/oracle.h"
+#include "simfuzz/scenario.h"
+
+namespace hmr::simfuzz {
+namespace {
+
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+// A scenario small enough that a full three-engine oracle pass stays
+// well under a second.
+Scenario small_scenario() {
+  Scenario s;
+  s.seed = 7;
+  s.nodes = 3;
+  s.workload = "terasort";
+  s.modeled_bytes = 64 * kMiB;
+  s.block_bytes = 16 * kMiB;
+  s.target_real_bytes = 512 * 1024;
+  return s;
+}
+
+// Hosts carrying a fault that can starve fetches (kill/drop/stall).
+std::set<int> starving_hosts(const Scenario& s) {
+  std::set<int> hosts;
+  for (const auto& fault : s.faults) {
+    if (fault.kind != FaultSite::Kind::kDegradeNic) hosts.insert(fault.host);
+  }
+  return hosts;
+}
+
+TEST(ScenarioTest, GenerateIsPureFunctionOfSeed) {
+  for (std::uint64_t seed : {1, 42, 103, 9999}) {
+    EXPECT_EQ(Scenario::generate(seed), Scenario::generate(seed));
+  }
+  EXPECT_NE(Scenario::generate(1), Scenario::generate(2));
+}
+
+TEST(ScenarioTest, GeneratedScenariosKeepCompletableInvariants) {
+  for (std::uint64_t seed = 1; seed <= 128; ++seed) {
+    const Scenario s = Scenario::generate(seed);
+    EXPECT_GE(s.nodes, 1) << s.summary();
+    EXPECT_LE(s.num_maps(), 32) << s.summary();
+    EXPECT_TRUE(s.workload == "terasort" || s.workload == "sort")
+        << s.summary();
+    for (const auto& fault : s.faults) {
+      EXPECT_GE(fault.host, 1) << s.summary();
+      EXPECT_LE(fault.host, s.nodes) << s.summary();
+    }
+    // Recovery relocates fetches to a healthy tracker; the generator
+    // must always leave one.
+    EXPECT_LT(int(starving_hosts(s).size()), s.nodes) << s.summary();
+    if (s.nodes == 1) {
+      EXPECT_TRUE(s.faults.empty()) << s.summary();
+    }
+  }
+}
+
+TEST(ScenarioTest, JsonRoundTripsExactly) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const Scenario s = Scenario::generate(seed);
+    auto back = Scenario::from_json(s.to_json());
+    ASSERT_TRUE(back.ok()) << s.summary();
+    EXPECT_EQ(*back, s) << s.summary();
+  }
+}
+
+TEST(ScenarioTest, FromJsonRejectsInvalidScenarios) {
+  auto mutate = [](const char* key, Json value) {
+    Json j = small_scenario().to_json();
+    j.set(key, std::move(value));
+    return Scenario::from_json(j);
+  };
+  EXPECT_FALSE(mutate("nodes", Json(std::int64_t(0))).ok());
+  EXPECT_FALSE(mutate("disks", Json(std::int64_t(3))).ok());
+  EXPECT_FALSE(mutate("workload", Json("wordcount")).ok());
+  EXPECT_FALSE(mutate("vanilla_profile", Json("myrinet")).ok());
+  EXPECT_FALSE(mutate("block_bytes", Json(std::int64_t(0))).ok());
+
+  Json bad_fault = Json::object();
+  bad_fault.set("kind", Json("set_on_fire"));
+  Json sites = Json::array();
+  sites.push_back(std::move(bad_fault));
+  EXPECT_FALSE(mutate("faults", std::move(sites)).ok());
+
+  Json out_of_range = Json::object();
+  out_of_range.set("kind", Json("kill_tracker"));
+  out_of_range.set("host", Json(std::int64_t(99)));
+  Json sites2 = Json::array();
+  sites2.push_back(std::move(out_of_range));
+  EXPECT_FALSE(mutate("faults", std::move(sites2)).ok());
+}
+
+TEST(ScenarioTest, ShrinkCandidatesAreSimplerAndStayValid) {
+  // Pick a generated scenario with faults and engine knobs so most
+  // shrink dimensions are exercised.
+  Scenario complex;
+  for (std::uint64_t seed = 1;; ++seed) {
+    ASSERT_LT(seed, 10000u) << "no faulted scenario in seed range";
+    complex = Scenario::generate(seed);
+    if (!complex.faults.empty() && complex.nodes > 2) break;
+  }
+  const auto candidates = complex.shrink_candidates();
+  EXPECT_FALSE(candidates.empty());
+  for (const Scenario& candidate : candidates) {
+    EXPECT_NE(candidate, complex);
+    // Every candidate survives a JSON round-trip, so a shrunk repro
+    // record is always replayable.
+    auto back = Scenario::from_json(candidate.to_json());
+    ASSERT_TRUE(back.ok()) << candidate.summary();
+    EXPECT_EQ(*back, candidate);
+    EXPECT_LT(int(starving_hosts(candidate).size()), candidate.nodes)
+        << candidate.summary();
+  }
+}
+
+TEST(OracleTest, HealthyScenarioPassesAllOracles) {
+  const Verdict verdict = check_scenario(small_scenario());
+  EXPECT_TRUE(verdict.ok()) << verdict.summary();
+}
+
+// Satellite regression: the same seed must reproduce a byte-identical
+// serialized JobResult on every engine — any divergence is unkeyed
+// randomness or iteration-order nondeterminism in the simulation.
+TEST(OracleTest, GoldenDeterminismPerEngine) {
+  const Scenario s = small_scenario();
+  for (const char* engine : {"vanilla", "osu-ib", "hadoop-a"}) {
+    const EngineRun first = run_engine(s, engine);
+    const EngineRun second = run_engine(s, engine);
+    ASSERT_FALSE(first.result_json.empty()) << engine;
+    EXPECT_EQ(first.result_json, second.result_json) << engine;
+  }
+}
+
+TEST(OracleTest, StallFaultTeardownRaceStaysFixed) {
+  // Fuzz seed 103: a fault-stalled responder whose RTS raced the
+  // copier's connection teardown deadlocked hadoop-a in the UCR close
+  // handshake (the FIN landed in a dead recv loop). Keep the exact
+  // generated scenario as a regression.
+  const Scenario s = Scenario::generate(103);
+  ASSERT_FALSE(s.faults.empty());
+  const Verdict verdict = check_scenario(s);
+  EXPECT_TRUE(verdict.ok()) << verdict.summary();
+}
+
+TEST(FuzzerTest, PassingSeedLeavesNoRecord) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "hmr_simfuzz_pass";
+  std::filesystem::remove_all(dir);
+  FuzzOptions options;
+  options.out_dir = dir.string();
+  const FuzzReport report = check_and_report(small_scenario(), options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.record_path.empty());
+  EXPECT_FALSE(std::filesystem::exists(dir / "FUZZ_7.json"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzerTest, ReproRecordRoundTripsThroughLoader) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "hmr_simfuzz_records";
+  std::filesystem::create_directories(dir);
+
+  FuzzReport report;
+  report.scenario = Scenario::generate(9);
+  report.shrunk = report.scenario;
+  const auto record_file = dir / "FUZZ_9.json";
+  {
+    std::ofstream out(record_file);
+    out << repro_record(report, "failed").dump() << "\n";
+  }
+  auto loaded = load_scenario_file(record_file.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, report.scenario);
+
+  // A record with a shrunk scenario replays the shrunk form.
+  report.shrunk = report.scenario;
+  report.shrunk.faults.clear();
+  report.shrunk.check_determinism = false;
+  {
+    std::ofstream out(record_file);
+    out << repro_record(report, "failed").dump() << "\n";
+  }
+  loaded = load_scenario_file(record_file.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, report.shrunk);
+
+  // Bare scenario JSON (no record wrapper) loads too.
+  const auto bare_file = dir / "bare.json";
+  {
+    std::ofstream out(bare_file);
+    out << Scenario::generate(11).to_json().dump() << "\n";
+  }
+  loaded = load_scenario_file(bare_file.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, Scenario::generate(11));
+
+  EXPECT_FALSE(load_scenario_file((dir / "missing.json").string()).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// The committed corpus pins down scenario classes the generator only
+// rarely emits; each file must load and pass the full oracle battery.
+TEST(CorpusTest, CommittedScenariosPassAllOracles) {
+  const std::filesystem::path corpus(HMR_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(corpus)) << corpus;
+  int checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".json") continue;
+    auto scenario = load_scenario_file(entry.path().string());
+    ASSERT_TRUE(scenario.ok()) << entry.path();
+    const Verdict verdict = check_scenario(*scenario);
+    EXPECT_TRUE(verdict.ok())
+        << entry.path() << ": " << verdict.summary();
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+}  // namespace
+}  // namespace hmr::simfuzz

@@ -1,0 +1,104 @@
+// simfuzz — deterministic simulation fuzzer with a cross-engine
+// equivalence oracle (docs/TESTING.md).
+//
+//   simfuzz --seeds 200 [--seed-base 1] [--out-dir DIR] [--no-shrink] [-v]
+//   simfuzz --replay <seed>       # regenerate + re-check one seed
+//   simfuzz --replay-file <path>  # re-check a FUZZ_*.json or corpus file
+//
+// Every seed expands to one randomized scenario run through all three
+// shuffle engines; a failing seed leaves DIR/FUZZ_<seed>.json behind
+// (scenario, violations, shrunk repro) and the exit status is the number
+// of failing seeds (capped at 125 to stay clear of shell exit codes).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "simfuzz/fuzzer.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: simfuzz --seeds N [--seed-base B] [--out-dir DIR] "
+               "[--no-shrink] [-v]\n"
+               "       simfuzz --replay SEED [options]\n"
+               "       simfuzz --replay-file PATH [options]\n");
+  return 2;
+}
+
+int report_outcome(const hmr::simfuzz::FuzzReport& report) {
+  if (report.ok()) {
+    std::printf("simfuzz: %s: ok\n", report.scenario.summary().c_str());
+    return 0;
+  }
+  std::printf("simfuzz: %s: %s\n", report.scenario.summary().c_str(),
+              report.verdict.summary().c_str());
+  if (!(report.shrunk == report.scenario)) {
+    std::printf("simfuzz: shrunk repro: %s (%s)\n",
+                report.shrunk.summary().c_str(),
+                report.shrunk_verdict.summary().c_str());
+  }
+  if (!report.record_path.empty()) {
+    std::printf("simfuzz: record: %s\n", report.record_path.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hmr::simfuzz::FuzzOptions options;
+  long long seeds = -1;
+  unsigned long long seed_base = 1;
+  long long replay_seed = -1;
+  const char* replay_file = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoll(argv[++i]);
+    } else if (std::strcmp(arg, "--seed-base") == 0 && i + 1 < argc) {
+      seed_base = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--out-dir") == 0 && i + 1 < argc) {
+      options.out_dir = argv[++i];
+    } else if (std::strcmp(arg, "--replay") == 0 && i + 1 < argc) {
+      replay_seed = std::atoll(argv[++i]);
+    } else if (std::strcmp(arg, "--replay-file") == 0 && i + 1 < argc) {
+      replay_file = argv[++i];
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      options.shrink = false;
+    } else if (std::strcmp(arg, "-v") == 0 ||
+               std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr, "simfuzz: unknown argument %s\n", arg);
+      return usage();
+    }
+  }
+
+  if (replay_file != nullptr) {
+    auto scenario = hmr::simfuzz::load_scenario_file(replay_file);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "simfuzz: %s\n",
+                   scenario.status().to_string().c_str());
+      return 2;
+    }
+    return report_outcome(
+        hmr::simfuzz::check_and_report(*scenario, options));
+  }
+  if (replay_seed >= 0) {
+    return report_outcome(
+        hmr::simfuzz::fuzz_one(std::uint64_t(replay_seed), options));
+  }
+  if (seeds <= 0) return usage();
+
+  const int failures =
+      hmr::simfuzz::fuzz_range(seed_base, int(seeds), options);
+  if (failures == 0) {
+    std::printf("simfuzz: %lld seeds ok (base %llu)\n", seeds, seed_base);
+    return 0;
+  }
+  std::fprintf(stderr, "simfuzz: %d/%lld seeds failed\n", failures, seeds);
+  return failures > 125 ? 125 : failures;
+}
