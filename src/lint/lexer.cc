@@ -1,0 +1,258 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace hmr::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses a suppression out of a comment body: the marker, a
+// parenthesised comma-separated rule list, and a justification after the
+// closing "):". Returns false when the comment is not a suppression.
+bool parse_suppression(std::string_view comment, int line, Suppression* out) {
+  const auto pos = comment.find("lint:ignore(");
+  if (pos == std::string_view::npos) return false;
+  out->line = line;
+  out->rules.clear();
+  out->justified = false;
+  std::string_view rest = comment.substr(pos + 12);
+  const auto close = rest.find(')');
+  if (close == std::string_view::npos) return true;  // malformed, no rules
+  std::string_view list = rest.substr(0, close);
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    std::string_view one = trim(list.substr(0, comma));
+    if (!one.empty()) out->rules.emplace_back(one);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  std::string_view tail = rest.substr(close + 1);
+  if (!tail.empty() && tail.front() == ':') {
+    out->justified = !trim(tail.substr(1)).empty();
+  }
+  return true;
+}
+
+class Scanner {
+ public:
+  Scanner(std::string_view path, std::string_view text) : text_(text) {
+    out_.path = std::string(path);
+    split_lines(text);
+  }
+
+  LexedFile run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preproc();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      if (c == '"') {
+        quoted(TokKind::kString, '"');
+        continue;
+      }
+      if (c == '\'') {
+        quoted(TokKind::kChar, '\'');
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void split_lines(std::string_view text) {
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == '\n') {
+        out_.lines.emplace_back(text.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  }
+
+  void emit(TokKind kind, std::string text) {
+    out_.tokens.push_back(Token{kind, std::move(text), line_});
+  }
+
+  void preproc() {
+    const int start_line = line_;
+    std::string body;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        if (!body.empty() && body.back() == '\\') {
+          body.pop_back();
+          ++line_;
+          ++pos_;
+          continue;  // line continuation
+        }
+        break;
+      }
+      body.push_back(c);
+      ++pos_;
+    }
+    out_.tokens.push_back(Token{TokKind::kPreproc, std::move(body), start_line});
+  }
+
+  void line_comment() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    Suppression s;
+    if (parse_suppression(text_.substr(start, pos_ - start), line_, &s)) {
+      out_.suppressions.push_back(std::move(s));
+    }
+  }
+
+  void block_comment() {
+    const size_t start = pos_;
+    const int start_line = line_;
+    pos_ += 2;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') ++line_;
+      if (text_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    Suppression s;
+    if (parse_suppression(text_.substr(start, pos_ - start), start_line, &s)) {
+      out_.suppressions.push_back(std::move(s));
+    }
+  }
+
+  void raw_string() {
+    // R"delim( ... )delim"
+    pos_ += 2;
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') delim.push_back(text_[pos_++]);
+    if (pos_ < text_.size()) ++pos_;  // '('
+    const std::string close = ")" + delim + "\"";
+    const size_t body_start = pos_;
+    const auto end = text_.find(close, pos_);
+    const size_t body_end = end == std::string_view::npos ? text_.size() : end;
+    std::string body(text_.substr(body_start, body_end - body_start));
+    const int start_line = line_;
+    for (char c : body) {
+      if (c == '\n') ++line_;
+    }
+    pos_ = body_end + (end == std::string_view::npos ? 0 : close.size());
+    out_.tokens.push_back(Token{TokKind::kString, std::move(body), start_line});
+  }
+
+  void quoted(TokKind kind, char quote) {
+    ++pos_;  // opening quote
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        body.push_back(text_[pos_++]);
+      } else if (text_[pos_] == '\n') {
+        break;  // unterminated; don't swallow the file
+      }
+      body.push_back(text_[pos_++]);
+    }
+    if (pos_ < text_.size() && text_[pos_] == quote) ++pos_;
+    emit(kind, std::move(body));
+  }
+
+  void identifier() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) ++pos_;
+    emit(TokKind::kIdent, std::string(text_.substr(start, pos_ - start)));
+  }
+
+  void number() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (ident_char(text_[pos_]) || text_[pos_] == '.' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E' ||
+              text_[pos_ - 1] == 'p' || text_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    emit(TokKind::kNumber, std::string(text_.substr(start, pos_ - start)));
+  }
+
+  void punct() {
+    const char c = text_[pos_];
+    if (c == ':' && peek(1) == ':') {
+      emit(TokKind::kPunct, "::");
+      pos_ += 2;
+      return;
+    }
+    if (c == '-' && peek(1) == '>') {
+      emit(TokKind::kPunct, "->");
+      pos_ += 2;
+      return;
+    }
+    emit(TokKind::kPunct, std::string(1, c));
+    ++pos_;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view path, std::string_view text) {
+  return Scanner(path, text).run();
+}
+
+}  // namespace hmr::lint

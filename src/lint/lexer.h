@@ -1,0 +1,56 @@
+// Lightweight C++ scanner for hmr-lint.
+//
+// Not a compiler front end: it tokenizes just enough of C++ — comments,
+// string/char literals (incl. raw strings), preprocessor lines,
+// identifiers, numbers, and a handful of multi-char punctuators — for
+// the token-pattern rules in rules.cc and the registry extraction in
+// registry.cc to work on real code without being fooled by banned names
+// appearing inside strings or comments.
+//
+// Comments are not emitted as tokens, but suppression comments — the
+// `lint:ignore` marker with a parenthesised rule list and a trailing
+// `: justification` — are collected so findings can be waived with a
+// recorded justification (see docs/TESTING.md "Lint workflow").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmr::lint {
+
+enum class TokKind {
+  kIdent,
+  kString,   // text = literal body, quotes stripped, escapes untouched
+  kChar,
+  kNumber,
+  kPunct,    // "::", "->" kept whole; everything else single-char
+  kPreproc,  // text = whole directive incl. continuation lines
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+// One parsed suppression comment (rule list in parens after the
+// `lint:ignore` marker, justification after the closing colon). It
+// waives matching findings on its own line and the line below, so it can
+// sit either at the end of the offending line or on its own line above.
+struct Suppression {
+  int line = 1;
+  std::vector<std::string> rules;
+  bool justified = false;  // non-empty text after "):"
+};
+
+struct LexedFile {
+  std::string path;  // repo-relative, '/'-separated
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::vector<std::string> lines;  // raw source; line N is lines[N-1]
+};
+
+LexedFile lex(std::string_view path, std::string_view text);
+
+}  // namespace hmr::lint

@@ -1,0 +1,66 @@
+// hmr-lint: repo-aware static analysis for the OSU-IB reproduction.
+//
+// Four rule families (see docs/TESTING.md "Lint workflow"):
+//   determinism       — no wall clocks, OS randomness, getenv, or
+//                       unordered containers in sim-facing code (src/)
+//   status-discipline — no discarded Status/Result call results, no
+//                       .value()/deref without a visible ok() check
+//   config-registry   — every Conf key literal documented in
+//                       docs/CONFIG.md, and vice versa
+//   metric-registry   — every metric name literal dot-separated
+//                       lowercase and documented in docs/METRICS.md,
+//                       and vice versa
+//
+// The library is pure (files in, findings out) so tests can feed it
+// fixture sources; tools/hmr_lint.cc adds the filesystem walk and CLI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "lint/rules.h"
+
+namespace hmr::lint {
+
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated; decides rule scope
+  std::string text;
+};
+
+struct Options {
+  // Markdown contents of the registries' docs. Empty string = skip that
+  // cross-check (used while bootstrapping a new doc).
+  std::string config_doc;
+  std::string metrics_doc;
+  std::string config_doc_path = "docs/CONFIG.md";
+  std::string metrics_doc_path = "docs/METRICS.md";
+};
+
+struct Report {
+  std::vector<Finding> findings;          // sorted by (file, line, rule)
+  std::vector<std::string> config_keys;   // sorted unique, full literals
+  std::vector<std::string> metric_names;  // sorted unique, full literals
+  std::vector<std::string> metric_name_suffixes;  // from concatenated names
+
+  bool clean() const { return findings.empty(); }
+  // {"schema":"hmr-lint-v1","findings":[...],"counts":{...},...}
+  Json to_json() const;
+};
+
+// Runs every rule family over `files`. Scope by path prefix:
+//   src/    all four families (+ function-return collection)
+//   tools/  status-discipline, config-registry
+//   tests/  status-discipline (discard checks only)
+// lint:ignore suppressions are applied here; malformed ones surface as
+// findings under the "suppression" pseudo-rule.
+Report lint_files(const std::vector<SourceFile>& files, const Options& opts);
+
+// Loads every .h/.cc/.cpp/.hpp under repo_root/<dir> for each dir,
+// skipping tests/lint_fixtures (those violate on purpose). Paths in the
+// result are repo-relative.
+Result<std::vector<SourceFile>> collect_tree(
+    const std::string& repo_root, const std::vector<std::string>& dirs);
+
+}  // namespace hmr::lint

@@ -1,0 +1,59 @@
+// Rule families 3 and 4 of hmr-lint: the config-key and metric-name
+// registries. Extraction walks the token stream for string literals
+// flowing into Conf accessors / MetricsRegistry factories; the
+// cross-check compares the extracted sets against the markdown tables
+// in docs/CONFIG.md and docs/METRICS.md so code and docs can never
+// drift apart silently.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+namespace hmr::lint {
+
+// One extracted name with its site. `partial` marks metric names built
+// by concatenation (`registry.counter(prefix + "hits")`): only the
+// literal suffix is statically known, so doc matching accepts any
+// documented name ending in ".hits".
+struct NameUse {
+  std::string name;
+  std::string file;
+  int line = 0;
+  bool partial = false;
+};
+
+// Config keys: string literals defined as `k...` key constants
+// (`inline constexpr const char* kFoo = "a.b.c";`) or passed directly
+// to Conf get_*/set_*/contains. Malformed keys (uppercase, empty
+// components) are reported into `out`.
+void extract_config_keys(const LexedFile& file, std::vector<NameUse>* uses,
+                         std::vector<Finding>* out);
+
+// Metric names: first string literal flowing into MetricsRegistry /
+// MetricsSnapshot calls (counter, gauge, histogram, latency_histogram,
+// fixed_histogram, counter_value, gauge_value, gauge_max, ...).
+// Enforces the dot-separated lowercase convention into `out`.
+void extract_metric_names(const LexedFile& file, std::vector<NameUse>* uses,
+                          std::vector<Finding>* out);
+
+// Backticked names in the first column of every markdown table row,
+// paired with their 1-based line in the doc.
+std::vector<std::pair<std::string, int>> doc_table_names(
+    std::string_view markdown);
+
+// Both directions: every extracted key documented, every documented key
+// referenced. `doc_path` labels findings against the doc itself.
+void cross_check_config(const std::vector<NameUse>& uses,
+                        std::string_view doc, const std::string& doc_path,
+                        std::vector<Finding>* out);
+
+// Same, with suffix matching for `partial` metric uses.
+void cross_check_metrics(const std::vector<NameUse>& uses,
+                         std::string_view doc, const std::string& doc_path,
+                         std::vector<Finding>* out);
+
+}  // namespace hmr::lint

@@ -1,0 +1,75 @@
+// Rule families 1 and 2 of hmr-lint: determinism and Status/Result
+// discipline. Both work on the token stream from lint/lexer.h; the
+// Status rules additionally consult a repo-wide FunctionRegistry built
+// in a pre-pass over every scanned file, so "calls a function returning
+// Status/Result" is decided from the repo's own declarations rather
+// than a hard-coded list.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace hmr::lint {
+
+struct Finding {
+  std::string rule;     // "determinism", "status-discipline", ...
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+// Names of functions declared anywhere in the scanned tree to return
+// Status or Result<T> (directly or wrapped, e.g. sim::Task<Status>).
+// Name-based, so an unrelated same-named function aliases into the set.
+// Two escape hatches keep that workable: names that are *also* declared
+// somewhere with a void-like return (`void close()`, `sim::Task<>
+// append(...)`) are ambiguous and dropped by finalize(), and the callers
+// skip `std::`-qualified calls entirely. Remaining collisions take a
+// justified status-discipline suppression at the call site.
+struct FunctionRegistry {
+  std::set<std::string> status_fns;
+  std::set<std::string> result_fns;
+  std::set<std::string> void_like_fns;
+
+  bool is_status(const std::string& name) const {
+    return status_fns.count(name) != 0;
+  }
+  bool is_result(const std::string& name) const {
+    return result_fns.count(name) != 0;
+  }
+  bool is_checked(const std::string& name) const {
+    return is_status(name) || is_result(name);
+  }
+
+  // Drops ambiguous names (declared both Status/Result-returning and
+  // void-like) from the checked sets. Call once after the pre-pass has
+  // seen every file. Missing a genuine discard of the surviving overload
+  // is the accepted cost of not flagging every void call of the other.
+  void finalize();
+};
+
+// Pre-pass: records `Status f(...)`, `Result<T> f(...)`, and wrapped
+// forms like `sim::Task<Status> f(...)` declared in `file`, plus
+// void-like declarations (`void f(...)`, `sim::Task<> f(...)`) used by
+// FunctionRegistry::finalize() to drop ambiguous names.
+void collect_function_returns(const LexedFile& file, FunctionRegistry* reg);
+
+// Rule family 1: bans wall clocks, OS randomness, environment reads,
+// and unordered containers in sim-facing code. Callers apply this only
+// to src/ paths (tools and tests run on the host and may use them).
+void check_determinism(const LexedFile& file, std::vector<Finding>* out);
+
+// Rule family 2: discarded Status/Result call results (including
+// `(void)` launders) and `.value()` / `*r` / `r->` access on a Result
+// without a visible preceding ok() check. `check_value_guard` gates the
+// access checks (applied to src/ and tools/; tests assert liberally and
+// an abort on a bad Result inside a test is an acceptable failure mode).
+void check_status_discipline(const LexedFile& file,
+                             const FunctionRegistry& reg,
+                             bool check_value_guard,
+                             std::vector<Finding>* out);
+
+}  // namespace hmr::lint

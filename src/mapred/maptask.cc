@@ -81,10 +81,12 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
   if (spills > 1) {
     // Intermediate spill files + merge pass.
     const auto spill_stream = storage::next_stream_id();
-    co_await host.fs().write_file(path + ".spills", Bytes(1),
-                                  double(output_modeled));
+    const Status spilled = co_await host.fs().write_file(
+        path + ".spills", Bytes(1), double(output_modeled));
+    HMR_CHECK(spilled.ok());
     (void)spill_stream;
-    co_await host.fs().read_file(path + ".spills");
+    const auto merged = co_await host.fs().read_file(path + ".spills");
+    HMR_CHECK(merged.ok());
     co_await job.charge_cpu(host, output_modeled, job.cost.merge_cpu_bw);
     HMR_CHECK(host.fs().remove(path + ".spills").ok());
   }
@@ -95,7 +97,9 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
   const Status written = co_await host.fs().write_file(
       path, std::move(file_bytes), job.data_scale);
   HMR_CHECK(written.ok());
-  output.data = host.fs().peek(path).value().data;
+  const auto stored = host.fs().peek(path);
+  HMR_CHECK(stored.ok());
+  output.data = stored.value().data;
 
   MapOutputInfo info;
   info.map_id = map_id;
@@ -120,7 +124,8 @@ sim::Task<> run_failed_map_attempt(JobRuntime& job, int map_id,
   const auto real_len = static_cast<std::uint64_t>(
       double(info->real_size) * progress);
   if (real_len > 0) {
-    (void)co_await job.dfs.read_block(host, task.input_file, 0);
+    const auto partial = co_await job.dfs.read_block(host, task.input_file, 0);
+    HMR_CHECK(partial.ok());
     co_await job.charge_cpu(
         host,
         static_cast<std::uint64_t>(double(task.modeled_bytes) * progress),

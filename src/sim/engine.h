@@ -9,8 +9,8 @@
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <set>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -109,7 +109,8 @@ class Engine {
   MetricsRegistry metrics_;
   Tracer* tracer_ = nullptr;
   // Frames of spawned-but-unfinished processes, destroyed at shutdown.
-  std::unordered_set<void*> live_detached_;
+  // Ordered so shutdown teardown iterates deterministically.
+  std::set<void*> live_detached_;
   bool shutting_down_ = false;
 };
 

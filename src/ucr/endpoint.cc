@@ -51,14 +51,24 @@ struct RtsHeader {
   }
   static RtsHeader decode(const Bytes& data) {
     ByteReader r(data);
+    const auto seq = r.u64();
+    const auto app_tag = r.u64();
+    const auto rkey = r.u32();
+    const auto real_len = r.u64();
+    const auto modeled_len = r.u64();
+    const auto has_payload = r.u8();
+    const auto write_mode = r.u8();
+    HMR_CHECK_MSG(seq.ok() && app_tag.ok() && rkey.ok() && real_len.ok() &&
+                      modeled_len.ok() && has_payload.ok() && write_mode.ok(),
+                  "truncated RTS header");
     RtsHeader h;
-    h.seq = r.u64().value();
-    h.app_tag = r.u64().value();
-    h.rkey = r.u32().value();
-    h.real_len = r.u64().value();
-    h.modeled_len = r.u64().value();
-    h.has_payload = r.u8().value() != 0;
-    h.write_mode = r.u8().value() != 0;
+    h.seq = seq.value();
+    h.app_tag = app_tag.value();
+    h.rkey = rkey.value();
+    h.real_len = real_len.value();
+    h.modeled_len = modeled_len.value();
+    h.has_payload = has_payload.value() != 0;
+    h.write_mode = write_mode.value() != 0;
     return h;
   }
 };
@@ -72,9 +82,10 @@ Bytes encode_seq_rkey(std::uint64_t seq, std::uint32_t rkey) {
 }
 std::pair<std::uint64_t, std::uint32_t> decode_seq_rkey(const Bytes& data) {
   ByteReader r(data);
-  const auto seq = r.u64().value();
-  const auto rkey = r.u32().value();
-  return {seq, rkey};
+  const auto seq = r.u64();
+  const auto rkey = r.u32();
+  HMR_CHECK_MSG(seq.ok() && rkey.ok(), "truncated seq/rkey control body");
+  return {seq.value(), rkey.value()};
 }
 
 }  // namespace

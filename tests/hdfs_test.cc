@@ -366,7 +366,7 @@ TEST(HdfsChecksumTest, CorruptReplicaDetectedOnRead) {
   ASSERT_EQ(block_files.size(), 1u);
   w.engine.spawn([](DfsWorld& w, std::string path) -> Task<> {
     Bytes garbage(1000, 0xEE);
-    co_await w.host(1).fs().write_file(path, std::move(garbage));
+    EXPECT_TRUE((co_await w.host(1).fs().write_file(path, std::move(garbage))).ok());
     auto read = co_await w.dfs->read(w.host(2), "/x");
     EXPECT_FALSE(read.ok());
     EXPECT_NE(read.status().message().find("checksum"), std::string::npos);

@@ -1,0 +1,9 @@
+// Fixture: config-registry violations — a malformed key and a key
+// missing from the doc the test supplies. Never compiled; scanned by
+// lint_test.cc.
+#include "common/conf.h"
+
+void configure(hmr::Conf& conf) {
+  conf.set_int("mapred.fixture.undocumented", 4);
+  conf.set("Mapred.Fixture.BadCase", "x");
+}

@@ -1,0 +1,10 @@
+// Fixture: well-formed, documented config keys via both extraction
+// paths (key constant and direct accessor literal). Never compiled;
+// scanned by lint_test.cc.
+#include "common/conf.h"
+
+inline constexpr const char* kFixtureKnob = "mapred.fixture.known";
+
+int knob(const hmr::Conf& conf) {
+  return conf.get_int("mapred.fixture.known", 1);
+}

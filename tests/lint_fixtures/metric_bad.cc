@@ -1,0 +1,9 @@
+// Fixture: metric-registry violations — a name breaking the
+// dot-separated lowercase convention and one missing from the doc the
+// test supplies. Never compiled; scanned by lint_test.cc.
+#include "common/metrics.h"
+
+void register_metrics(hmr::MetricsRegistry& registry) {
+  registry.counter("FixtureBadName").add();
+  registry.counter("fixture.undocumented").add();
+}

@@ -1,0 +1,12 @@
+// Fixture: documented metric names, including a prefix-concatenated
+// (partial) registration that must match its doc row by suffix. Never
+// compiled; scanned by lint_test.cc.
+#include <string>
+
+#include "common/metrics.h"
+
+void register_metrics(hmr::MetricsRegistry& registry,
+                      const std::string& prefix) {
+  registry.counter("fixture.documented").add();
+  registry.gauge(prefix + "used_bytes").set(0);
+}

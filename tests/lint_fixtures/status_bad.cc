@@ -1,0 +1,21 @@
+// Fixture: every way to mishandle a Status/Result that the
+// status-discipline rule catches. Never compiled; scanned by
+// lint_test.cc (the declarations below feed the function registry).
+#include "common/status.h"
+
+namespace fixture {
+
+hmr::Status flush_logs();
+hmr::Result<int> parse_port(const char* text);
+void consume(int port);
+
+void broken() {
+  flush_logs();
+  (void)flush_logs();
+  auto port = parse_port("80");
+  consume(port.value());
+  const int direct = parse_port("81").value();
+  consume(direct);
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: the same calls as status_bad.cc, handled the way the
+// status-discipline rule wants. Never compiled; scanned by lint_test.cc.
+#include "common/status.h"
+
+namespace fixture {
+
+hmr::Status flush_logs();
+hmr::Result<int> parse_port(const char* text);
+void consume(int port);
+
+hmr::Status careful() {
+  HMR_RETURN_IF_ERROR(flush_logs());
+  auto port = parse_port("80");
+  if (!port.ok()) return port.status();
+  consume(port.value());
+  consume(parse_port("81").value_or(0));
+  return flush_logs();
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: suppressions that must NOT waive anything — one without a
+// justification, one naming a rule that does not exist. Both leave the
+// underlying discard flagged and add a `suppression` finding of their
+// own. Never compiled; scanned by lint_test.cc.
+#include "common/status.h"
+
+namespace fixture {
+
+hmr::Status poke();
+
+void wrong() {
+  // lint:ignore(status-discipline)
+  poke();
+  // lint:ignore(made-up-rule): justification for a rule that is not real
+  poke();
+}
+
+}  // namespace fixture

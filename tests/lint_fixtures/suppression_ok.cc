@@ -1,0 +1,14 @@
+// Fixture: a justified suppression waiving a deliberate discard. Never
+// compiled; scanned by lint_test.cc.
+#include "common/status.h"
+
+namespace fixture {
+
+hmr::Status poke();
+
+void intentional() {
+  // lint:ignore(status-discipline): fixture demonstrates a justified waiver
+  poke();
+}
+
+}  // namespace fixture

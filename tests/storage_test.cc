@@ -176,7 +176,7 @@ TEST(LocalFsTest, ScaleMultipliesModeledSize) {
   Engine engine;
   auto fs = make_fs(engine, 1);
   engine.spawn([](LocalFS& fs) -> Task<> {
-    co_await fs.write_file("f", make_bytes(1024), /*scale=*/100.0);
+    EXPECT_TRUE((co_await fs.write_file("f", make_bytes(1024), /*scale=*/100.0)).ok());
   }(*fs));
   engine.run();
   EXPECT_EQ(fs->real_size("f").value(), 1024u);
@@ -189,9 +189,9 @@ TEST(LocalFsTest, ScaledReadChargesModeledBytes) {
   auto fs = make_fs(engine, 1);
   double write_done = 0, read_done = 0;
   engine.spawn([](Engine& e, LocalFS& fs, double& w, double& r) -> Task<> {
-    co_await fs.write_file("f", make_bytes(1'000'000), /*scale=*/50.0);
+    EXPECT_TRUE((co_await fs.write_file("f", make_bytes(1'000'000), /*scale=*/50.0)).ok());
     w = e.now();
-    (void)co_await fs.read_file("f");
+    EXPECT_TRUE((co_await fs.read_file("f")).ok());
     r = e.now();
   }(engine, *fs, write_done, read_done));
   engine.run();
@@ -203,7 +203,7 @@ TEST(LocalFsTest, AppendAccumulates) {
   Engine engine;
   auto fs = make_fs(engine, 1);
   engine.spawn([](LocalFS& fs) -> Task<> {
-    co_await fs.write_file("log", make_bytes(10));
+    EXPECT_TRUE((co_await fs.write_file("log", make_bytes(10))).ok());
     co_await fs.append("log", make_bytes(5, 0x01));
     co_await fs.append("log", make_bytes(5, 0x02));
   }(*fs));
@@ -218,7 +218,7 @@ TEST(LocalFsTest, AppendIsCopyOnWriteUnderReaders) {
   Engine engine;
   auto fs = make_fs(engine, 1);
   engine.spawn([](LocalFS& fs) -> Task<> {
-    co_await fs.write_file("f", make_bytes(4, 0xaa));
+    EXPECT_TRUE((co_await fs.write_file("f", make_bytes(4, 0xaa))).ok());
     auto before = fs.peek("f").value();
     co_await fs.append("f", make_bytes(4, 0xbb));
     EXPECT_EQ(before.real_size(), 4u);  // old view untouched
@@ -232,7 +232,7 @@ TEST(LocalFsTest, RoundRobinAcrossDisks) {
   auto fs = make_fs(engine, 2);
   engine.spawn([](LocalFS& fs) -> Task<> {
     for (int i = 0; i < 4; ++i) {
-      co_await fs.write_file("f" + std::to_string(i), make_bytes(1000));
+      EXPECT_TRUE((co_await fs.write_file("f" + std::to_string(i), make_bytes(1000))).ok());
     }
   }(*fs));
   engine.run();
@@ -246,8 +246,8 @@ TEST(LocalFsTest, TwoDisksDoubleThroughput) {
     auto fs = make_fs(engine, disks);
     for (int i = 0; i < 4; ++i) {
       engine.spawn([](LocalFS& fs, int i) -> Task<> {
-        co_await fs.write_file("f" + std::to_string(i),
-                               make_bytes(1'000'000), 50.0);
+        EXPECT_TRUE((co_await fs.write_file("f" + std::to_string(i),
+                               make_bytes(1'000'000), 50.0)).ok());
       }(*fs, i));
     }
     return engine.run();
@@ -261,7 +261,7 @@ TEST(LocalFsTest, ReadRangeBoundsChecked) {
   Engine engine;
   auto fs = make_fs(engine, 1);
   engine.spawn([](LocalFS& fs) -> Task<> {
-    co_await fs.write_file("f", make_bytes(100));
+    EXPECT_TRUE((co_await fs.write_file("f", make_bytes(100))).ok());
     auto ok = co_await fs.read_range("f", 50, 50);
     EXPECT_TRUE(ok.ok());
     auto bad = co_await fs.read_range("f", 80, 40);
@@ -275,9 +275,9 @@ TEST(LocalFsTest, RemoveRenameList) {
   Engine engine;
   auto fs = make_fs(engine, 1);
   engine.spawn([](LocalFS& fs) -> Task<> {
-    co_await fs.write_file("a/1", make_bytes(1));
-    co_await fs.write_file("a/2", make_bytes(1));
-    co_await fs.write_file("b/1", make_bytes(1));
+    EXPECT_TRUE((co_await fs.write_file("a/1", make_bytes(1))).ok());
+    EXPECT_TRUE((co_await fs.write_file("a/2", make_bytes(1))).ok());
+    EXPECT_TRUE((co_await fs.write_file("b/1", make_bytes(1))).ok());
   }(*fs));
   engine.run();
   EXPECT_EQ(fs->list("a/").size(), 2u);
@@ -293,8 +293,8 @@ TEST(LocalFsTest, TotalModeledBytes) {
   Engine engine;
   auto fs = make_fs(engine, 1);
   engine.spawn([](LocalFS& fs) -> Task<> {
-    co_await fs.write_file("x", make_bytes(100), 10.0);
-    co_await fs.write_file("y", make_bytes(50), 2.0);
+    EXPECT_TRUE((co_await fs.write_file("x", make_bytes(100), 10.0)).ok());
+    EXPECT_TRUE((co_await fs.write_file("y", make_bytes(50), 2.0)).ok());
   }(*fs));
   engine.run();
   EXPECT_EQ(fs->total_modeled_bytes(), 1100u);
@@ -304,9 +304,10 @@ TEST(LocalFsTest, OverwriteKeepsDiskAssignment) {
   Engine engine;
   auto fs = make_fs(engine, 3);
   engine.spawn([](LocalFS& fs) -> Task<> {
-    co_await fs.write_file("f", make_bytes(10));
-    co_await fs.write_file("g", make_bytes(10));
-    co_await fs.write_file("f", make_bytes(20));  // overwrite
+    EXPECT_TRUE((co_await fs.write_file("f", make_bytes(10))).ok());
+    EXPECT_TRUE((co_await fs.write_file("g", make_bytes(10))).ok());
+    // Overwrite:
+    EXPECT_TRUE((co_await fs.write_file("f", make_bytes(20))).ok());
   }(*fs));
   engine.run();
   EXPECT_EQ(fs->real_size("f").value(), 20u);
@@ -326,10 +327,10 @@ TEST(LocalFsTest, SequentialRangeReadsPayOneSeek) {
   Engine engine;
   auto fs = make_fs(engine, 1);
   engine.spawn([](LocalFS& fs) -> Task<> {
-    co_await fs.write_file("f", make_bytes(1'000'000));
+    EXPECT_TRUE((co_await fs.write_file("f", make_bytes(1'000'000))).ok());
     // Consecutive ranged reads continue one scan.
     for (int i = 0; i < 10; ++i) {
-      (void)co_await fs.read_range("f", std::uint64_t(i) * 1000, 1000);
+      EXPECT_TRUE((co_await fs.read_range("f", std::uint64_t(i) * 1000, 1000)).ok());
     }
   }(*fs));
   engine.run();
@@ -342,9 +343,9 @@ TEST(LocalFsTest, ReadaheadServesSmallReadsFromPageCache) {
   auto fs = make_fs(engine, 1);
   engine.spawn([](LocalFS& fs) -> Task<> {
     // 1 KB real at scale 4096 = 4 MB modeled: two readahead granules.
-    co_await fs.write_file("f", make_bytes(1024), 4096.0);
+    EXPECT_TRUE((co_await fs.write_file("f", make_bytes(1024), 4096.0)).ok());
     for (int i = 0; i < 16; ++i) {
-      (void)co_await fs.read_range("f", std::uint64_t(i) * 64, 64);
+      EXPECT_TRUE((co_await fs.read_range("f", std::uint64_t(i) * 64, 64)).ok());
     }
   }(*fs));
   engine.run();
@@ -361,8 +362,8 @@ TEST(LocalFsTest, InterleavedScansKeepSeparateCursors) {
     co_await fs.write_file("f", make_bytes(100'000));
     // Two interleaved sequential scans at different offsets.
     for (int i = 0; i < 8; ++i) {
-      (void)co_await fs.read_range("f", std::uint64_t(i) * 100, 100);
-      (void)co_await fs.read_range("f", 50'000 + std::uint64_t(i) * 100, 100);
+      EXPECT_TRUE((co_await fs.read_range("f", std::uint64_t(i) * 100, 100)).ok());
+      EXPECT_TRUE((co_await fs.read_range("f", 50'000 + std::uint64_t(i) * 100, 100)).ok());
     }
   }(*fs));
   engine.run();
