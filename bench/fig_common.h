@@ -39,7 +39,9 @@ struct FigureSpec {
 inline std::string series_label(const FigureSpec& spec, const Series& series) {
   std::string label = series.setup.label;
   if (series.disks > 1) {
-    label += " " + std::to_string(series.disks) + "disks";
+    label += ' ';
+    label += std::to_string(series.disks);
+    label += "disks";
   } else if (spec.series.size() > 4) {  // disk-count comparisons
     label += " 1disk";
   }

@@ -6,8 +6,24 @@
 // after any intentional performance change.
 #include "fig_common.h"
 
+#include "mapred/types.h"
+
 using namespace hmr;
 using namespace hmr::bench;
+
+namespace {
+
+// Same engine with end-to-end checksum verification off: the delta
+// against the stock OSU-IB column prices the integrity extension
+// (DESIGN.md §6.2) in the baseline-diffed artifact.
+EngineSetup osu_ib_nochecksum() {
+  EngineSetup setup = EngineSetup::osu_ib();
+  setup.label = "OSU-IB (no checksums)";
+  setup.extra.set_bool(mapred::kIntegrityEnabled, false);
+  return setup;
+}
+
+}  // namespace
 
 int main() {
   FigureSpec spec;
@@ -18,7 +34,8 @@ int main() {
   spec.sizes_gb = {2};
   spec.series = {{EngineSetup::ipoib(), 1},
                  {EngineSetup::hadoop_a(), 1},
-                 {EngineSetup::osu_ib(), 1}};
+                 {EngineSetup::osu_ib(), 1},
+                 {osu_ib_nochecksum(), 1}};
   spec.target_real_bytes = 4 * kMiB;
   run_figure(spec);
   return 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
+
 namespace hmr::dataplane {
 
 Bytes MapOutput::encode_index() const {
@@ -11,6 +13,7 @@ Bytes MapOutput::encode_index() const {
     writer.put_varint(entry.offset);
     writer.put_varint(entry.length);
     writer.put_varint(entry.kv_count);
+    writer.put_varint(entry.crc);
   }
   return writer.take();
 }
@@ -27,12 +30,15 @@ Result<std::vector<IndexEntry>> MapOutput::decode_index(
     auto offset = reader.varint();
     auto length = reader.varint();
     auto kv_count = reader.varint();
-    if (!offset.ok() || !length.ok() || !kv_count.ok()) {
+    auto crc = reader.varint();
+    if (!offset.ok() || !length.ok() || !kv_count.ok() || !crc.ok() ||
+        crc.value() > 0xffffffffull) {
       return Status::OutOfRange("truncated map-output index");
     }
     entry.offset = offset.value();
     entry.length = length.value();
     entry.kv_count = kv_count.value();
+    entry.crc = static_cast<std::uint32_t>(crc.value());
     out.push_back(entry);
   }
   return out;
@@ -92,6 +98,12 @@ MapOutput MapOutputBuilder::build(const CombineFn* combiner) {
     partition.clear();
   }
   out.data = std::make_shared<const Bytes>(writer.take());
+  // Per-partition CRC32C, the checksum every downstream read boundary
+  // (cache fill, responder, servlet, merge ingest) verifies against.
+  for (auto& entry : out.index) {
+    entry.crc = crc32c(std::span<const std::uint8_t>(*out.data)
+                           .subspan(entry.offset, entry.length));
+  }
   pending_bytes_ = 0;
   return out;
 }

@@ -18,6 +18,8 @@ struct IndexEntry {
   std::uint64_t offset = 0;    // byte offset into data
   std::uint64_t length = 0;    // serialized bytes
   std::uint64_t kv_count = 0;  // records in this partition
+  std::uint32_t crc = 0;       // CRC32C of the partition's bytes, computed
+                               // at spill time (DESIGN.md §6.2)
 };
 
 // One map task's complete output: every partition sorted by key.

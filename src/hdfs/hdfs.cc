@@ -6,6 +6,18 @@
 
 namespace hmr::hdfs {
 
+namespace {
+
+// Fault-recovery bounds. Transient-error probabilities are < 1, so the
+// chance all attempts fail decays geometrically; disk-full windows are
+// finite by construction and only need a wide-enough backoff budget.
+constexpr int kReadAttemptsPerReplica = 3;
+constexpr int kWriteAttempts = 16;
+constexpr int kDiskFullAttempts = 240;
+constexpr double kWriteBackoff = 0.5;  // seconds per disk-full retry
+
+}  // namespace
+
 HdfsParams HdfsParams::from_conf(const Conf& conf) {
   HdfsParams params;
   params.block_size = conf.get_bytes("dfs.block.size", params.block_size);
@@ -103,6 +115,42 @@ sim::Task<> MiniDfs::rpc(Host& from) {
   co_await network_.transmit(master(), from, params().rpc_bytes);
 }
 
+sim::Task<> MiniDfs::write_replica(Host& dn, std::uint64_t block_id,
+                                   Bytes slice, double scale) {
+  auto& metrics = cluster_.engine().metrics();
+  int io_attempts = 0;
+  int full_attempts = 0;
+  for (;;) {
+    const Status st =
+        co_await dn.fs().write_file(block_path(block_id), Bytes(slice), scale);
+    if (st.code() == StatusCode::kResourceExhausted) {
+      HMR_CHECK_MSG(++full_attempts <= kDiskFullAttempts,
+                    "disk-full window outlasted datanode write: " +
+                        block_path(block_id));
+      metrics.counter("hdfs.write.retries").add();
+      co_await cluster_.engine().delay(kWriteBackoff);
+      continue;
+    }
+    if (!st.ok()) {  // injected transient IO error
+      HMR_CHECK_MSG(++io_attempts <= kWriteAttempts,
+                    "datanode write of " + block_path(block_id) +
+                        " still failing after retries: " + st.to_string());
+      metrics.counter("hdfs.write.retries").add();
+      continue;
+    }
+    // The DataNode verifies received data against the client's checksum
+    // before acking the pipeline stage; a silently corrupted write is
+    // redone, so an acked block is clean on every replica at creation.
+    const auto stored = dn.fs().peek(block_path(block_id));
+    HMR_CHECK(stored.ok());
+    if (!stored->corrupted) co_return;
+    HMR_CHECK_MSG(++io_attempts <= kWriteAttempts,
+                  "datanode write of " + block_path(block_id) +
+                      " corrupt after rewrites");
+    metrics.counter("hdfs.write.rewrites").add();
+  }
+}
+
 sim::Task<> MiniDfs::write_block(Host& writer, BlockInfo block, Bytes slice,
                                  double scale) {
   const auto modeled =
@@ -122,14 +170,45 @@ sim::Task<> MiniDfs::write_block(Host& writer, BlockInfo block, Bytes slice,
           if (from->id() != to->id()) {
             co_await dfs.network_.transmit(*from, *to, modeled);
           }
-          const Status st = co_await to->fs().write_file(
-              block_path(block_id), std::move(slice), scale);
-          HMR_CHECK(st.ok());
+          co_await dfs.write_replica(*to, block_id, std::move(slice), scale);
           stages.done();
         }(*this, upstream, &dn, modeled, slice, scale, block.id, stages));
     upstream = &dn;
   }
   co_await stages.wait();
+}
+
+void MiniDfs::prune_replica(const std::string& path, std::uint64_t block_id,
+                            int host_id) {
+  auto it = namenode_.files().find(path);
+  if (it == namenode_.files().end()) return;
+  for (auto& block : it->second.blocks) {
+    if (block.id != block_id) continue;
+    auto pos = std::find(block.replicas.begin(), block.replicas.end(), host_id);
+    if (pos == block.replicas.end()) return;  // already pruned
+    // Never prune the last copy: a transient corruption streak would turn
+    // into permanent data loss. The sole replica stays listed and readers
+    // keep retrying it instead.
+    if (block.replicas.size() <= 1) return;
+    block.replicas.erase(pos);
+    cluster_.engine().metrics().counter("hdfs.corrupt.replicas_pruned").add();
+    return;
+  }
+}
+
+void MiniDfs::spawn_rereplication() {
+  // One monitor pass at a time; a pass started after a prune observes
+  // every block pruned before it, so back-to-back prunes coalesce.
+  if (rereplication_running_) return;
+  rereplication_running_ = true;
+  cluster_.engine().spawn([](MiniDfs& dfs) -> sim::Task<> {
+    const int copied = co_await dfs.replicate_under_replicated();
+    if (copied > 0) {
+      dfs.cluster_.engine().metrics().counter("hdfs.rereplications").add(
+          copied);
+    }
+    dfs.rereplication_running_ = false;
+  }(*this));
 }
 
 MiniDfs::Writer::Writer(MiniDfs& dfs, Host& writer, std::string path,
@@ -234,8 +313,40 @@ sim::Task<int> MiniDfs::replicate_under_replicated() {
           // All replicas lost: the block (and file) is gone for good.
           break;
         }
-        // Source: first live replica; target: a live DataNode without one.
-        Host& source = cluster_.host(block.replicas.front());
+        // Source: first replica serving a clean copy — corrupt or
+        // persistently erroring replicas are skipped (a later read will
+        // prune the corrupt ones).
+        auto& metrics = cluster_.engine().metrics();
+        Host* source = nullptr;
+        Bytes payload;
+        double scale = 1.0;
+        std::uint64_t modeled = 0;
+        const std::vector<int> sources = block.replicas;
+        for (int candidate : sources) {
+          Host& cand = cluster_.host(candidate);
+          Result<storage::FileView> view =
+              co_await cand.fs().read_file(block_path(block.id));
+          for (int attempt = 1;
+               !view.ok() &&
+               view.status().code() == StatusCode::kUnavailable &&
+               attempt < kReadAttemptsPerReplica;
+               ++attempt) {
+            metrics.counter("hdfs.read.retries").add();
+            view = co_await cand.fs().read_file(block_path(block.id));
+          }
+          if (!view.ok()) continue;
+          if (view->corrupted || crc32c(*view->data) != block.crc) {
+            metrics.counter("hdfs.read.checksum_mismatches").add();
+            continue;
+          }
+          source = &cand;
+          payload = Bytes(*view->data);
+          scale = view->scale;
+          modeled = view->modeled_size();
+          break;
+        }
+        if (source == nullptr) break;  // no clean copy this round
+        // Target: a live DataNode without a replica.
         int target = -1;
         for (int candidate : namenode_.datanodes()) {
           if (std::find(block.replicas.begin(), block.replicas.end(),
@@ -245,16 +356,16 @@ sim::Task<int> MiniDfs::replicate_under_replicated() {
           }
         }
         if (target < 0) break;  // not enough live nodes
-        auto view = co_await source.fs().read_file(block_path(block.id));
-        HMR_CHECK(view.ok());
         Host& dst = cluster_.host(target);
-        co_await network_.transmit(source, dst, view->modeled_size());
-        Bytes copy(*view->data);
-        const Status st = co_await dst.fs().write_file(
-            block_path(block.id), std::move(copy), view->scale);
-        HMR_CHECK(st.ok());
-        block.replicas.push_back(target);
-        ++copied;
+        co_await network_.transmit(*source, dst, modeled);
+        co_await write_replica(dst, block.id, std::move(payload), scale);
+        // The block map may have changed across the awaits; only record
+        // the new replica if it is still missing.
+        if (std::find(block.replicas.begin(), block.replicas.end(), target) ==
+            block.replicas.end()) {
+          block.replicas.push_back(target);
+          ++copied;
+        }
       }
     }
   }
@@ -270,33 +381,62 @@ sim::Task<Result<Bytes>> MiniDfs::read_block(Host& reader,
     co_return Result<Bytes>(Status::OutOfRange("block index"));
   }
   co_await rpc(reader);  // getBlockLocations()
-  const BlockInfo& block = info->blocks[block_index];
+  const BlockInfo block = info->blocks[block_index];
 
   if (block.replicas.empty()) {
     co_return Result<Bytes>(Status::Unavailable(
         "all replicas of block " + std::to_string(block.id) + " are dead"));
   }
-  // Prefer the node-local replica.
-  int source = block.replicas.front();
+  // Candidate order: the node-local replica first, then placement order.
+  std::vector<int> candidates;
   for (int replica : block.replicas) {
-    if (replica == reader.id()) {
-      source = replica;
-      break;
+    if (replica == reader.id()) candidates.push_back(replica);
+  }
+  for (int replica : block.replicas) {
+    if (replica != reader.id()) candidates.push_back(replica);
+  }
+
+  auto& metrics = cluster_.engine().metrics();
+  Status last = Status::Unavailable("unreadable");
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (c > 0) metrics.counter("hdfs.replica.failovers").add();
+    const int source = candidates[c];
+    Host& dn = cluster_.host(source);
+    bool saw_corrupt = false;
+    for (int attempt = 0; attempt < kReadAttemptsPerReplica; ++attempt) {
+      auto view = co_await dn.fs().read_file(block_path(block.id));
+      if (!view.ok()) {
+        last = view.status();
+        // NotFound means the replica itself is gone; only transient
+        // errors are worth retrying on the same DataNode.
+        if (last.code() != StatusCode::kUnavailable) break;
+        metrics.counter("hdfs.read.retries").add();
+        continue;
+      }
+      // HDFS verifies block checksums on every read (DataChecksum).
+      if (view->corrupted || crc32c(*view->data) != block.crc) {
+        metrics.counter("hdfs.read.checksum_mismatches").add();
+        last = Status::Internal("checksum mismatch reading block " +
+                                std::to_string(block.id) + " of " + path);
+        saw_corrupt = true;  // re-read: a transient flip may clear
+        continue;
+      }
+      if (source != reader.id()) {
+        co_await network_.transmit(dn, reader, view->modeled_size());
+      }
+      co_return Bytes(*view->data);
+    }
+    if (saw_corrupt) {
+      // Persistently corrupt replica: report it bad, drop it from the
+      // block map, and let the replication monitor restore the count
+      // from a clean copy while we fail over.
+      prune_replica(path, block.id, source);
+      spawn_rereplication();
     }
   }
-  Host& dn = cluster_.host(source);
-  auto view = co_await dn.fs().read_file(block_path(block.id));
-  if (!view.ok()) co_return Result<Bytes>(view.status());
-  // HDFS verifies block checksums on every read (DataChecksum).
-  if (crc32c(*view->data) != block.crc) {
-    co_return Result<Bytes>(Status::Internal(
-        "checksum mismatch reading block " + std::to_string(block.id) +
-        " of " + path));
-  }
-  if (source != reader.id()) {
-    co_await network_.transmit(dn, reader, view->modeled_size());
-  }
-  co_return Bytes(*view->data);
+  co_return Result<Bytes>(Status::Unavailable(
+      "no readable replica of block " + std::to_string(block.id) + " of " +
+      path + " (last error: " + last.to_string() + ")"));
 }
 
 sim::Task<Result<Bytes>> MiniDfs::read(Host& reader, std::string path) {
@@ -318,11 +458,23 @@ Result<Bytes> MiniDfs::peek(const std::string& path) const {
   Bytes out;
   out.reserve(info->real_size);
   for (const auto& block : info->blocks) {
-    // Any replica works; use the first.
-    auto& host = cluster_.host(block.replicas.front());
-    auto view = host.fs().peek(block_path(block.id));
-    if (!view.ok()) return view.status();
-    out.insert(out.end(), view->data->begin(), view->data->end());
+    // Any clean replica works; at-rest rot on one replica must not make
+    // validation read garbage when a clean copy exists.
+    std::optional<storage::FileView> chosen;
+    for (int replica : block.replicas) {
+      auto view = cluster_.host(replica).fs().peek(block_path(block.id));
+      if (!view.ok()) continue;
+      if (!view->corrupted) {
+        chosen = *view;
+        break;
+      }
+      if (!chosen) chosen = *view;  // corrupt fallback, better than nothing
+    }
+    if (!chosen) {
+      return Status::Unavailable("no readable replica of block " +
+                                 std::to_string(block.id) + " of " + path);
+    }
+    out.insert(out.end(), chosen->data->begin(), chosen->data->end());
   }
   return out;
 }

@@ -174,12 +174,26 @@ class MiniDfs {
   // writes it on every replica's disk.
   sim::Task<> write_block(Host& writer, BlockInfo block, Bytes slice,
                           double scale);
+  // Bounded-retry, checksum-verified write of one replica (shared by the
+  // pipeline stages and the replication monitor): injected IO errors are
+  // retried, a full disk backs off until the window drains, and a
+  // silently corrupted write is redone — the DataNode verifies received
+  // data against the client checksum before acking the stage.
+  sim::Task<> write_replica(Host& dn, std::uint64_t block_id, Bytes slice,
+                            double scale);
+  // Drops a corrupt replica from the live block map (the DataNode's
+  // block scanner reported a bad block) and kicks the replication
+  // monitor to restore the replica count from a clean copy.
+  void prune_replica(const std::string& path, std::uint64_t block_id,
+                     int host_id);
+  void spawn_rereplication();
 
   Cluster& cluster_;
   Network& network_;
   NameNode namenode_;
   int master_;
   std::set<int> dead_;
+  bool rereplication_running_ = false;
 };
 
 }  // namespace hmr::hdfs

@@ -1,0 +1,157 @@
+#include "mapred/integrity.h"
+
+namespace hmr::mapred {
+
+namespace {
+
+// Records the time an op spent recovering (rereads, rewrites, backoff)
+// when any recovery happened at all.
+void record_recovery_delay(JobRuntime& job, double started, bool recovered) {
+  if (!recovered) return;
+  job.engine.metrics()
+      .latency_histogram("storage.recovery.delay")
+      .record(job.engine.now() - started);
+}
+
+void count_io_retry(JobRuntime& job) {
+  ++job.result.storage_io_retries;
+  job.engine.metrics().counter("storage.io.retries").add();
+}
+
+}  // namespace
+
+void count_checksum_mismatch(JobRuntime& job) {
+  ++job.result.checksum_mismatches;
+  job.engine.metrics().counter("integrity.checksum.mismatches").add();
+}
+
+sim::Task<> charge_verify_cpu(JobRuntime& job, Host& host,
+                              std::uint64_t modeled) {
+  if (!job.integrity.enabled || modeled == 0) co_return;
+  co_await job.charge_cpu(host, modeled, job.integrity.crc_bw);
+}
+
+namespace {
+
+// Shared read skeleton: `read` issues one timed attempt, `modeled` is
+// the verification charge per attempt.
+sim::Task<Result<storage::FileView>> read_verified_impl(
+    JobRuntime& job, Host& host, const std::string& path,
+    std::uint64_t modeled,
+    std::function<sim::Task<Result<storage::FileView>>()> read) {
+  auto& metrics = job.engine.metrics();
+  const double started = job.engine.now();
+  bool recovered = false;
+  for (int attempt = 0;; ++attempt) {
+    auto view = co_await read();
+    if (!view.ok()) {
+      if (view.status().code() == StatusCode::kUnavailable &&
+          attempt < job.integrity.max_retries) {
+        count_io_retry(job);
+        recovered = true;
+        continue;
+      }
+      co_return view;  // NotFound/OutOfRange, or IO retries exhausted
+    }
+    if (!job.integrity.enabled) co_return view;
+    co_await charge_verify_cpu(job, host, modeled);
+    if (view->corrupted) {
+      count_checksum_mismatch(job);
+      if (attempt < job.integrity.max_retries) {
+        metrics.counter("storage.corrupt.rereads").add();
+        recovered = true;
+        continue;
+      }
+      metrics.counter("storage.corrupt.read_failures").add();
+      co_return Result<storage::FileView>(
+          Status::Internal("checksum mismatch after " +
+                           std::to_string(attempt + 1) + " reads: " + path));
+    }
+    metrics.counter("integrity.verified_segments").add();
+    record_recovery_delay(job, started, recovered);
+    co_return view;
+  }
+}
+
+}  // namespace
+
+sim::Task<Result<storage::FileView>> read_file_verified(
+    JobRuntime& job, Host& host, const std::string& path) {
+  const auto modeled = host.fs().modeled_size(path);
+  co_return co_await read_verified_impl(
+      job, host, path, modeled.ok() ? modeled.value() : 0,
+      [&]() -> sim::Task<Result<storage::FileView>> {
+        co_return co_await host.fs().read_file(path);
+      });
+}
+
+sim::Task<Result<storage::FileView>> read_range_verified(
+    JobRuntime& job, Host& host, const std::string& path,
+    std::uint64_t real_offset, std::uint64_t real_len) {
+  const auto file = host.fs().peek(path);
+  const double scale = file.ok() ? file->scale : 1.0;
+  const auto modeled =
+      static_cast<std::uint64_t>(double(real_len) * scale);
+  co_return co_await read_verified_impl(
+      job, host, path, modeled,
+      [&]() -> sim::Task<Result<storage::FileView>> {
+        co_return co_await host.fs().read_range(path, real_offset, real_len);
+      });
+}
+
+sim::Task<Status> write_file_verified(JobRuntime& job, Host& host,
+                                      std::string path, Bytes data,
+                                      double scale) {
+  auto& metrics = job.engine.metrics();
+  const double started = job.engine.now();
+  const auto modeled =
+      static_cast<std::uint64_t>(double(data.size()) * scale);
+  bool recovered = false;
+  int io_attempts = 0;
+  int full_attempts = 0;
+  for (int verify_attempts = 0;;) {
+    Status written = co_await host.fs().write_file(path, Bytes(data), scale);
+    if (written.code() == StatusCode::kResourceExhausted) {
+      // Disk-full ladder: count it, let the shuffle engine evict cache
+      // on this host, back off, retry. The window is finite by
+      // construction; the bound only guards against runaway plans.
+      ++job.result.disk_full_events;
+      metrics.counter("storage.disk_full.events").add();
+      HMR_CHECK_MSG(++full_attempts <= job.integrity.disk_full_max_retries,
+                    "disk-full window outlasted spill retries: " + path);
+      if (job.shuffle != nullptr) job.shuffle->on_disk_pressure(job, host.id());
+      recovered = true;
+      co_await job.engine.delay(job.integrity.disk_full_backoff);
+      continue;
+    }
+    if (!written.ok()) {  // injected transient write error
+      if (io_attempts++ < job.integrity.max_retries) {
+        count_io_retry(job);
+        recovered = true;
+        continue;
+      }
+      co_return written;
+    }
+    if (!job.integrity.enabled) co_return Status::Ok();
+    // Read-back verification rides the page cache (the bytes were just
+    // written): charge CRC CPU only, then check what actually landed.
+    co_await charge_verify_cpu(job, host, modeled);
+    const auto stored = host.fs().peek(path);
+    HMR_CHECK(stored.ok());
+    if (!stored->corrupted) {
+      metrics.counter("integrity.verified_segments").add();
+      record_recovery_delay(job, started, recovered);
+      co_return Status::Ok();
+    }
+    count_checksum_mismatch(job);
+    if (verify_attempts++ >= job.integrity.max_retries) {
+      metrics.counter("storage.write.failures").add();
+      co_return Status::Internal("verified write failed: " + path);
+    }
+    ++job.result.spill_rewrites;
+    metrics.counter("storage.spill.rewrites").add();
+    recovered = true;
+  }
+}
+
+}  // namespace hmr::mapred

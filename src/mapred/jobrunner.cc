@@ -5,6 +5,7 @@
 #include "mapred/maptask.h"
 #include "mapred/reducetask.h"
 #include "mapred/vanilla.h"
+#include "sim/fault.h"
 
 namespace hmr::mapred {
 
@@ -156,6 +157,14 @@ sim::Task<JobResult> JobRunner::run(JobSpec spec) {
                 "unknown shuffle engine: " + engine);
   auto shuffle = factory->second(job->spec.conf);
   job->shuffle = shuffle.get();
+
+  // Conf-driven disk-fault plans (sim.fault.disk.*): strict validation —
+  // a misspelled key would silently inject nothing, so it aborts the run
+  // with the offending key named (tests call disk_faults_from_conf
+  // directly for the Status path).
+  auto disk_faults = sim::FaultPlan::disk_faults_from_conf(job->spec.conf);
+  HMR_CHECK_MSG(disk_faults.ok(), disk_faults.status().to_string());
+  if (!disk_faults->empty()) cluster_.arm_disk_faults(*disk_faults);
 
   job->result.submit_time = job->engine.now();
   co_await shuffle->start(*job);

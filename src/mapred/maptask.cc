@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mapred/integrity.h"
 #include "sim/trace.h"
 #include "storage/localfs.h"
 
@@ -19,8 +20,19 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
 
   // Read the split. Input part files are written block-sized, so this is
   // one block in practice; locality decides whether it touches the
-  // network.
+  // network. HDFS handles replica failover internally; this outer loop
+  // only absorbs fully transient windows (every replica's disk erroring
+  // at once).
   auto split = co_await job.dfs.read(host, task.input_file);
+  for (int attempt = 0;
+       !split.ok() && split.status().code() == StatusCode::kUnavailable &&
+       attempt < job.integrity.max_retries;
+       ++attempt) {
+    ++job.result.storage_io_retries;
+    job.engine.metrics().counter("storage.io.retries").add();
+    co_await job.engine.delay(job.integrity.disk_full_backoff);
+    split = co_await job.dfs.read(host, task.input_file);
+  }
   HMR_CHECK_MSG(split.ok(), "map input read failed: " + split.status().to_string());
 
   // Decode records and run the user map function into the sort buffer.
@@ -79,24 +91,31 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
                            std::to_string(map_id) + "_h" +
                            std::to_string(host.id());
   if (spills > 1) {
-    // Intermediate spill files + merge pass.
+    // Intermediate spill files + merge pass, checksum-verified: an
+    // injected IO error retries, a corrupt spill is rewritten, a full
+    // disk evicts shuffle cache and backs off (mapred/integrity.h).
     const auto spill_stream = storage::next_stream_id();
-    const Status spilled = co_await host.fs().write_file(
-        path + ".spills", Bytes(1), double(output_modeled));
-    HMR_CHECK(spilled.ok());
+    const Status spilled = co_await write_file_verified(
+        job, host, path + ".spills", Bytes(1), double(output_modeled));
+    HMR_CHECK_MSG(spilled.ok(),
+                  "map spill failed: " + spilled.to_string());
     (void)spill_stream;
-    const auto merged = co_await host.fs().read_file(path + ".spills");
-    HMR_CHECK(merged.ok());
+    const auto merged =
+        co_await read_file_verified(job, host, path + ".spills");
+    HMR_CHECK_MSG(merged.ok(),
+                  "map spill merge read failed: " + merged.status().to_string());
     co_await job.charge_cpu(host, output_modeled, job.cost.merge_cpu_bw);
     HMR_CHECK(host.fs().remove(path + ".spills").ok());
   }
 
   // Final partitioned output file; the served MapOutput shares the
-  // buffer the LocalFS stores.
-  Bytes file_bytes(*output.data);
-  const Status written = co_await host.fs().write_file(
-      path, std::move(file_bytes), job.data_scale);
-  HMR_CHECK(written.ok());
+  // buffer the LocalFS stores. The verified write guarantees the
+  // published file is clean at creation — at-rest rot discovered later
+  // is recovered by the fetch path (drop -> blacklist -> re-execute).
+  const Status written = co_await write_file_verified(
+      job, host, path, Bytes(*output.data), job.data_scale);
+  HMR_CHECK_MSG(written.ok(),
+                "map output write failed: " + written.to_string());
   const auto stored = host.fs().peek(path);
   HMR_CHECK(stored.ok());
   output.data = stored.value().data;

@@ -17,6 +17,7 @@ JobRuntime::JobRuntime(Cluster& cluster, Network& network,
       dfs(dfs),
       spec(std::move(spec_in)),
       cost(CostModel::from_conf(spec.conf)),
+      integrity(IntegrityPolicy::from_conf(spec.conf)),
       job_id(job_id_in),
       trackers(std::move(trackers_in)),
       completion_pulse(engine),

@@ -95,6 +95,7 @@ struct JobRuntime {
   hdfs::MiniDfs& dfs;
   JobSpec spec;
   CostModel cost;
+  IntegrityPolicy integrity;
   int job_id = 0;
   double data_scale = 1.0;  // from the input files
 
@@ -164,6 +165,12 @@ class ShuffleEngine {
   // A map finished on `host_id` (prefetcher hook, §III-B3).
   virtual void on_map_finished(JobRuntime& job, int map_id, int host_id) {
     (void)job, (void)map_id, (void)host_id;
+  }
+  // A spill on `host_id` was rejected by a full disk: shed whatever
+  // storage-adjacent memory the engine holds there (the RDMA engine
+  // drops its prefetch cache) before the writer backs off and retries.
+  virtual void on_disk_pressure(JobRuntime& job, int host_id) {
+    (void)job, (void)host_id;
   }
   // Reduce-side: fetch every map's partition `reduce_id`, merge to sorted
   // order, and deliver batches into `sink` (closing it at the end).

@@ -99,6 +99,23 @@ inline constexpr const char* kBlacklistFailures =
 inline constexpr const char* kResponderDeadlineSec =
     "mapred.rdma.responder.deadline.sec";
 
+// End-to-end data integrity (DESIGN.md §6.2). Spills carry per-partition
+// CRC32 checksums verified on every read boundary (cache fill, RDMA
+// responder, vanilla servlet, merge ingest); verification CPU is charged
+// at kIntegrityCpuBw. Injected IO errors and verify failures are retried
+// up to kIntegrityMaxRetries times; a spill rejected by a full disk
+// evicts shuffle-cache memory and backs off kDiskFullBackoffSec between
+// attempts (at most kDiskFullMaxRetries of them).
+inline constexpr const char* kIntegrityEnabled = "mapred.integrity.enabled";
+inline constexpr const char* kIntegrityCpuBw =
+    "mapred.integrity.cpu.bytes_per_sec";
+inline constexpr const char* kIntegrityMaxRetries =
+    "mapred.integrity.max.retries";
+inline constexpr const char* kDiskFullBackoffSec =
+    "mapred.storage.disk.full.backoff.sec";
+inline constexpr const char* kDiskFullMaxRetries =
+    "mapred.storage.disk.full.max.retries";
+
 // Observability. kMetricsSnapshot controls whether JobRunner copies the
 // engine's metrics registry into JobResult::metrics at job end (on by
 // default; large sweeps can turn it off). kTraceMaxEvents caps the
@@ -179,6 +196,15 @@ struct JobResult {
   std::uint64_t map_refetch_reruns = 0;  // maps re-executed for fetching
   std::uint64_t refetched_modeled_bytes = 0;  // served by re-executed maps
 
+  // Storage-fault recovery counters (mapred/integrity.h). Each has a
+  // metric twin; the simfuzz oracle checks they agree and that
+  // checksum_mismatches is conserved against the recovery actions.
+  std::uint64_t checksum_mismatches = 0;  // verify failures, all boundaries
+  std::uint64_t storage_io_retries = 0;   // ops re-issued after an IO error
+  std::uint64_t spill_rewrites = 0;       // spills rewritten after verify
+  std::uint64_t disk_full_events = 0;     // spill attempts hit a full disk
+  std::uint64_t cache_integrity_evictions = 0;  // rotted cache entries
+
   // Classic Hadoop job counters (MAP_INPUT_RECORDS, SPILLED_RECORDS, ...).
   std::map<std::string, std::int64_t> counters;
   std::int64_t counter(const std::string& name) const {
@@ -220,6 +246,27 @@ struct JobResult {
   double cache_hit_rate() const {
     const auto lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0 : double(cache_hits) / double(lookups);
+  }
+};
+
+// Resolved integrity/storage-recovery knobs, one decode per job.
+struct IntegrityPolicy {
+  bool enabled = true;       // verify checksums at read/write boundaries
+  double crc_bw = 2.0e9;     // modeled bytes/sec of CRC32 CPU per core
+  int max_retries = 16;      // bounded re-reads / rewrites / IO retries
+  double disk_full_backoff = 0.5;  // seconds between disk-full attempts
+  int disk_full_max_retries = 240;
+
+  static IntegrityPolicy from_conf(const Conf& conf) {
+    IntegrityPolicy p;
+    p.enabled = conf.get_bool(kIntegrityEnabled, p.enabled);
+    p.crc_bw = conf.get_double(kIntegrityCpuBw, p.crc_bw);
+    p.max_retries = int(conf.get_int(kIntegrityMaxRetries, p.max_retries));
+    p.disk_full_backoff =
+        conf.get_double(kDiskFullBackoffSec, p.disk_full_backoff);
+    p.disk_full_max_retries =
+        int(conf.get_int(kDiskFullMaxRetries, p.disk_full_max_retries));
+    return p;
   }
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
 #include "dataplane/merger.h"
+#include "mapred/integrity.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
 
@@ -12,10 +14,12 @@ namespace {
 constexpr std::uint64_t kTagRequest = 1;
 constexpr std::uint64_t kTagResponse = 2;
 constexpr std::uint64_t kRequestWireBytes = 150;  // HTTP GET + headers
-// Responses echo {map_id, reduce_id} ahead of the body so copiers can
-// match them to requests and discard stale duplicates of timed-out
-// fetches (stall faults can answer a request long after its retry).
-constexpr std::uint64_t kResponsePrefixBytes = 8;
+// Responses echo {map_id, reduce_id, body_crc} ahead of the body: the
+// ids let copiers match responses to requests and discard stale
+// duplicates of timed-out fetches (stall faults can answer a request
+// long after its retry); the CRC-32C carries the spill-time checksum
+// end-to-end so the copier verifies what the mapper wrote.
+constexpr std::uint64_t kResponsePrefixBytes = 12;
 
 Bytes encode_request(int map_id, int reduce_id) {
   ByteWriter w;
@@ -163,14 +167,22 @@ sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
 
     // The servlet reads the partition from local disk for every request —
     // this is the I/O the paper's PrefetchCache removes in the RDMA design.
-    auto view = co_await tracker.host->fs().read_range(
-        info.local_path, entry.offset, entry.length);
-    HMR_CHECK(view.ok());
+    auto view = co_await read_range_verified(job, *tracker.host,
+                                             info.local_path, entry.offset,
+                                             entry.length);
+    if (!view.ok()) {
+      // The on-disk map output is unreadable past bounded recovery.
+      // Drop the request: the copier's watchdog times out, blacklists
+      // this tracker, and re-executes the map (mapred/recovery.h).
+      job.engine.metrics().counter("storage.mapout.unserved").add();
+      continue;
+    }
 
     auto slice = info.output->partition_bytes(reduce_id);
     ByteWriter prefix;
     prefix.put_u32(std::uint32_t(map_id));
     prefix.put_u32(std::uint32_t(reduce_id));
+    prefix.put_u32(crc32c(slice));
     Bytes body = prefix.take();
     body.insert(body.end(), slice.begin(), slice.end());
     const auto modeled = info.modeled_partition_bytes(reduce_id);
@@ -206,9 +218,10 @@ sim::Task<> VanillaShuffleEngine::in_memory_merge(JobRuntime& job,
   const std::string path = "shuffle/" + job.spec.name + "/r" +
                            std::to_string(state.reduce_id) + "/spill" +
                            std::to_string(state.spill_seq++);
-  const Status written = co_await state.host.fs().write_file(
-      path, std::move(merged), job.data_scale);
-  HMR_CHECK(written.ok());
+  const Status written = co_await write_file_verified(
+      job, state.host, path, std::move(merged), job.data_scale);
+  HMR_CHECK_MSG(written.ok(),
+                "reduce-side spill failed: " + written.to_string());
   state.on_disk.push_back(Segment{nullptr, path, modeled});
 }
 
@@ -294,6 +307,25 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
           continue;
         }
         if (int(*got_map) == map_id && int(*got_reduce) == state.reduce_id) {
+          const auto body_crc = r.u32();
+          if (!body_crc.ok()) {
+            job.engine.metrics().counter("shuffle.malformed_msgs").add();
+            continue;
+          }
+          if (job.integrity.enabled) {
+            // End-to-end check against the spill-time checksum; a frame
+            // that rotted in flight is dropped like any malformed
+            // message and the watchdog/retry path re-fetches it.
+            ByteReader body = r;
+            const auto rest = body.bytes(body.remaining());
+            HMR_CHECK(rest.ok());
+            co_await charge_verify_cpu(job, state.host,
+                                       event->msg->modeled_bytes);
+            if (crc32c(*rest) != *body_crc) {
+              job.engine.metrics().counter("shuffle.malformed_msgs").add();
+              continue;
+            }
+          }
           response = std::move(event->msg);
           break;
         }
@@ -352,9 +384,10 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
                                std::to_string(state.reduce_id) + "/big" +
                                std::to_string(state.spill_seq++);
       Bytes body(*segment.data);
-      const Status written = co_await state.host.fs().write_file(
-          path, std::move(body), job.data_scale);
-      HMR_CHECK(written.ok());
+      const Status written = co_await write_file_verified(
+          job, state.host, path, std::move(body), job.data_scale);
+      HMR_CHECK_MSG(written.ok(),
+                    "oversized-segment spill failed: " + written.to_string());
       segment.data = nullptr;
       segment.disk_path = path;
       state.on_disk.push_back(std::move(segment));
@@ -419,8 +452,11 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
     std::vector<std::unique_ptr<dataplane::KvSource>> sources;
     std::uint64_t modeled = 0;
     for (const auto& segment : group) {
-      auto view = co_await host.fs().read_file(segment.disk_path);
-      HMR_CHECK(view.ok());
+      // Spills were write-verified at creation; this absorbs injected
+      // transient read errors on the way back into the merge.
+      auto view = co_await read_file_verified(job, host, segment.disk_path);
+      HMR_CHECK_MSG(view.ok(), "merge-pass read failed: " +
+                                   view.status().to_string());
       sources.push_back(std::make_unique<dataplane::BytesSource>(view->data));
       modeled += segment.modeled;
     }
@@ -433,9 +469,10 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
     const std::string path = "shuffle/" + job.spec.name + "/r" +
                              std::to_string(reduce_id) + "/pass" +
                              std::to_string(state.spill_seq++);
-    const Status written = co_await host.fs().write_file(
-        path, std::move(merged), job.data_scale);
-    HMR_CHECK(written.ok());
+    const Status written = co_await write_file_verified(
+        job, host, path, std::move(merged), job.data_scale);
+    HMR_CHECK_MSG(written.ok(),
+                  "merge-pass spill failed: " + written.to_string());
     for (const auto& segment : group) {
       HMR_CHECK(host.fs().remove(segment.disk_path).ok());
     }
@@ -446,8 +483,9 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
   // into the reduce sink.
   std::vector<std::unique_ptr<dataplane::KvSource>> sources;
   for (const auto& segment : state.on_disk) {
-    auto view = co_await host.fs().read_file(segment.disk_path);
-    HMR_CHECK(view.ok());
+    auto view = co_await read_file_verified(job, host, segment.disk_path);
+    HMR_CHECK_MSG(view.ok(), "final-merge read failed: " +
+                                 view.status().to_string());
     sources.push_back(std::make_unique<dataplane::BytesSource>(view->data));
   }
   for (const auto& segment : state.in_mem) {

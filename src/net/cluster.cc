@@ -55,6 +55,27 @@ void Cluster::inject_faults(const sim::FaultPlan& plan) {
       host.degrade_nic(factor);
     }(engine_, host, degrade.at, degrade.factor));
   }
+  arm_disk_faults(plan.disk_faults());
+}
+
+void Cluster::arm_disk_faults(const std::map<int, sim::DiskFault>& faults) {
+  for (const auto& [host_id, fault] : faults) {
+    Host& host = *hosts_.at(size_t(host_id));
+    if (fault.any_io_fault()) {
+      engine_.metrics().counter("cluster.disk_faults_armed").add();
+      host.fs().arm_fault(
+          fault, engine_.make_rng("disk.fault.h" + std::to_string(host_id)));
+    }
+    if (fault.slow_at >= 0) {
+      engine_.metrics().counter("cluster.disk_degrades_armed").add();
+      engine_.spawn([](sim::Engine& engine, Host& host, double at,
+                       double factor) -> sim::Task<> {
+        const double dt = at - engine.now();
+        if (dt > 0) co_await engine.delay(dt);
+        host.fs().degrade_disks(factor);
+      }(engine_, host, fault.slow_at, fault.slow_factor));
+    }
+  }
 }
 
 std::vector<Host*> Cluster::hosts() {

@@ -81,10 +81,14 @@ class Cluster {
   Host& host(size_t i) { return *hosts_.at(i); }
   std::vector<Host*> hosts();
 
-  // Arms the plan's NIC degradations: spawns a timer per entry that
-  // fires Host::degrade_nic at the scheduled time. (Tracker kills and
-  // response drops are consulted inline by the shuffle engines.)
+  // Arms the plan's NIC degradations and disk faults: spawns a timer per
+  // NIC/disk degrade entry, and hands each host's DiskFault to its
+  // LocalFS with a host-unique RNG stream. (Tracker kills and response
+  // drops are consulted inline by the shuffle engines.)
   void inject_faults(const sim::FaultPlan& plan);
+  // The disk half alone — also the entry point for conf-driven plans
+  // (`sim.fault.disk.*`, see sim::FaultPlan::disk_faults_from_conf).
+  void arm_disk_faults(const std::map<int, sim::DiskFault>& faults);
 
   // Uniform cluster of n hosts named host0..host{n-1}.
   static std::vector<HostSpec> uniform(int n, int disks_per_host,

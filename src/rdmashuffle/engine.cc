@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
 #include "dataplane/merger.h"
+#include "mapred/integrity.h"
 #include "mapred/recovery.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
@@ -192,8 +194,20 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
   std::shared_ptr<const dataplane::MapOutput> source = info.output;
   if (options_.use_cache) {
     if (auto hit = service.cache.get(cache_key)) {
-      source = std::move(hit);
-      from_disk = false;
+      if (tracker.host->fs().roll_cache_corrupt() && job.integrity.enabled) {
+        // Bit-rot in the cached copy, caught by the segment checksum
+        // before anything is sent: evict the poisoned entry and serve
+        // this request from disk (the on-disk copy verified clean at
+        // spill time), then re-cache from the clean source.
+        mapred::count_checksum_mismatch(job);
+        ++job.result.cache_integrity_evictions;
+        job.engine.metrics().counter("cache.integrity.evictions").add();
+        (void)service.cache.erase(cache_key);
+        (void)service.prefetch_queue.try_send(int(req.map_id) | (1 << 24));
+      } else {
+        source = std::move(hit);
+        from_disk = false;
+      }
     } else {
       (void)service.prefetch_queue.try_send(int(req.map_id) | (1 << 24));
     }
@@ -210,9 +224,17 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
 
   if (from_disk && !chunk.empty()) {
     const double dt0 = job.engine.now();
-    auto view = co_await tracker.host->fs().read_range(
-        info.local_path, entry.offset + req.cursor_real, chunk.size());
-    HMR_CHECK(view.ok());
+    auto view = co_await mapred::read_range_verified(
+        job, *tracker.host, info.local_path, entry.offset + req.cursor_real,
+        chunk.size());
+    if (!view.ok()) {
+      // The on-disk map output is unreadable past bounded recovery
+      // (at-rest rot or a persistent IO fault). Drop the request: the
+      // copier's watchdog times out, blacklists this tracker, and
+      // re-executes the map on a healthy one (mapred/recovery.h).
+      job.engine.metrics().counter("storage.mapout.unserved").add();
+      co_return;
+    }
     job.engine.metrics().latency_histogram("osu.respond.disk").record(
         job.engine.now() - dt0);
   }
@@ -224,6 +246,9 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
   header.cursor_real = req.cursor_real;
   header.n_pairs = n_pairs;
   header.chunk_real_bytes = chunk.size();
+  // Derived from the spill-time segment checksums, not recomputed from
+  // the platters: the copier verifies against what the mapper wrote.
+  header.chunk_crc = crc32c(chunk);
   header.eof = req.cursor_real + chunk.size() >= partition.size();
 
   Bytes body = header.encode_header();
@@ -286,12 +311,30 @@ sim::Task<> RdmaShuffleEngine::prefetcher(JobRuntime& job,
       auto core = co_await sim::hold(tracker.host->cpu());
       co_await job.engine.delay(double(modeled) / options_.page_cache_bw);
     } else {
-      auto view = co_await tracker.host->fs().read_file(info.local_path);
+      // Verified fill: a cache loaded from a rotten platter read would
+      // poison every subsequent hit. Unreadable outputs just stay
+      // uncached — responders fall back to (verified) disk reads.
+      auto view = co_await mapred::read_file_verified(job, *tracker.host,
+                                                      info.local_path);
       if (!view.ok()) continue;
     }
     (void)service.cache.put(cache_key, info.output, modeled, priority);
   }
   daemons_->done();
+}
+
+void RdmaShuffleEngine::on_disk_pressure(JobRuntime& job, int host_id) {
+  auto it = services_.find(host_id);
+  if (it == services_.end()) return;
+  dataplane::PrefetchCache& cache = it->second->cache;
+  if (cache.entries() == 0) return;
+  // A full disk on this host: the cached map outputs are the only
+  // storage-adjacent memory the engine holds there, so shed them all and
+  // let the spill retry. Dropped entries re-cache on demand later.
+  job.engine.metrics()
+      .counter("cache.pressure.evictions")
+      .add(std::int64_t(cache.entries()));
+  cache.clear();
 }
 
 void RdmaShuffleEngine::on_map_finished(JobRuntime& job, int map_id,
@@ -405,6 +448,23 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
           continue;
         }
         if (header->cursor_real == req.cursor_real) {
+          if (job.integrity.enabled && header->chunk_real_bytes > 0) {
+            // End-to-end check: the chunk CRC was computed from the
+            // spill-time segment checksums; recompute over the received
+            // body and drop the frame on mismatch (the watchdog/retry
+            // path re-fetches it, like any malformed message).
+            ByteReader body = r;
+            const auto records = body.bytes(header->chunk_real_bytes);
+            HMR_CHECK(records.ok());
+            co_await mapred::charge_verify_cpu(
+                job, host,
+                static_cast<std::uint64_t>(
+                    double(header->chunk_real_bytes) * job.data_scale));
+            if (crc32c(*records) != header->chunk_crc) {
+              job.engine.metrics().counter("shuffle.malformed_msgs").add();
+              continue;
+            }
+          }
           co_return std::move(event->msg);
         }
         job.engine.metrics().counter("shuffle.fetch.stale_dropped")

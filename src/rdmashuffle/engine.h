@@ -99,6 +99,10 @@ class RdmaShuffleEngine : public mapred::ShuffleEngine {
 
   sim::Task<> start(JobRuntime& job) override;
   void on_map_finished(JobRuntime& job, int map_id, int host_id) override;
+  // Disk-full on `host_id`: drops that tracker's prefetch cache so the
+  // spill can retry into the freed space (counted as
+  // cache.pressure.evictions, distinct from integrity evictions).
+  void on_disk_pressure(JobRuntime& job, int host_id) override;
   sim::Task<> fetch_and_merge(JobRuntime& job, int reduce_id, Host& host,
                               KvSink& sink) override;
   bool overlaps_reduce(const JobRuntime& job) const override {

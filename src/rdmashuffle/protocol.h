@@ -77,6 +77,10 @@ struct DataResponse {
                                   // duplicates of timed-out requests
   std::uint64_t n_pairs = 0;
   std::uint64_t chunk_real_bytes = 0;
+  std::uint32_t chunk_crc = 0;  // CRC-32C of the chunk payload, computed
+                                // at spill time and carried end-to-end so
+                                // the copier verifies what the mapper
+                                // wrote, not what the responder read
   bool eof = false;
   // Raw serialized kv records follow the header on the wire.
 
@@ -88,6 +92,7 @@ struct DataResponse {
     w.put_u64(cursor_real);
     w.put_u64(n_pairs);
     w.put_u64(chunk_real_bytes);
+    w.put_u32(chunk_crc);
     w.put_u8(eof ? 1 : 0);
     return w.take();
   }
@@ -114,6 +119,9 @@ struct DataResponse {
     const auto chunk_real_bytes = r.u64();
     if (!chunk_real_bytes.ok()) return chunk_real_bytes.status();
     resp.chunk_real_bytes = *chunk_real_bytes;
+    const auto chunk_crc = r.u32();
+    if (!chunk_crc.ok()) return chunk_crc.status();
+    resp.chunk_crc = *chunk_crc;
     const auto eof = r.u8();
     if (!eof.ok()) return eof.status();
     resp.eof = *eof != 0;

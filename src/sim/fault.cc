@@ -1,6 +1,105 @@
 #include "sim/fault.h"
 
+#include <cstdlib>
+#include <set>
+#include <string>
+
 namespace hmr::sim {
+
+namespace {
+
+// Every key the disk fault-plan parser understands. Anything else under
+// `sim.fault.` is a typo and must be rejected.
+const std::set<std::string, std::less<>> kKnownDiskFaultKeys = {
+    kDiskFaultHosts,        kDiskIoErrorProb,     kDiskReadCorruptProb,
+    kDiskWriteCorruptProb,  kDiskCacheCorruptProb, kDiskFullAtSec,
+    kDiskFullDurationSec,   kDiskSlowAtSec,       kDiskSlowFactor,
+};
+
+Result<std::vector<int>> parse_host_list(const std::string& value) {
+  std::vector<int> hosts;
+  size_t start = 0;
+  while (start <= value.size()) {
+    auto end = value.find(',', start);
+    if (end == std::string::npos) end = value.size();
+    const std::string piece = value.substr(start, end - start);
+    start = end + 1;
+    if (piece.empty()) continue;
+    char* tail = nullptr;
+    const long host = std::strtol(piece.c_str(), &tail, 10);
+    if (tail == piece.c_str() || *tail != '\0' || host < 0) {
+      return Status::InvalidArgument(
+          std::string(kDiskFaultHosts) + ": bad host id \"" + piece +
+          "\" (want a comma-separated list of non-negative host ids)");
+    }
+    hosts.push_back(int(host));
+    if (end == value.size()) break;
+  }
+  if (hosts.empty()) {
+    return Status::InvalidArgument(std::string(kDiskFaultHosts) +
+                                   ": empty host list");
+  }
+  return hosts;
+}
+
+Status check_prob(const Conf& conf, const char* key) {
+  const double p = conf.get_double(key, 0.0);
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string(key) +
+                                   " must be a probability in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::map<int, DiskFault>> FaultPlan::disk_faults_from_conf(
+    const Conf& conf) {
+  bool any_disk_key = false;
+  for (const auto& [key, value] : conf.items()) {
+    if (!key.starts_with("sim.fault.")) continue;
+    if (!kKnownDiskFaultKeys.contains(key)) {
+      return Status::InvalidArgument(
+          "unknown fault key `" + key +
+          "` (known sim.fault.disk.* keys are listed in docs/CONFIG.md; "
+          "a misspelled key would silently inject nothing)");
+    }
+    any_disk_key = true;
+    (void)value;
+  }
+  std::map<int, DiskFault> out;
+  if (!any_disk_key) return out;
+  if (!conf.contains(kDiskFaultHosts)) {
+    return Status::InvalidArgument(
+        std::string(kDiskFaultHosts) +
+        " is required when any sim.fault.disk.* key is set");
+  }
+  for (const char* key : {kDiskIoErrorProb, kDiskReadCorruptProb,
+                          kDiskWriteCorruptProb, kDiskCacheCorruptProb}) {
+    HMR_RETURN_IF_ERROR(check_prob(conf, key));
+  }
+  DiskFault fault;
+  fault.io_error_prob = conf.get_double(kDiskIoErrorProb, 0.0);
+  fault.read_corrupt_prob = conf.get_double(kDiskReadCorruptProb, 0.0);
+  fault.write_corrupt_prob = conf.get_double(kDiskWriteCorruptProb, 0.0);
+  fault.cache_corrupt_prob = conf.get_double(kDiskCacheCorruptProb, 0.0);
+  fault.full_at = conf.get_double(kDiskFullAtSec, -1.0);
+  fault.full_duration = conf.get_double(kDiskFullDurationSec, 0.0);
+  fault.slow_at = conf.get_double(kDiskSlowAtSec, -1.0);
+  fault.slow_factor = conf.get_double(kDiskSlowFactor, 1.0);
+  if (fault.full_duration < 0) {
+    return Status::InvalidArgument(std::string(kDiskFullDurationSec) +
+                                   " must be >= 0");
+  }
+  if (fault.slow_factor <= 0) {
+    return Status::InvalidArgument(std::string(kDiskSlowFactor) +
+                                   " must be > 0");
+  }
+  auto hosts = parse_host_list(conf.get(kDiskFaultHosts).value());
+  if (!hosts.ok()) return hosts.status();
+  for (int host : hosts.value()) out[host] = fault;
+  return out;
+}
 
 FaultPlan::ResponseFate FaultPlan::response_fate(int host_id,
                                                  double* stall_seconds) {

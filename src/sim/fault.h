@@ -3,9 +3,9 @@
 // simulation break it on purpose).
 //
 // A FaultPlan is pure data plus a seeded RNG stream: higher layers
-// (shuffle responders/servlets, net::Cluster) consult it at the moments
-// a real fault would bite — serving a DataRequest, mid-job on a NIC.
-// Three fault classes:
+// (shuffle responders/servlets, net::Cluster, storage::LocalFS) consult
+// it at the moments a real fault would bite — serving a DataRequest,
+// mid-job on a NIC, per disk IO. Fault classes:
 //
 //  * kill_tracker   — from `at` onward the host's shuffle service stops
 //                     responding (a hung TaskTracker JVM: connections
@@ -15,6 +15,10 @@
 //                     overloaded responder pool).
 //  * degrade_nic    — at `at` the host's NIC bandwidth is multiplied by
 //                     `factor` (cable renegotiation, failed bonding leg).
+//  * disk_fault     — per-host storage faults (DiskFault below):
+//                     transient IO errors, silent bit-flip corruption,
+//                     a disk-full window, and slow-disk degrade. Armed
+//                     on the host's LocalFS by Cluster::inject_faults.
 //
 // Queries are deterministic given the seed, so faulty runs replay
 // exactly — the recovery tests depend on this.
@@ -24,13 +28,57 @@
 #include <map>
 #include <vector>
 
+#include "common/conf.h"
 #include "common/rng.h"
+#include "common/status.h"
 
 namespace hmr::sim {
 
+// --- disk fault conf keys (DESIGN.md §6.2, docs/CONFIG.md) --------------
+// Flat-key form of a DiskFault, applied to every host id listed in
+// `sim.fault.disk.hosts`. Unknown `sim.fault.*` keys are rejected at
+// job submission (disk_faults_from_conf) so a typo'd plan cannot
+// silently test nothing.
+inline constexpr const char* kDiskFaultHosts = "sim.fault.disk.hosts";
+inline constexpr const char* kDiskIoErrorProb = "sim.fault.disk.io.error.prob";
+inline constexpr const char* kDiskReadCorruptProb =
+    "sim.fault.disk.read.corrupt.prob";
+inline constexpr const char* kDiskWriteCorruptProb =
+    "sim.fault.disk.write.corrupt.prob";
+inline constexpr const char* kDiskCacheCorruptProb =
+    "sim.fault.disk.cache.corrupt.prob";
+inline constexpr const char* kDiskFullAtSec = "sim.fault.disk.full.at.sec";
+inline constexpr const char* kDiskFullDurationSec =
+    "sim.fault.disk.full.duration.sec";
+inline constexpr const char* kDiskSlowAtSec = "sim.fault.disk.slow.at.sec";
+inline constexpr const char* kDiskSlowFactor = "sim.fault.disk.slow.factor";
+
+// One host's storage fault profile. Probabilities are per LocalFS
+// operation; times are absolute sim seconds (< 0 disables the window).
+struct DiskFault {
+  double io_error_prob = 0.0;       // timed op fails with Unavailable
+  double read_corrupt_prob = 0.0;   // read returns a bit-flipped payload
+  double write_corrupt_prob = 0.0;  // write silently stores corrupt bytes
+  double cache_corrupt_prob = 0.0;  // cached segment rots before a hit
+  double full_at = -1.0;            // writes rejected in
+  double full_duration = 0.0;       //   [full_at, full_at + full_duration)
+  double slow_at = -1.0;            // from slow_at, disk bandwidth is
+  double slow_factor = 1.0;         //   multiplied by slow_factor
+
+  // True when LocalFS must consult the fault per operation (everything
+  // except the one-shot slow-disk degrade, which is timer-armed).
+  bool any_io_fault() const {
+    return io_error_prob > 0 || read_corrupt_prob > 0 ||
+           write_corrupt_prob > 0 || cache_corrupt_prob > 0 || full_at >= 0;
+  }
+};
+
 class FaultPlan {
  public:
-  explicit FaultPlan(std::uint64_t seed = 1) : rng_(seed, "sim.faultplan") {}
+  explicit FaultPlan(std::uint64_t seed = 1)
+      : seed_(seed), rng_(seed, "sim.faultplan") {}
+
+  std::uint64_t seed() const { return seed_; }
 
   // From time `at`, host_id's shuffle service drops every request.
   void kill_tracker(int host_id, double at) { kills_[host_id] = at; }
@@ -49,6 +97,20 @@ class FaultPlan {
   void degrade_nic(int host_id, double at, double factor) {
     degrades_.push_back(NicDegrade{host_id, at, factor});
   }
+  // Storage faults for host_id (armed on its LocalFS by
+  // Cluster::inject_faults; one profile per host, last call wins).
+  void disk_fault(int host_id, const DiskFault& fault) {
+    disk_faults_[host_id] = fault;
+  }
+  const std::map<int, DiskFault>& disk_faults() const { return disk_faults_; }
+
+  // Parses the flat `sim.fault.disk.*` keys into per-host DiskFaults.
+  // Strict: any key under `sim.fault.` that is not a known disk-fault
+  // key, a malformed host list, or an out-of-range value is an
+  // InvalidArgument naming the offender — a typo'd fault plan must fail
+  // loudly, not silently inject nothing.
+  static Result<std::map<int, DiskFault>> disk_faults_from_conf(
+      const Conf& conf);
 
   bool tracker_dead(int host_id, double now) const {
     auto it = kills_.find(host_id);
@@ -78,6 +140,8 @@ class FaultPlan {
   std::map<int, double> kills_;  // host id -> death time
   std::map<int, ResponseFault> response_faults_;
   std::vector<NicDegrade> degrades_;
+  std::map<int, DiskFault> disk_faults_;
+  std::uint64_t seed_ = 1;
   Rng rng_;
 };
 

@@ -97,15 +97,24 @@ FuzzReport check_and_report(const Scenario& scenario,
   return report;
 }
 
+namespace {
+
+Scenario generate_scenario(std::uint64_t seed, const FuzzOptions& options) {
+  return options.force_disk_faults ? Scenario::generate_with_disk_faults(seed)
+                                   : Scenario::generate(seed);
+}
+
+}  // namespace
+
 FuzzReport fuzz_one(std::uint64_t seed, const FuzzOptions& options) {
-  return check_and_report(Scenario::generate(seed), options);
+  return check_and_report(generate_scenario(seed, options), options);
 }
 
 int fuzz_range(std::uint64_t base, int count, const FuzzOptions& options) {
   int failures = 0;
   for (int i = 0; i < count; ++i) {
     const std::uint64_t seed = base + std::uint64_t(i);
-    const Scenario scenario = Scenario::generate(seed);
+    const Scenario scenario = generate_scenario(seed, options);
     if (options.verbose) {
       std::fprintf(stderr, "simfuzz: [%d/%d] %s\n", i + 1, count,
                    scenario.summary().c_str());

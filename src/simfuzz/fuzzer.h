@@ -24,6 +24,9 @@ struct FuzzOptions {
   bool shrink = true;
   int max_shrink_checks = 24;  // full-battery runs spent shrinking
   bool verbose = false;
+  // Guarantee at least one storage-fault site per scenario
+  // (Scenario::generate_with_disk_faults): the CI disk-fault sweep.
+  bool force_disk_faults = false;
 };
 
 struct FuzzReport {

@@ -89,6 +89,12 @@ std::string job_result_json(const mapred::JobResult& job) {
   j.set("map_refetch_reruns", Json(std::int64_t(job.map_refetch_reruns)));
   j.set("refetched_modeled_bytes",
         Json(std::int64_t(job.refetched_modeled_bytes)));
+  j.set("checksum_mismatches", Json(std::int64_t(job.checksum_mismatches)));
+  j.set("storage_io_retries", Json(std::int64_t(job.storage_io_retries)));
+  j.set("spill_rewrites", Json(std::int64_t(job.spill_rewrites)));
+  j.set("disk_full_events", Json(std::int64_t(job.disk_full_events)));
+  j.set("cache_integrity_evictions",
+        Json(std::int64_t(job.cache_integrity_evictions)));
   Json counters = Json::object();
   for (const auto& [name, value] : job.counters) {
     counters.set(name, Json(value));
@@ -142,7 +148,7 @@ EngineRun run_engine(const Scenario& scenario, const std::string& engine) {
                : workloads::sort_job(bed.dfs(), gen.dir, "/fuzz/out", conf);
 
   sim::FaultPlan plan = scenario.build_fault_plan();
-  if (scenario.has_shuffle_faults()) {
+  if (!scenario.faults.empty()) {
     bed.cluster().inject_faults(plan);
     job.faults = &plan;
   }
@@ -259,6 +265,34 @@ void check_engine_run(const Scenario& scenario, const EngineRun& run,
        "shuffle.trackers.blacklisted");
   twin("map_refetch_reruns", job.map_refetch_reruns,
        "shuffle.refetch.reruns");
+  twin("checksum_mismatches", job.checksum_mismatches,
+       "integrity.checksum.mismatches");
+  twin("storage_io_retries", job.storage_io_retries, "storage.io.retries");
+  twin("spill_rewrites", job.spill_rewrites, "storage.spill.rewrites");
+  twin("disk_full_events", job.disk_full_events, "storage.disk_full.events");
+  twin("cache_integrity_evictions", job.cache_integrity_evictions,
+       "cache.integrity.evictions");
+  // Every checksum mismatch must be accounted for by exactly one recovery
+  // (or terminal-failure) action: a run cannot detect corruption and then
+  // silently do nothing about it.
+  const auto mismatches = counter("integrity.checksum.mismatches");
+  const auto handled = counter("storage.corrupt.rereads") +
+                       counter("storage.corrupt.read_failures") +
+                       counter("storage.spill.rewrites") +
+                       counter("storage.write.failures") +
+                       counter("cache.integrity.evictions");
+  if (mismatches != handled) {
+    add(verdict, "conservation.integrity", e,
+        fmt("%lld checksum mismatches but %lld recovery actions",
+            (long long)mismatches, (long long)handled));
+  }
+  // Integrity is on by default in every fuzz scenario; at minimum each
+  // map task's final output spill must have been written verified.
+  if (counter("integrity.verified_segments") < std::int64_t(job.num_maps)) {
+    add(verdict, "conservation.unverified_output", e,
+        fmt("%lld verified segments for %d map tasks",
+            (long long)counter("integrity.verified_segments"), job.num_maps));
+  }
   if (counter("shuffle.malformed_msgs") != 0) {
     add(verdict, "conservation.malformed", e,
         fmt("%lld malformed shuffle messages",
@@ -279,11 +313,42 @@ void check_engine_run(const Scenario& scenario, const EngineRun& run,
     // an engine misattributed ordinary traffic to the fault machinery.
     for (const char* name :
          {"shuffle.fault.dropped_requests", "shuffle.fault.dropped_responses",
-          "shuffle.fault.stalled_responses", "shuffle.fetch.timeouts",
-          "shuffle.trackers.blacklisted", "shuffle.refetch.reruns"}) {
+          "shuffle.fault.stalled_responses"}) {
       if (counter(name) != 0) {
         add(verdict, "conservation.healthy_fabric", e,
             fmt("%s = %lld with no faults injected", name,
+                (long long)counter(name)));
+      }
+    }
+  }
+  if (!scenario.has_shuffle_faults() && !scenario.has_disk_faults()) {
+    // The fetch-recovery ladder can legitimately fire under disk faults
+    // too (an unreadable map output is dropped and re-fetched), so its
+    // zero-check needs both fault classes absent.
+    for (const char* name :
+         {"shuffle.fetch.timeouts", "shuffle.trackers.blacklisted",
+          "shuffle.refetch.reruns"}) {
+      if (counter(name) != 0) {
+        add(verdict, "conservation.healthy_fabric", e,
+            fmt("%s = %lld with no faults injected", name,
+                (long long)counter(name)));
+      }
+    }
+  }
+  if (!scenario.has_disk_faults()) {
+    // Healthy disks must look healthy: the integrity machinery may only
+    // act when storage faults are actually injected.
+    for (const char* name :
+         {"storage.io.errors", "storage.io.corrupt_reads",
+          "storage.io.corrupt_writes", "storage.io.full_rejections",
+          "storage.io.retries", "storage.corrupt.rereads",
+          "storage.spill.rewrites", "storage.disk_full.events",
+          "storage.mapout.unserved", "integrity.checksum.mismatches",
+          "cache.integrity.evictions", "cache.pressure.evictions",
+          "hdfs.replica.failovers", "hdfs.read.checksum_mismatches"}) {
+      if (counter(name) != 0) {
+        add(verdict, "conservation.healthy_disks", e,
+            fmt("%s = %lld with no disk faults injected", name,
                 (long long)counter(name)));
       }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <iterator>
+#include <map>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -23,6 +24,28 @@ std::uint64_t pick(Rng& rng, std::initializer_list<std::uint64_t> choices) {
   return *it;
 }
 
+bool is_disk_kind(FaultSite::Kind kind) {
+  switch (kind) {
+    case FaultSite::Kind::kDiskIoErrors:
+    case FaultSite::Kind::kDiskCorrupt:
+    case FaultSite::Kind::kDiskCacheCorrupt:
+    case FaultSite::Kind::kDiskFull:
+    case FaultSite::Kind::kDiskSlow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Faults that take the host's shuffle service out of rotation. NIC and
+// disk degradation only slow a host down, and disk corruption/errors are
+// recovered per-operation, so neither disqualifies a tracker.
+bool is_service_fault(FaultSite::Kind kind) {
+  return kind == FaultSite::Kind::kKillTracker ||
+         kind == FaultSite::Kind::kDropResponses ||
+         kind == FaultSite::Kind::kStallResponses;
+}
+
 // Ensure at least one compute host carries no kill/drop/stall fault, so
 // shuffle recovery always has a healthy tracker to re-execute maps on
 // (runtime aborts by design when every tracker is blacklisted).
@@ -30,7 +53,7 @@ bool has_clean_tracker(int nodes, const std::vector<FaultSite>& faults) {
   for (int host = 1; host <= nodes; ++host) {
     bool clean = true;
     for (const auto& fault : faults) {
-      if (fault.host == host && fault.kind != FaultSite::Kind::kDegradeNic) {
+      if (fault.host == host && is_service_fault(fault.kind)) {
         clean = false;
         break;
       }
@@ -38,6 +61,38 @@ bool has_clean_tracker(int nodes, const std::vector<FaultSite>& faults) {
     if (clean) return true;
   }
   return nodes > 0;  // vacuously true only for a degenerate empty cluster
+}
+
+// One random disk-fault site on a host other than `protected_host`, so
+// at least one node's storage stays pristine (mirrors the clean-tracker
+// invariant: recovery always has a healthy copy to fall back on).
+// Probabilities are kept modest — the point is exercising the recovery
+// ladders, not overwhelming their retry budgets.
+FaultSite random_disk_site(Rng& rng, int nodes, int protected_host) {
+  FaultSite fault;
+  int host = int(rng.range(1, std::max(1, nodes - 1)));
+  if (nodes > 1 && host >= protected_host) ++host;  // skip the protected host
+  fault.host = host;
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 30) {
+    fault.kind = FaultSite::Kind::kDiskIoErrors;
+    fault.prob = 0.02 + 0.18 * rng.uniform();
+  } else if (roll < 55) {
+    fault.kind = FaultSite::Kind::kDiskCorrupt;
+    fault.prob = 0.02 + 0.10 * rng.uniform();
+  } else if (roll < 75) {
+    fault.kind = FaultSite::Kind::kDiskCacheCorrupt;
+    fault.prob = 0.05 + 0.30 * rng.uniform();
+  } else if (roll < 90) {
+    fault.kind = FaultSite::Kind::kDiskFull;
+    fault.at = 5.0 + 15.0 * rng.uniform();
+    fault.seconds = 2.0 + 8.0 * rng.uniform();
+  } else {
+    fault.kind = FaultSite::Kind::kDiskSlow;
+    fault.at = 20.0 * rng.uniform();
+    fault.factor = 0.3 + 0.5 * rng.uniform();
+  }
+  return fault;
 }
 
 }  // namespace
@@ -48,6 +103,11 @@ const char* fault_kind_name(FaultSite::Kind kind) {
     case FaultSite::Kind::kDropResponses: return "drop_responses";
     case FaultSite::Kind::kStallResponses: return "stall_responses";
     case FaultSite::Kind::kDegradeNic: return "degrade_nic";
+    case FaultSite::Kind::kDiskIoErrors: return "disk_io_errors";
+    case FaultSite::Kind::kDiskCorrupt: return "disk_corrupt";
+    case FaultSite::Kind::kDiskCacheCorrupt: return "disk_cache_corrupt";
+    case FaultSite::Kind::kDiskFull: return "disk_full";
+    case FaultSite::Kind::kDiskSlow: return "disk_slow";
   }
   return "?";
 }
@@ -147,6 +207,18 @@ Scenario Scenario::generate(std::uint64_t seed) {
       }
     }
   }
+  if (s.nodes >= 2) {
+    // Disk faults need a peer with clean storage (HDFS failover source,
+    // re-execution target), so single-node scenarios stay disk-healthy.
+    auto rng = field_rng(seed, "disk.faults");
+    if (rng.chance(0.35)) {
+      const int sites = int(rng.range(1, 2));
+      const int protected_host = int(rng.range(1, s.nodes));
+      for (int i = 0; i < sites; ++i) {
+        s.faults.push_back(random_disk_site(rng, s.nodes, protected_host));
+      }
+    }
+  }
   {
     auto rng = field_rng(seed, "determinism");
     s.check_determinism = rng.chance(0.125);
@@ -154,8 +226,19 @@ Scenario Scenario::generate(std::uint64_t seed) {
   return s;
 }
 
+Scenario Scenario::generate_with_disk_faults(std::uint64_t seed) {
+  Scenario s = generate(seed);
+  if (s.has_disk_faults()) return s;
+  if (s.nodes < 2) s.nodes = 2;  // a 1-node scenario carries no faults
+  auto rng = field_rng(seed, "disk.faults.forced");
+  const int protected_host = int(rng.range(1, s.nodes));
+  s.faults.push_back(random_disk_site(rng, s.nodes, protected_host));
+  return s;
+}
+
 sim::FaultPlan Scenario::build_fault_plan() const {
   sim::FaultPlan plan(seed);
+  std::map<int, sim::DiskFault> disk;
   for (const auto& fault : faults) {
     switch (fault.kind) {
       case FaultSite::Kind::kKillTracker:
@@ -170,12 +253,43 @@ sim::FaultPlan Scenario::build_fault_plan() const {
       case FaultSite::Kind::kDegradeNic:
         plan.degrade_nic(fault.host, fault.at, fault.factor);
         break;
+      case FaultSite::Kind::kDiskIoErrors:
+        disk[fault.host].io_error_prob = fault.prob;
+        break;
+      case FaultSite::Kind::kDiskCorrupt:
+        // One knob drives both directions: reads return flipped bytes,
+        // writes silently land corrupt (caught by write-verify).
+        disk[fault.host].read_corrupt_prob = fault.prob;
+        disk[fault.host].write_corrupt_prob = fault.prob;
+        break;
+      case FaultSite::Kind::kDiskCacheCorrupt:
+        disk[fault.host].cache_corrupt_prob = fault.prob;
+        break;
+      case FaultSite::Kind::kDiskFull:
+        disk[fault.host].full_at = fault.at;
+        disk[fault.host].full_duration = fault.seconds;
+        break;
+      case FaultSite::Kind::kDiskSlow:
+        disk[fault.host].slow_at = fault.at;
+        disk[fault.host].slow_factor = fault.factor;
+        break;
     }
   }
+  for (const auto& [host, fault] : disk) plan.disk_fault(host, fault);
   return plan;
 }
 
-bool Scenario::has_shuffle_faults() const { return !faults.empty(); }
+bool Scenario::has_shuffle_faults() const {
+  return std::any_of(faults.begin(), faults.end(), [](const FaultSite& f) {
+    return !is_disk_kind(f.kind);
+  });
+}
+
+bool Scenario::has_disk_faults() const {
+  return std::any_of(faults.begin(), faults.end(), [](const FaultSite& f) {
+    return is_disk_kind(f.kind);
+  });
+}
 
 Conf Scenario::base_conf() const {
   Conf conf;
@@ -196,10 +310,12 @@ Conf Scenario::base_conf() const {
     conf.set_double(mapred::kStragglerProb, straggler_prob);
   }
   conf.set_bool(mapred::kSpeculativeExecution, speculative);
-  if (has_shuffle_faults()) {
-    // Recovery must be armed or a killed tracker hangs the job. The
-    // timeout is far above any healthy fetch (even 1GigE under incast)
-    // so only injected faults ever trip it.
+  if (has_shuffle_faults() || has_disk_faults()) {
+    // Recovery must be armed or a killed tracker hangs the job (and an
+    // unreadable map output, dropped by the responder, needs the fetch
+    // watchdog to trigger re-execution). The timeout is far above any
+    // healthy fetch (even 1GigE under incast) so only injected faults
+    // ever trip it.
     conf.set_double(mapred::kFetchTimeoutSec, 20.0);
     conf.set_double(mapred::kFetchBackoffBaseSec, 0.1);
     conf.set_double(mapred::kFetchBackoffMaxSec, 1.0);
@@ -313,6 +429,16 @@ Result<Scenario> Scenario::from_json(const Json& json) {
         fault.kind = FaultSite::Kind::kStallResponses;
       } else if (kind == "degrade_nic") {
         fault.kind = FaultSite::Kind::kDegradeNic;
+      } else if (kind == "disk_io_errors") {
+        fault.kind = FaultSite::Kind::kDiskIoErrors;
+      } else if (kind == "disk_corrupt") {
+        fault.kind = FaultSite::Kind::kDiskCorrupt;
+      } else if (kind == "disk_cache_corrupt") {
+        fault.kind = FaultSite::Kind::kDiskCacheCorrupt;
+      } else if (kind == "disk_full") {
+        fault.kind = FaultSite::Kind::kDiskFull;
+      } else if (kind == "disk_slow") {
+        fault.kind = FaultSite::Kind::kDiskSlow;
       } else {
         return Status::InvalidArgument("scenario: unknown fault kind " + kind);
       }
@@ -330,6 +456,12 @@ Result<Scenario> Scenario::from_json(const Json& json) {
       }
       if (fault.prob < 0.0 || fault.prob > 1.0) {
         return Status::InvalidArgument("scenario: fault prob outside [0, 1]");
+      }
+      if (fault.seconds < 0.0) {
+        return Status::InvalidArgument("scenario: fault seconds < 0");
+      }
+      if (fault.factor <= 0.0) {
+        return Status::InvalidArgument("scenario: fault factor <= 0");
       }
       s.faults.push_back(fault);
     }

@@ -26,14 +26,19 @@ namespace hmr::simfuzz {
 // One injected fault, as declarative data (FaultPlan is rebuilt from
 // these on every run so replays see an identical plan and RNG stream).
 struct FaultSite {
+  // Network/service faults plus the storage fault classes of
+  // sim::DiskFault (DESIGN.md §6.2); disk kinds reuse the same scalar
+  // fields (prob = per-op probability, at/seconds = disk-full window,
+  // at/factor = slow-disk degrade).
   enum class Kind { kKillTracker, kDropResponses, kStallResponses,
-                    kDegradeNic };
+                    kDegradeNic, kDiskIoErrors, kDiskCorrupt,
+                    kDiskCacheCorrupt, kDiskFull, kDiskSlow };
   Kind kind = Kind::kDropResponses;
   int host = 1;          // compute hosts are 1..nodes (0 is the master)
-  double at = 0.0;       // kill/degrade arm time, seconds
-  double prob = 0.0;     // drop/stall probability
-  double seconds = 0.0;  // stall duration
-  double factor = 1.0;   // NIC bandwidth multiplier
+  double at = 0.0;       // kill/degrade/full/slow arm time, seconds
+  double prob = 0.0;     // drop/stall/io-error/corrupt probability
+  double seconds = 0.0;  // stall duration / disk-full window length
+  double factor = 1.0;   // NIC or disk bandwidth multiplier
 
   bool operator==(const FaultSite&) const = default;
 };
@@ -70,7 +75,7 @@ struct Scenario {
   double straggler_prob = 0.0;
   bool speculative = false;
 
-  // Shuffle-path fault plan; empty = healthy fabric.
+  // Fault plan (network and disk sites together); empty = healthy run.
   std::vector<FaultSite> faults;
 
   // When set, the harness re-runs one engine and demands a byte-identical
@@ -83,9 +88,16 @@ struct Scenario {
   // perturb the values existing seeds generate.
   static Scenario generate(std::uint64_t seed);
 
+  // generate(seed), then guarantees at least one disk-fault site (drawn
+  // from its own stream, so the rest of the scenario is unchanged).
+  // Single-node scenarios are widened to two nodes so HDFS recovery has
+  // a peer replica to fail over to.
+  static Scenario generate_with_disk_faults(std::uint64_t seed);
+
   // Rebuilds the seeded fault plan this scenario describes.
   sim::FaultPlan build_fault_plan() const;
-  bool has_shuffle_faults() const;
+  bool has_shuffle_faults() const;  // any kill/drop/stall/degrade site
+  bool has_disk_faults() const;     // any kDisk* site
 
   // Conf shared by every engine run of this scenario (engine selection
   // is layered on top by the runner).

@@ -37,14 +37,20 @@ sim::Task<> Disk::write(std::uint64_t bytes, std::uint64_t stream_id) {
   co_await transfer(bytes, stream_id, /*is_write=*/true);
 }
 
+void Disk::degrade(double factor) {
+  spec_.read_bw = std::max(1.0, spec_.read_bw * factor);
+  spec_.write_bw = std::max(1.0, spec_.write_bw * factor);
+}
+
 sim::Task<> Disk::transfer(std::uint64_t bytes, std::uint64_t stream_id,
                            bool is_write) {
-  const double bw = is_write ? spec_.write_bw : spec_.read_bw;
   std::uint64_t left = bytes;
   // Zero-byte ops still pay one queue pass (metadata touch).
   do {
     const std::uint64_t chunk = std::min(left, spec_.chunk_bytes);
     co_await queue_.acquire();
+    // Bandwidth is re-read per chunk so a mid-transfer degrade() bites.
+    const double bw = is_write ? spec_.write_bw : spec_.read_bw;
     double cost = double(chunk) / bw;
     if (last_stream_ != stream_id) {
       cost += spec_.seek_time;

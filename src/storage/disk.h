@@ -48,6 +48,11 @@ class Disk {
   sim::Task<> read(std::uint64_t bytes, std::uint64_t stream_id);
   sim::Task<> write(std::uint64_t bytes, std::uint64_t stream_id);
 
+  // Fault injection: multiplies sequential bandwidth in both directions
+  // by `factor` (dying spindle, thermal throttle). Transfers in progress
+  // see the new rate from their next chunk.
+  void degrade(double factor);
+
   const DiskSpec& spec() const { return spec_; }
   std::uint64_t bytes_read() const { return bytes_read_; }
   std::uint64_t bytes_written() const { return bytes_written_; }

@@ -20,9 +20,49 @@ const LocalFS::File* LocalFS::find(const std::string& path) const {
   return it == files_.end() ? nullptr : &it->second;
 }
 
+void LocalFS::arm_fault(const sim::DiskFault& fault, Rng rng) {
+  fault_ = fault;
+  fault_rng_ = rng;
+}
+
+bool LocalFS::roll_cache_corrupt() {
+  if (!fault_ || fault_->cache_corrupt_prob <= 0) return false;
+  return fault_rng_->chance(fault_->cache_corrupt_prob);
+}
+
+void LocalFS::degrade_disks(double factor) {
+  for (auto& disk : disks_) disk->degrade(factor);
+}
+
+Status LocalFS::mark_corrupt(const std::string& path) {
+  File* file = find(path);
+  if (file == nullptr) return Status::NotFound("mark_corrupt: " + path);
+  file->sticky_corrupt = true;
+  return Status::Ok();
+}
+
+Status LocalFS::roll_write_fault(const std::string& path) {
+  if (!fault_) return Status::Ok();
+  const double now = engine_.now();
+  if (fault_->full_at >= 0 && now >= fault_->full_at &&
+      now < fault_->full_at + fault_->full_duration) {
+    engine_.metrics().counter("storage.io.full_rejections").add();
+    return Status::ResourceExhausted("disk full: " + path);
+  }
+  if (fault_->io_error_prob > 0 &&
+      fault_rng_->chance(fault_->io_error_prob)) {
+    engine_.metrics().counter("storage.io.errors").add();
+    return Status::Unavailable("injected disk write error: " + path);
+  }
+  return Status::Ok();
+}
+
 sim::Task<Status> LocalFS::write_file(std::string path, Bytes data,
                                       double scale) {
   HMR_CHECK_MSG(scale >= 1.0, "scale must be >= 1");
+  // Fault rolls precede any state change so a failed create leaves no
+  // empty file behind.
+  if (Status fault = roll_write_fault(path); !fault.ok()) co_return fault;
   File& file = files_[path];
   if (!file.data) {
     file.disk_index = next_disk_++ % disks_.size();
@@ -32,6 +72,14 @@ sim::Task<Status> LocalFS::write_file(std::string path, Bytes data,
       static_cast<std::uint64_t>(double(data.size()) * scale);
   file.data = std::make_shared<Bytes>(std::move(data));
   file.scale = scale;
+  // A full rewrite replaces the payload: prior at-rest corruption is
+  // gone, but the write itself may silently store flipped bits.
+  file.sticky_corrupt =
+      fault_ && fault_->write_corrupt_prob > 0 &&
+      fault_rng_->chance(fault_->write_corrupt_prob);
+  if (file.sticky_corrupt) {
+    engine_.metrics().counter("storage.io.corrupt_writes").add();
+  }
   co_await disks_[file.disk_index]->write(modeled, file.stream_id);
   co_return Status::Ok();
 }
@@ -42,11 +90,17 @@ sim::Task<Status> LocalFS::append(std::string path,
   if (file == nullptr) {
     co_return Status::NotFound("append: " + path);
   }
+  if (Status fault = roll_write_fault(path); !fault.ok()) co_return fault;
   if (file->data.use_count() > 1) {
     // Copy-on-write: readers holding views keep the old payload.
     file->data = std::make_shared<Bytes>(*file->data);
   }
   file->data->insert(file->data->end(), data.begin(), data.end());
+  if (!file->sticky_corrupt && fault_ && fault_->write_corrupt_prob > 0 &&
+      fault_rng_->chance(fault_->write_corrupt_prob)) {
+    file->sticky_corrupt = true;
+    engine_.metrics().counter("storage.io.corrupt_writes").add();
+  }
   const auto modeled =
       static_cast<std::uint64_t>(double(data.size()) * file->scale);
   co_await disks_[file->disk_index]->write(modeled, file->stream_id);
@@ -58,7 +112,19 @@ sim::Task<Result<FileView>> LocalFS::read_file(std::string path) {
   if (file == nullptr) {
     co_return Result<FileView>(Status::NotFound("read: " + path));
   }
+  if (fault_ && fault_->io_error_prob > 0 &&
+      fault_rng_->chance(fault_->io_error_prob)) {
+    engine_.metrics().counter("storage.io.errors").add();
+    co_return Result<FileView>(
+        Status::Unavailable("injected disk read error: " + path));
+  }
   FileView view{file->data, file->scale};
+  view.corrupted = file->sticky_corrupt ||
+                   (fault_ && fault_->read_corrupt_prob > 0 &&
+                    fault_rng_->chance(fault_->read_corrupt_prob));
+  if (view.corrupted) {
+    engine_.metrics().counter("storage.io.corrupt_reads").add();
+  }
   co_await disks_[file->disk_index]->read(view.modeled_size(),
                                           file->stream_id);
   co_return view;
@@ -75,7 +141,19 @@ sim::Task<Result<FileView>> LocalFS::read_range(std::string path,
     co_return Result<FileView>(
         Status::OutOfRange("read_range past EOF: " + path));
   }
+  if (fault_ && fault_->io_error_prob > 0 &&
+      fault_rng_->chance(fault_->io_error_prob)) {
+    engine_.metrics().counter("storage.io.errors").add();
+    co_return Result<FileView>(
+        Status::Unavailable("injected disk read error: " + path));
+  }
   FileView view{file->data, file->scale};
+  view.corrupted = file->sticky_corrupt ||
+                   (fault_ && fault_->read_corrupt_prob > 0 &&
+                    fault_rng_->chance(fault_->read_corrupt_prob));
+  if (view.corrupted) {
+    engine_.metrics().counter("storage.io.corrupt_reads").add();
+  }
   const auto modeled =
       static_cast<std::uint64_t>(double(real_len) * file->scale);
   // Sequential-scan detection with readahead: a read continuing a
@@ -156,7 +234,8 @@ std::vector<std::string> LocalFS::list(const std::string& prefix) const {
 Result<FileView> LocalFS::peek(const std::string& path) const {
   const File* file = find(path);
   if (file == nullptr) return Status::NotFound("peek: " + path);
-  return FileView{file->data, file->scale};
+  // Untimed: no fault rolls, but at-rest corruption is still visible.
+  return FileView{file->data, file->scale, file->sticky_corrupt};
 }
 
 std::uint64_t LocalFS::total_modeled_bytes() const {

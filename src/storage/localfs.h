@@ -13,20 +13,30 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "common/status.h"
+#include "sim/fault.h"
 #include "storage/disk.h"
 
 namespace hmr::storage {
 
 // Immutable view of a stored file's payload; holds shared ownership so a
 // reader survives concurrent deletion (as an OS fd would).
+//
+// `corrupted` models silent bit-flips: the payload buffer is shared with
+// the authoritative in-memory copy (map outputs alias it), so injected
+// corruption never mutates the bytes — it sets this flag instead, and a
+// checksum verify over a flagged view "fails" exactly as a real CRC over
+// flipped bits would (DESIGN.md §6.2).
 struct FileView {
   std::shared_ptr<const Bytes> data;
   double scale = 1.0;
+  bool corrupted = false;
 
   std::uint64_t real_size() const { return data ? data->size() : 0; }
   std::uint64_t modeled_size() const {
@@ -76,12 +86,31 @@ class LocalFS {
   Disk& disk(size_t i) { return *disks_[i]; }
   std::uint64_t total_modeled_bytes() const;
 
+  // --- fault injection (sim::DiskFault, armed by Cluster) ---
+
+  // Arms per-operation fault rolls on this filesystem. `rng` must be a
+  // host-unique stream so concurrent hosts' faults decorrelate.
+  void arm_fault(const sim::DiskFault& fault, Rng rng);
+  const sim::DiskFault* armed_fault() const {
+    return fault_ ? &*fault_ : nullptr;
+  }
+  // Rolls the armed cache-corruption dice (a cached segment rotted while
+  // resident); consulted by the shuffle cache on every hit.
+  bool roll_cache_corrupt();
+  // Slow-disk degrade: multiplies every disk's bandwidth by `factor`.
+  void degrade_disks(double factor);
+  // Marks the stored file sticky-corrupt: every read reports corruption
+  // until the payload is rewritten. Deterministic at-rest bit-rot for
+  // tests and targeted fault plans.
+  Status mark_corrupt(const std::string& path);
+
  private:
   struct File {
     std::shared_ptr<Bytes> data;
     double scale = 1.0;
     size_t disk_index = 0;
     std::uint64_t stream_id = 0;
+    bool sticky_corrupt = false;  // at-rest corruption until rewritten
     // Active sequential cursors into this file: a ranged read that starts
     // where a previous one ended continues that scan. Each scan reads
     // ahead in large granules (OS readahead); requests inside the
@@ -97,10 +126,16 @@ class LocalFS {
   File* find(const std::string& path);
   const File* find(const std::string& path) const;
 
+  // Returns the non-OK status of an injected write-path fault (disk-full
+  // window or transient IO error), or OK to proceed.
+  Status roll_write_fault(const std::string& path);
+
   sim::Engine& engine_;
   std::vector<std::unique_ptr<Disk>> disks_;
   size_t next_disk_ = 0;
   std::map<std::string, File> files_;
+  std::optional<sim::DiskFault> fault_;
+  std::optional<Rng> fault_rng_;
 };
 
 }  // namespace hmr::storage

@@ -80,6 +80,29 @@ std::string job_report(const mapred::JobResult& result) {
                            std::to_string(result.map_refetch_reruns) +
                            " map re-runs");
   }
+  if (result.checksum_mismatches > 0 || result.storage_io_retries > 0 ||
+      result.disk_full_events > 0) {
+    add("storage integrity",
+        std::to_string(result.checksum_mismatches) + " mismatches / " +
+            std::to_string(result.storage_io_retries) + " IO retries / " +
+            std::to_string(result.disk_full_events) + " disk-full");
+    add("  recovered by",
+        std::to_string(result.spill_rewrites) + " rewrites / " +
+            std::to_string(result.cache_integrity_evictions) +
+            " cache evictions / " +
+            std::to_string(result.metrics.counter("storage.corrupt.rereads")) +
+            " re-reads");
+    const auto failovers = result.metrics.counter("hdfs.replica.failovers");
+    if (failovers > 0) {
+      add("  hdfs", std::to_string(failovers) + " replica failovers / " +
+                        std::to_string(result.metrics.counter(
+                            "hdfs.corrupt.replicas_pruned")) +
+                        " pruned / " +
+                        std::to_string(
+                            result.metrics.counter("hdfs.rereplications")) +
+                        " re-replicated");
+    }
+  }
   for (const auto& [name, value] : result.counters) {
     add(("  " + name).c_str(), std::to_string(value));
   }

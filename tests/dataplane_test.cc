@@ -458,7 +458,8 @@ TEST(CacheTest, ManyEntriesStressEviction) {
   PrefetchCache cache(10'000);
   Rng rng(42);
   for (int i = 0; i < 1000; ++i) {
-    const std::string key = "m" + std::to_string(rng.below(200));
+    std::string key = "m";
+    key += std::to_string(rng.below(200));
     const auto bytes = 50 + rng.below(200);
     (void)cache.put(key, dummy_output(), bytes, int(rng.below(3)));
     EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());

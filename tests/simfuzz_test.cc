@@ -34,10 +34,16 @@ Scenario small_scenario() {
 }
 
 // Hosts carrying a fault that can starve fetches (kill/drop/stall).
+// NIC degradation and disk faults only slow a host or trigger
+// per-operation recovery, so they never take a tracker out of rotation.
 std::set<int> starving_hosts(const Scenario& s) {
   std::set<int> hosts;
   for (const auto& fault : s.faults) {
-    if (fault.kind != FaultSite::Kind::kDegradeNic) hosts.insert(fault.host);
+    if (fault.kind == FaultSite::Kind::kKillTracker ||
+        fault.kind == FaultSite::Kind::kDropResponses ||
+        fault.kind == FaultSite::Kind::kStallResponses) {
+      hosts.insert(fault.host);
+    }
   }
   return hosts;
 }
@@ -67,6 +73,47 @@ TEST(ScenarioTest, GeneratedScenariosKeepCompletableInvariants) {
       EXPECT_TRUE(s.faults.empty()) << s.summary();
     }
   }
+}
+
+TEST(ScenarioTest, ForcedDiskFaultsAlwaysPresentAndPure) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const Scenario s = Scenario::generate_with_disk_faults(seed);
+    EXPECT_TRUE(s.has_disk_faults()) << s.summary();
+    EXPECT_GE(s.nodes, 2) << s.summary();
+    EXPECT_EQ(s, Scenario::generate_with_disk_faults(seed));
+    // The forced site lands on a host inside the cluster and leaves the
+    // rest of the scenario untouched relative to plain generation.
+    for (const auto& fault : s.faults) {
+      EXPECT_GE(fault.host, 1) << s.summary();
+      EXPECT_LE(fault.host, s.nodes) << s.summary();
+    }
+  }
+}
+
+TEST(ScenarioTest, DiskFaultSitesRoundTripAndBuildPlan) {
+  Scenario s = small_scenario();
+  s.faults.push_back({FaultSite::Kind::kDiskIoErrors, 1, 0.0, 0.1, 0.0, 1.0});
+  s.faults.push_back({FaultSite::Kind::kDiskCorrupt, 2, 0.0, 0.05, 0.0, 1.0});
+  s.faults.push_back({FaultSite::Kind::kDiskFull, 1, 5.0, 0.0, 4.0, 1.0});
+  s.faults.push_back({FaultSite::Kind::kDiskSlow, 2, 3.0, 0.0, 0.0, 0.5});
+  EXPECT_TRUE(s.has_disk_faults());
+  EXPECT_FALSE(s.has_shuffle_faults());
+
+  auto back = Scenario::from_json(s.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+
+  const sim::FaultPlan plan = s.build_fault_plan();
+  ASSERT_EQ(plan.disk_faults().size(), 2u);
+  const auto& h1 = plan.disk_faults().at(1);
+  EXPECT_DOUBLE_EQ(h1.io_error_prob, 0.1);
+  EXPECT_DOUBLE_EQ(h1.full_at, 5.0);
+  EXPECT_DOUBLE_EQ(h1.full_duration, 4.0);
+  const auto& h2 = plan.disk_faults().at(2);
+  EXPECT_DOUBLE_EQ(h2.read_corrupt_prob, 0.05);
+  EXPECT_DOUBLE_EQ(h2.write_corrupt_prob, 0.05);
+  EXPECT_DOUBLE_EQ(h2.slow_at, 3.0);
+  EXPECT_DOUBLE_EQ(h2.slow_factor, 0.5);
 }
 
 TEST(ScenarioTest, JsonRoundTripsExactly) {

@@ -21,7 +21,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: simfuzz --seeds N [--seed-base B] [--out-dir DIR] "
-               "[--no-shrink] [-v]\n"
+               "[--disk-faults] [--no-shrink] [-v]\n"
                "       simfuzz --replay SEED [options]\n"
                "       simfuzz --replay-file PATH [options]\n");
   return 2;
@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
       replay_seed = std::atoll(argv[++i]);
     } else if (std::strcmp(arg, "--replay-file") == 0 && i + 1 < argc) {
       replay_file = argv[++i];
+    } else if (std::strcmp(arg, "--disk-faults") == 0) {
+      options.force_disk_faults = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(arg, "-v") == 0 ||
