@@ -1,0 +1,85 @@
+// Multi-tenant scheduling walkthrough: streams the same Poisson trace
+// of TeraSort jobs from three users through each scheduling policy —
+// FIFO, fair-share (alice weighted 3x), and capacity (alice capped at
+// one concurrent job) — and prints how queue wait and job latency
+// redistribute across tenants while the work itself stays identical.
+//
+// See docs/SCHEDULER.md for the scheduling model and policy semantics,
+// and docs/CONFIG.md "Multi-tenant scheduling" for the conf keys.
+//
+//   ./examples/multitenant [jobs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "workloads/multitenant.h"
+
+using namespace hmr;
+using namespace hmr::workloads;
+
+namespace {
+
+MultiTenantSpec trace_spec(int jobs) {
+  MultiTenantSpec spec;
+  spec.setup = EngineSetup::osu_ib();
+  spec.nodes = 2;
+  spec.block_size = 16 * kMiB;
+  spec.job_modeled_bytes = 64 * kMiB;
+  spec.target_real_bytes = 1 * kMiB;
+  spec.num_jobs = jobs;
+  spec.seed = 7;
+  spec.sched.max_running_jobs = 4;
+  spec.sched.arrival_jobs_per_min = 60.0;
+  spec.tenants = {{"alice", 2.0}, {"bob", 1.0}, {"carol", 1.0}};
+  return spec;
+}
+
+MultiTenantOutcome run_policy(MultiTenantSpec spec,
+                              mapred::SchedPolicy policy) {
+  spec.sched.policy = policy;
+  if (policy == mapred::SchedPolicy::kFair) {
+    spec.sched.pools["alice"].weight = 3.0;
+  }
+  if (policy == mapred::SchedPolicy::kCapacity) {
+    spec.sched.pools["alice"].quota = 1;
+  }
+  return run_multitenant(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = argc > 1 ? std::atoi(argv[1]) : 12;
+  const MultiTenantSpec spec = trace_spec(jobs);
+
+  Table table({"Policy", "p50 (s)", "p95 (s)", "Makespan (s)",
+               "alice avg wait (s)", "bob avg wait (s)"});
+  for (const auto policy :
+       {mapred::SchedPolicy::kFifo, mapred::SchedPolicy::kFair,
+        mapred::SchedPolicy::kCapacity}) {
+    std::fprintf(stderr, "%s...\n", mapred::sched_policy_name(policy));
+    const auto outcome = run_policy(spec, policy);
+    const auto avg_wait = [&](const char* user) {
+      auto it = outcome.tenants.find(user);
+      if (it == outcome.tenants.end() || it->second.completed == 0) {
+        return 0.0;
+      }
+      return it->second.total_queue_wait / it->second.completed;
+    };
+    table.add_row({mapred::sched_policy_name(policy),
+                   Table::num(outcome.latency.p50, 1),
+                   Table::num(outcome.latency.p95, 1),
+                   Table::num(outcome.makespan, 1),
+                   Table::num(avg_wait("alice"), 1),
+                   Table::num(avg_wait("bob"), 1)});
+  }
+  std::printf(
+      "== %d-job Poisson trace (60 jobs/min), three tenants, OSU-IB ==\n",
+      jobs);
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "Every run validates byte-identical sorted output; policies only\n"
+      "move *when* each tenant's jobs run, never *what* they compute.\n");
+  return 0;
+}

@@ -1,9 +1,13 @@
-// JobRunner: the JobTracker/TaskTracker pair of the simulated cluster.
+// JobRunner: the per-job execution engine of the simulated cluster.
 //
 // Plans splits, schedules map tasks with replica locality, gates
 // reducers on the slowstart fraction, and runs the configured shuffle
 // engine. Engines register through a factory so the framework does not
 // depend on the RDMA modules (they depend on it).
+//
+// run() executes exactly one job; multi-job queueing, scheduling
+// policies, and per-tenant accounting live in the JobTracker
+// (mapred/jobtracker.h), which calls run() once per dispatched job.
 #pragma once
 
 #include <functional>
@@ -46,8 +50,10 @@ class JobRunner {
   hdfs::MiniDfs& dfs_;
   std::vector<int> tracker_hosts_;
   std::map<std::string, EngineFactory> factories_;
-  // TaskTrackers persist across jobs; concurrent jobs contend for their
-  // slots. Created lazily on the first run() from that job's slot conf.
+  // TaskTrackers persist across jobs: every run() — including the
+  // concurrent runs a JobTracker dispatches — contends for the same
+  // slot Resources. Created lazily on the first run() from that job's
+  // slot conf.
   std::vector<std::unique_ptr<TaskTrackerState>> trackers_;
   int next_job_id_ = 1;
 };

@@ -35,6 +35,58 @@ void add(Verdict* verdict, std::string oracle, std::string engine,
       Violation{std::move(oracle), std::move(engine), std::move(detail)});
 }
 
+// Deterministic deployment recipe shared by the single-job runner and
+// the multi-job oracle, so both execute byte-identical workloads.
+struct ScenarioSetup {
+  workloads::TestbedSpec bed_spec;
+  workloads::DataGenSpec gen;
+  Conf conf;  // base_conf + engine selection + workload scaling
+  bool terasort = true;
+};
+
+ScenarioSetup scenario_setup(const Scenario& scenario,
+                             const std::string& engine) {
+  ScenarioSetup setup;
+  setup.terasort = scenario.workload == "terasort";
+  setup.bed_spec.nodes = scenario.nodes;
+  setup.bed_spec.disks_per_node = scenario.disks;
+  setup.bed_spec.ssd = scenario.ssd;
+  setup.bed_spec.profile = engine == "vanilla"
+                               ? vanilla_profile(scenario.vanilla_profile)
+                               : net::NetProfile::verbs_qdr();
+  setup.bed_spec.hdfs.block_size = scenario.block_bytes;
+  setup.bed_spec.seed = scenario.seed;
+
+  const double scale =
+      std::max(1.0, double(scenario.modeled_bytes) /
+                        double(scenario.target_real_bytes));
+  setup.gen.dir = "/fuzz/in";
+  setup.gen.modeled_total = scenario.modeled_bytes;
+  setup.gen.part_modeled = scenario.block_bytes;
+  setup.gen.scale = scale;
+  setup.gen.seed = scenario.seed;
+  if (!setup.terasort) setup.gen.record_inflation = std::max(1.0, scale / 32.0);
+
+  setup.conf = scenario.base_conf();
+  setup.conf.set(mapred::kShuffleEngine, engine);
+  setup.conf.set_double(mapred::kKvInflation,
+                        setup.terasort ? scale : setup.gen.record_inflation);
+  setup.conf.set_bytes(
+      mapred::kMaxRecordBytes,
+      setup.terasort ? std::uint64_t(102.0 * scale)
+                     : std::uint64_t(20010.0 * setup.gen.record_inflation));
+  return setup;
+}
+
+mapred::JobSpec make_job(const ScenarioSetup& setup, workloads::Testbed& bed,
+                         const std::string& output_dir) {
+  return setup.terasort
+             ? workloads::terasort_job(bed.dfs(), setup.gen.dir, output_dir,
+                                       setup.conf)
+             : workloads::sort_job(bed.dfs(), setup.gen.dir, output_dir,
+                                   setup.conf);
+}
+
 }  // namespace
 
 Json Violation::to_json() const {
@@ -109,43 +161,15 @@ std::string job_result_json(const mapred::JobResult& job) {
 EngineRun run_engine(const Scenario& scenario, const std::string& engine) {
   EngineRun run;
   run.engine = engine;
-  const bool terasort = scenario.workload == "terasort";
 
-  workloads::TestbedSpec bed_spec;
-  bed_spec.nodes = scenario.nodes;
-  bed_spec.disks_per_node = scenario.disks;
-  bed_spec.ssd = scenario.ssd;
-  bed_spec.profile = engine == "vanilla"
-                         ? vanilla_profile(scenario.vanilla_profile)
-                         : net::NetProfile::verbs_qdr();
-  bed_spec.hdfs.block_size = scenario.block_bytes;
-  bed_spec.seed = scenario.seed;
-  workloads::Testbed bed(bed_spec);
-
-  const double scale =
-      std::max(1.0, double(scenario.modeled_bytes) /
-                        double(scenario.target_real_bytes));
-  workloads::DataGenSpec gen;
-  gen.dir = "/fuzz/in";
-  gen.modeled_total = scenario.modeled_bytes;
-  gen.part_modeled = scenario.block_bytes;
-  gen.scale = scale;
-  gen.seed = scenario.seed;
-  if (!terasort) gen.record_inflation = std::max(1.0, scale / 32.0);
-  auto digest = bed.generate(terasort ? "teragen" : "randomwriter", gen);
+  ScenarioSetup setup = scenario_setup(scenario, engine);
+  workloads::Testbed bed(setup.bed_spec);
+  auto digest = bed.generate(setup.terasort ? "teragen" : "randomwriter",
+                             setup.gen);
   HMR_CHECK_MSG(digest.ok(), "simfuzz: input generation failed");
   run.input_digest = *digest;
 
-  Conf conf = scenario.base_conf();
-  conf.set(mapred::kShuffleEngine, engine);
-  conf.set_double(mapred::kKvInflation,
-                  terasort ? scale : gen.record_inflation);
-  conf.set_bytes(mapred::kMaxRecordBytes,
-                 terasort ? std::uint64_t(102.0 * scale)
-                          : std::uint64_t(20010.0 * gen.record_inflation));
-  mapred::JobSpec job =
-      terasort ? workloads::terasort_job(bed.dfs(), gen.dir, "/fuzz/out", conf)
-               : workloads::sort_job(bed.dfs(), gen.dir, "/fuzz/out", conf);
+  mapred::JobSpec job = make_job(setup, bed, "/fuzz/out");
 
   sim::FaultPlan plan = scenario.build_fault_plan();
   if (!scenario.faults.empty()) {
@@ -392,6 +416,98 @@ void check_cross_engine(const std::vector<EngineRun>& runs,
   }
 }
 
+void check_multi_job(const Scenario& scenario, Verdict* verdict) {
+  if (scenario.concurrent_jobs < 2) return;
+  const std::string engine = "osu-ib";
+  const int jobs = scenario.concurrent_jobs;
+  const auto out_dir = [](int j) { return "/fuzz/out" + std::to_string(j); };
+
+  // Concurrent leg: every job submitted through the JobTracker at time
+  // zero, contending for the shared trackers under the fault plan.
+  ScenarioSetup setup = scenario_setup(scenario, engine);
+  workloads::Testbed bed(setup.bed_spec);
+  auto digest = bed.generate(setup.terasort ? "teragen" : "randomwriter",
+                             setup.gen);
+  HMR_CHECK_MSG(digest.ok(), "simfuzz: multi-job input generation failed");
+  sim::FaultPlan plan = scenario.build_fault_plan();
+  if (!scenario.faults.empty()) bed.cluster().inject_faults(plan);
+  std::vector<std::shared_ptr<mapred::SubmittedJob>> handles;
+  for (int j = 1; j <= jobs; ++j) {
+    mapred::JobSpec job = make_job(setup, bed, out_dir(j));
+    job.name = "fuzz-" + std::to_string(j);
+    if (!scenario.faults.empty()) job.faults = &plan;
+    handles.push_back(bed.tracker().submit(std::move(job)));
+  }
+  bed.engine().run();
+
+  // Starvation-freedom: every submitted job completed, and the scheduler
+  // books agree (submitted == dispatched == completed, queue drained).
+  for (int j = 1; j <= jobs; ++j) {
+    if (!handles[size_t(j - 1)]->completed) {
+      add(verdict, "multijob.starved", engine,
+          fmt("job %d of %d never completed", j, jobs));
+    }
+  }
+  const MetricsSnapshot end = bed.engine().metrics().snapshot();
+  if (end.counter("scheduler.jobs.submitted") != jobs ||
+      end.counter("scheduler.jobs.dispatched") != jobs ||
+      end.counter("scheduler.jobs.completed") != jobs) {
+    add(verdict, "multijob.scheduler_conservation", engine,
+        fmt("submitted %lld dispatched %lld completed %lld for %d jobs",
+            (long long)end.counter("scheduler.jobs.submitted"),
+            (long long)end.counter("scheduler.jobs.dispatched"),
+            (long long)end.counter("scheduler.jobs.completed"), jobs));
+  }
+
+  // Serial leg: a twin testbed (same seed, same fault plan) runs the
+  // identical job list one at a time.
+  workloads::Testbed serial_bed(setup.bed_spec);
+  auto serial_digest = serial_bed.generate(
+      setup.terasort ? "teragen" : "randomwriter", setup.gen);
+  HMR_CHECK_MSG(serial_digest.ok(),
+                "simfuzz: multi-job serial input generation failed");
+  sim::FaultPlan serial_plan = scenario.build_fault_plan();
+  if (!scenario.faults.empty()) serial_bed.cluster().inject_faults(serial_plan);
+  for (int j = 1; j <= jobs; ++j) {
+    mapred::JobSpec job = make_job(setup, serial_bed, out_dir(j));
+    job.name = "fuzz-" + std::to_string(j);
+    if (!scenario.faults.empty()) job.faults = &serial_plan;
+    (void)serial_bed.run_job(std::move(job));
+  }
+
+  // Per-job byte-identity: each concurrent output matches the input
+  // digest (nothing lost or duplicated under contention) and is
+  // content-identical to its serial twin.
+  for (int j = 1; j <= jobs; ++j) {
+    auto concurrent = workloads::validate_output(bed.dfs(), out_dir(j));
+    auto serial = workloads::validate_output(serial_bed.dfs(), out_dir(j));
+    if (!concurrent.ok() || !serial.ok()) {
+      add(verdict, "multijob.output_missing", engine,
+          fmt("job %d: concurrent %s, serial %s", j,
+              concurrent.ok() ? "present" : "missing",
+              serial.ok() ? "present" : "missing"));
+      continue;
+    }
+    if (concurrent->digest != *digest) {
+      add(verdict, "multijob.output_digest", engine,
+          fmt("job %d: records %llu -> %llu under contention", j,
+              (unsigned long long)digest->records,
+              (unsigned long long)concurrent->digest.records));
+    }
+    if (!concurrent->per_part_sorted ||
+        (setup.terasort && !concurrent->globally_sorted)) {
+      add(verdict, "multijob.output_order", engine,
+          fmt("job %d output lost sort order under contention", j));
+    }
+    if (concurrent->digest != serial->digest) {
+      add(verdict, "multijob.serial_identity", engine,
+          fmt("job %d: concurrent checksum %016llx != serial %016llx", j,
+              (unsigned long long)concurrent->digest.checksum,
+              (unsigned long long)serial->digest.checksum));
+    }
+  }
+}
+
 Verdict check_scenario(const Scenario& scenario) {
   Verdict verdict;
   std::vector<EngineRun> runs;
@@ -400,6 +516,7 @@ Verdict check_scenario(const Scenario& scenario) {
     check_engine_run(scenario, runs.back(), &verdict);
   }
   check_cross_engine(runs, &verdict);
+  check_multi_job(scenario, &verdict);
   if (scenario.check_determinism) {
     const EngineRun rerun = run_engine(scenario, "osu-ib");
     if (rerun.result_json != runs[1].result_json) {

@@ -76,6 +76,12 @@ void check_engine_run(const Scenario& scenario, const EngineRun& run,
                       Verdict* verdict);
 // Appends cross-engine equivalence violations over all runs.
 void check_cross_engine(const std::vector<EngineRun>& runs, Verdict* verdict);
+// Multi-tenant oracle (no-op when scenario.concurrent_jobs < 2): runs
+// the job list concurrently through a JobTracker and serially on a twin
+// testbed, then demands every job completed (starvation-freedom), the
+// scheduler's books balance, and each job's output is byte-identical to
+// both the input digest and its serial twin.
+void check_multi_job(const Scenario& scenario, Verdict* verdict);
 
 // The full battery: all three engines, per-engine + cross-engine checks,
 // plus the sampled determinism re-run when the scenario asks for it.

@@ -220,6 +220,12 @@ Scenario Scenario::generate(std::uint64_t seed) {
     }
   }
   {
+    // Kept rare: each multi-job scenario costs a concurrent run plus a
+    // serial comparator on top of the three per-engine runs.
+    auto rng = field_rng(seed, "multijob");
+    if (rng.chance(0.15)) s.concurrent_jobs = int(rng.range(2, 3));
+  }
+  {
     auto rng = field_rng(seed, "determinism");
     s.check_determinism = rng.chance(0.125);
   }
@@ -344,6 +350,7 @@ Json Scenario::to_json() const {
   j.set("map_failure_prob", Json(map_failure_prob));
   j.set("straggler_prob", Json(straggler_prob));
   j.set("speculative", Json(speculative));
+  j.set("concurrent_jobs", Json(std::int64_t(concurrent_jobs)));
   j.set("check_determinism", Json(check_determinism));
   Json sites = Json::array();
   for (const auto& fault : faults) {
@@ -396,6 +403,8 @@ Result<Scenario> Scenario::from_json(const Json& json) {
   s.map_failure_prob = num("map_failure_prob", 0.0);
   s.straggler_prob = num("straggler_prob", 0.0);
   s.speculative = boolean("speculative", false);
+  // Default 1 keeps every pre-multitenant corpus file loadable.
+  s.concurrent_jobs = int(num("concurrent_jobs", 1));
   s.check_determinism = boolean("check_determinism", false);
 
   if (s.nodes < 1) return Status::InvalidArgument("scenario: nodes < 1");
@@ -407,6 +416,9 @@ Result<Scenario> Scenario::from_json(const Json& json) {
   }
   if (s.block_bytes == 0 || s.modeled_bytes == 0) {
     return Status::InvalidArgument("scenario: zero workload size");
+  }
+  if (s.concurrent_jobs < 1 || s.concurrent_jobs > 8) {
+    return Status::InvalidArgument("scenario: concurrent_jobs outside [1, 8]");
   }
   if (s.vanilla_profile != "ipoib" && s.vanilla_profile != "10gige" &&
       s.vanilla_profile != "1gige") {
@@ -539,6 +551,16 @@ std::vector<Scenario> Scenario::shrink_candidates() const {
     candidate.vanilla_profile = "ipoib";
     add(std::move(candidate));
   }
+  if (concurrent_jobs > 1) {
+    Scenario candidate = *this;
+    candidate.concurrent_jobs = 1;
+    add(std::move(candidate));
+    if (concurrent_jobs > 2) {
+      candidate = *this;
+      candidate.concurrent_jobs = concurrent_jobs - 1;
+      add(std::move(candidate));
+    }
+  }
   if (check_determinism) {
     Scenario candidate = *this;
     candidate.check_determinism = false;
@@ -550,11 +572,15 @@ std::vector<Scenario> Scenario::shrink_candidates() const {
 std::string Scenario::summary() const {
   char buf[160];
   std::snprintf(buf, sizeof buf,
-                "seed=%llu %s %dn %lluMiB blocks=%lluMiB faults=%zu%s",
+                "seed=%llu %s %dn %lluMiB blocks=%lluMiB faults=%zu%s%s",
                 static_cast<unsigned long long>(seed), workload.c_str(), nodes,
                 static_cast<unsigned long long>(modeled_bytes / kMiB),
                 static_cast<unsigned long long>(block_bytes / kMiB),
-                faults.size(), check_determinism ? " +determinism" : "");
+                faults.size(),
+                concurrent_jobs > 1
+                    ? (" x" + std::to_string(concurrent_jobs) + "jobs").c_str()
+                    : "",
+                check_determinism ? " +determinism" : "");
   return buf;
 }
 

@@ -75,6 +75,13 @@ struct Scenario {
   double straggler_prob = 0.0;
   bool speculative = false;
 
+  // Multi-tenant dimension: when > 1, the oracle additionally runs this
+  // many copies of the job concurrently through a JobTracker and demands
+  // per-job byte-identity against a serial execution of the same
+  // scenario (scheduling may change *when* bytes move, never *what*
+  // each job computes).
+  int concurrent_jobs = 1;
+
   // Fault plan (network and disk sites together); empty = healthy run.
   std::vector<FaultSite> faults;
 

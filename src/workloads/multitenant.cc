@@ -1,0 +1,144 @@
+#include "workloads/multitenant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace hmr::workloads {
+
+LatencySummary latency_summary(std::vector<double> latencies) {
+  LatencySummary out;
+  if (latencies.empty()) return out;
+  std::sort(latencies.begin(), latencies.end());
+  const auto rank = [&](double q) {
+    const size_t n = latencies.size();
+    const size_t r = std::clamp<size_t>(
+        static_cast<size_t>(std::ceil(q * double(n))), 1, n);
+    return latencies[r - 1];
+  };
+  out.p50 = rank(0.50);
+  out.p95 = rank(0.95);
+  out.p99 = rank(0.99);
+  return out;
+}
+
+namespace {
+
+// Weighted tenant pick; tenants keep their spec order so the draw is a
+// pure function of the rng stream.
+std::string pick_user(const std::vector<TenantMix>& tenants, Rng& rng) {
+  double total = 0;
+  for (const auto& tenant : tenants) total += tenant.weight;
+  HMR_CHECK_MSG(total > 0, "tenant mix has no positive weight");
+  double r = rng.uniform() * total;
+  for (const auto& tenant : tenants) {
+    r -= tenant.weight;
+    if (r < 0) return tenant.user;
+  }
+  return tenants.back().user;
+}
+
+std::string out_dir(int job_index) {
+  return "/mt/out" + std::to_string(job_index);
+}
+
+}  // namespace
+
+MultiTenantOutcome run_multitenant(const MultiTenantSpec& spec) {
+  HMR_CHECK_MSG(spec.num_jobs > 0, "num_jobs must be positive");
+  HMR_CHECK_MSG(!spec.tenants.empty(), "tenant mix must not be empty");
+
+  TestbedSpec bed_spec;
+  bed_spec.nodes = spec.nodes;
+  bed_spec.profile = spec.setup.profile;
+  bed_spec.hdfs.block_size = spec.block_size;
+  bed_spec.seed = spec.seed;
+  Testbed bed(bed_spec);
+  bed.set_scheduler(spec.sched);
+
+  const double scale = std::max(
+      1.0, double(spec.job_modeled_bytes) / double(spec.target_real_bytes));
+  DataGenSpec gen;
+  gen.dir = "/mt/in";
+  gen.modeled_total = spec.job_modeled_bytes;
+  gen.part_modeled = spec.block_size;
+  gen.scale = scale;
+  gen.seed = spec.seed;
+  auto digest = bed.generate("teragen", gen);
+  HMR_CHECK_MSG(digest.ok(), "multitenant input generation failed");
+
+  Conf conf = spec.setup.extra;
+  conf.set(mapred::kShuffleEngine, spec.setup.engine);
+  conf.set_double(mapred::kKvInflation, scale);
+  conf.set_bytes(mapred::kMaxRecordBytes, std::uint64_t(102.0 * scale));
+
+  // Arrival process: exponential interarrivals at the configured rate,
+  // user drawn per job from the mix. Both streams derive from the
+  // engine seed, so a replay of the same spec is byte-identical.
+  auto handles = std::make_shared<
+      std::vector<std::shared_ptr<mapred::SubmittedJob>>>();
+  auto& engine = bed.engine();
+  engine.spawn([](Testbed& bed, const MultiTenantSpec& spec, Conf conf,
+                  std::shared_ptr<std::vector<
+                      std::shared_ptr<mapred::SubmittedJob>>> handles)
+                   -> sim::Task<> {
+    auto& engine = bed.engine();
+    Rng arrivals = engine.make_rng("sched.arrivals");
+    Rng users = engine.make_rng("sched.arrivals.user");
+    const double rate = bed.tracker().config().arrival_jobs_per_min;
+    for (int j = 1; j <= spec.num_jobs; ++j) {
+      if (rate > 0) co_await engine.delay(arrivals.exponential(60.0 / rate));
+      const std::string user = pick_user(spec.tenants, users);
+      mapred::JobSpec job =
+          terasort_job(bed.dfs(), "/mt/in", out_dir(j), conf);
+      job.name = "mt-" + std::to_string(j);
+      handles->push_back(bed.tracker().submit(std::move(job), user));
+    }
+  }(bed, spec, conf, handles));
+  engine.run();
+
+  HMR_CHECK_MSG(engine.live_processes() == 0,
+                "multitenant run left live processes behind");
+  HMR_CHECK_MSG(int(handles->size()) == spec.num_jobs,
+                "arrival process did not submit every job");
+
+  MultiTenantOutcome outcome;
+  std::vector<double> latencies;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_lookups = 0;
+  outcome.all_validated = true;
+  for (int j = 1; j <= spec.num_jobs; ++j) {
+    const auto& handle = (*handles)[size_t(j - 1)];
+    HMR_CHECK_MSG(handle->completed,
+                  "job " + std::to_string(j) + " never completed (starved)");
+    JobRecord record;
+    record.id = handle->id;
+    record.user = handle->user;
+    record.submitted_at = handle->submitted_at;
+    record.dispatched_at = handle->dispatched_at;
+    record.finished_at = handle->finished_at;
+    record.latency = handle->latency();
+    cache_hits += handle->result.cache_hits;
+    cache_lookups += handle->result.cache_hits + handle->result.cache_misses;
+    if (spec.validate) {
+      auto report = validate_output(bed.dfs(), out_dir(j));
+      HMR_CHECK_MSG(report.ok(), "job output missing: " + out_dir(j));
+      record.output_digest = report->digest;
+      record.validated = report->valid_terasort(*digest);
+      HMR_CHECK_MSG(record.validated,
+                    "multitenant job output validation FAILED: " + out_dir(j));
+    }
+    outcome.all_validated = outcome.all_validated && record.validated;
+    outcome.makespan = std::max(outcome.makespan, record.finished_at);
+    latencies.push_back(record.latency);
+    outcome.records.push_back(std::move(record));
+  }
+  outcome.tenants = bed.tracker().tenant_stats();
+  outcome.latency = latency_summary(std::move(latencies));
+  outcome.cache_hit_rate =
+      cache_lookups == 0 ? 0.0 : double(cache_hits) / double(cache_lookups);
+  return outcome;
+}
+
+}  // namespace hmr::workloads

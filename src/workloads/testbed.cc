@@ -53,24 +53,39 @@ Result<DatasetDigest> Testbed::generate(const std::string& kind,
   return *out;
 }
 
+mapred::JobTracker& Testbed::tracker() {
+  if (tracker_ == nullptr) {
+    tracker_ = std::make_unique<mapred::JobTracker>(
+        engine_, *runner_, mapred::SchedulerConfig{});
+  }
+  return *tracker_;
+}
+
+void Testbed::set_scheduler(mapred::SchedulerConfig config) {
+  HMR_CHECK_MSG(
+      tracker_ == nullptr ||
+          (tracker_->queued() == 0 && tracker_->running() == 0),
+      "cannot replace the scheduler while jobs are queued or running");
+  tracker_ = std::make_unique<mapred::JobTracker>(engine_, *runner_,
+                                                  std::move(config));
+}
+
 std::vector<mapred::JobResult> Testbed::run_jobs(
     std::vector<mapred::JobSpec> jobs) {
-  auto results =
-      std::make_shared<std::vector<mapred::JobResult>>(jobs.size());
-  auto remaining = std::make_shared<int>(int(jobs.size()));
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    engine_.spawn([](Testbed& bed, mapred::JobSpec job, size_t slot,
-                     std::shared_ptr<std::vector<mapred::JobResult>> results,
-                     std::shared_ptr<int> remaining) -> sim::Task<> {
-      (*results)[slot] = co_await bed.runner().run(std::move(job));
-      --*remaining;
-    }(*this, std::move(jobs[i]), i, results, remaining));
-  }
+  auto& jt = tracker();
+  std::vector<std::shared_ptr<mapred::SubmittedJob>> handles;
+  handles.reserve(jobs.size());
+  for (auto& job : jobs) handles.push_back(jt.submit(std::move(job)));
   engine_.run();
-  HMR_CHECK_MSG(*remaining == 0, "concurrent jobs did not all complete");
+  std::vector<mapred::JobResult> results;
+  results.reserve(handles.size());
+  for (const auto& handle : handles) {
+    HMR_CHECK_MSG(handle->completed, "concurrent jobs did not all complete");
+    results.push_back(handle->result);
+  }
   HMR_CHECK_MSG(engine_.live_processes() == 0,
                 "jobs left live processes behind");
-  return *results;
+  return results;
 }
 
 mapred::JobResult Testbed::run_job(mapred::JobSpec job) {

@@ -11,6 +11,7 @@
 
 #include "hdfs/hdfs.h"
 #include "mapred/jobrunner.h"
+#include "mapred/jobtracker.h"
 #include "net/cluster.h"
 #include "net/network.h"
 #include "workloads/datagen.h"
@@ -40,11 +41,21 @@ class Testbed {
   const std::vector<int>& datanodes() const { return datanodes_; }
   const TestbedSpec& spec() const { return spec_; }
 
+  // The multi-tenant front door (created on first use with a default
+  // FIFO/unlimited SchedulerConfig). run_jobs() submits through it.
+  mapred::JobTracker& tracker();
+  // Replaces the tracker with one running `config`. Must be called
+  // before any jobs are in flight.
+  void set_scheduler(mapred::SchedulerConfig config);
+
   // Synchronous wrappers: spawn the coroutine and run the engine dry.
   Result<DatasetDigest> generate(const std::string& kind, DataGenSpec spec);
   mapred::JobResult run_job(mapred::JobSpec job);
-  // Submits all jobs at once: they run concurrently, contending for the
-  // same TaskTracker slots, disks and links (a multi-tenant cluster).
+  // Submits all jobs through the JobTracker at the current simulated
+  // time: under the default FIFO/unlimited scheduler they run
+  // concurrently, contending for the same TaskTracker slots, disks and
+  // links (a multi-tenant cluster). set_scheduler() first to run them
+  // under fair-share or capacity policies instead.
   std::vector<mapred::JobResult> run_jobs(std::vector<mapred::JobSpec> jobs);
 
  private:
@@ -54,6 +65,7 @@ class Testbed {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<hdfs::MiniDfs> dfs_;
   std::unique_ptr<mapred::JobRunner> runner_;
+  std::unique_ptr<mapred::JobTracker> tracker_;
   std::vector<int> datanodes_;
 };
 
