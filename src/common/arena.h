@@ -1,0 +1,97 @@
+// Slab/bump arena for the dataplane's per-record byte churn.
+//
+// The map-side sort and merge ingest used to heap-allocate two `Bytes`
+// vectors per record (key + value), dominating the profile at terasort
+// scale. An Arena hands out raw byte spans from large slabs with a
+// pointer bump and frees them all at once.
+//
+// Ownership rules (DESIGN.md §"Arena ownership"): spans returned by
+// allocate()/copy() are valid until reset() or destruction of the arena
+// that produced them — never individually freed. A structure holding
+// arena-backed views (e.g. `dataplane::KvView`) must not outlive its
+// arena; the owner of the arena is always the owner of the views'
+// lifetime. Arenas are single-threaded, like everything else in the
+// simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace hmr {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = std::size_t{64} << 10;
+
+  explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
+      : slab_bytes_(slab_bytes == 0 ? kDefaultSlabBytes : slab_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Uninitialized storage, valid until reset()/destruction. n == 0
+  // returns an empty span without touching the slabs.
+  std::span<std::uint8_t> allocate(std::size_t n) {
+    if (n == 0) return {};
+    if (n > avail_) refill(n);
+    std::uint8_t* out = cursor_;
+    cursor_ += n;
+    avail_ -= n;
+    allocated_ += n;
+    return {out, n};
+  }
+
+  // Copies `data` into the arena and returns the stable view.
+  std::span<const std::uint8_t> copy(std::span<const std::uint8_t> data) {
+    auto dst = allocate(data.size());
+    if (!data.empty()) std::memcpy(dst.data(), data.data(), data.size());
+    return dst;
+  }
+
+  // Invalidates every span handed out so far. Slabs are retained for
+  // reuse, so a steady-state caller (one spill per map task) stops
+  // touching the system allocator entirely after warmup.
+  void reset() {
+    cursor_ = slabs_.empty() ? nullptr : slabs_.front().get();
+    avail_ = slabs_.empty() ? 0 : slab_sizes_.front();
+    next_slab_ = slabs_.empty() ? 0 : 1;
+    allocated_ = 0;
+  }
+
+  // Total bytes handed out since the last reset (diagnostics/tests).
+  std::size_t allocated_bytes() const { return allocated_; }
+  std::size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  void refill(std::size_t n) {
+    // Reuse a retained slab when it fits; otherwise grow. Oversize
+    // requests get a dedicated slab so the common slabs stay uniform.
+    while (next_slab_ < slabs_.size()) {
+      const std::size_t idx = next_slab_++;
+      if (slab_sizes_[idx] >= n) {
+        cursor_ = slabs_[idx].get();
+        avail_ = slab_sizes_[idx];
+        return;
+      }
+    }
+    const std::size_t size = n > slab_bytes_ ? n : slab_bytes_;
+    slabs_.push_back(std::make_unique<std::uint8_t[]>(size));
+    slab_sizes_.push_back(size);
+    next_slab_ = slabs_.size();
+    cursor_ = slabs_.back().get();
+    avail_ = size;
+  }
+
+  std::size_t slab_bytes_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> slabs_;
+  std::vector<std::size_t> slab_sizes_;
+  std::size_t next_slab_ = 0;  // first retained slab not yet in use
+  std::uint8_t* cursor_ = nullptr;
+  std::size_t avail_ = 0;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace hmr

@@ -21,6 +21,11 @@ std::uint64_t KvPair::serialized_size() const {
          value.size();
 }
 
+std::uint64_t KvView::serialized_size() const {
+  return varint_size(key.size()) + varint_size(value.size()) + key.size() +
+         value.size();
+}
+
 int KvLess::compare_keys(std::span<const std::uint8_t> a,
                          std::span<const std::uint8_t> b) {
   const size_t n = std::min(a.size(), b.size());
@@ -43,7 +48,14 @@ void encode_kv(const KvPair& pair, ByteWriter& writer) {
   writer.put_bytes(pair.value);
 }
 
-Result<KvPair> decode_kv(ByteReader& reader) {
+void encode_kv(const KvView& view, ByteWriter& writer) {
+  writer.put_varint(view.key.size());
+  writer.put_varint(view.value.size());
+  writer.put_bytes(view.key);
+  writer.put_bytes(view.value);
+}
+
+Result<KvView> decode_kv_view(ByteReader& reader) {
   auto klen = reader.varint();
   if (!klen.ok()) return klen.status();
   auto vlen = reader.varint();
@@ -52,8 +64,13 @@ Result<KvPair> decode_kv(ByteReader& reader) {
   if (!key.ok()) return key.status();
   auto value = reader.bytes(vlen.value());
   if (!value.ok()) return value.status();
-  return KvPair{Bytes(key.value().begin(), key.value().end()),
-                Bytes(value.value().begin(), value.value().end())};
+  return KvView{key.value(), value.value()};
+}
+
+Result<KvPair> decode_kv(ByteReader& reader) {
+  auto view = decode_kv_view(reader);
+  if (!view.ok()) return view.status();
+  return view.value().to_pair();
 }
 
 Bytes encode_run(std::span<const KvPair> pairs) {

@@ -24,12 +24,44 @@ struct KvPair {
   bool operator==(const KvPair& other) const = default;
 };
 
+// Non-owning record: spans into an arena, a serialized run, or a
+// KvPair's buffers. Lifetime is bounded by whatever backs the spans
+// (see DESIGN.md §"Arena ownership") — the dataplane hot paths sort,
+// merge, and encode views to avoid the two heap allocations per record
+// that owning KvPairs cost.
+struct KvView {
+  std::span<const std::uint8_t> key;
+  std::span<const std::uint8_t> value;
+
+  KvView() = default;
+  KvView(std::span<const std::uint8_t> k, std::span<const std::uint8_t> v)
+      : key(k), value(v) {}
+  explicit KvView(const KvPair& pair) : key(pair.key), value(pair.value) {}
+
+  std::uint64_t serialized_size() const;
+  // Materializes an owning copy.
+  KvPair to_pair() const {
+    return KvPair{Bytes(key.begin(), key.end()),
+                  Bytes(value.begin(), value.end())};
+  }
+};
+
 // Strict-weak ordering on keys (ties broken by value for determinism).
+// Works on any mix of owning pairs and views.
 struct KvLess {
+  bool operator()(std::span<const std::uint8_t> a_key,
+                  std::span<const std::uint8_t> a_value,
+                  std::span<const std::uint8_t> b_key,
+                  std::span<const std::uint8_t> b_value) const {
+    const int c = compare_keys(a_key, b_key);
+    if (c != 0) return c < 0;
+    return compare_keys(a_value, b_value) < 0;
+  }
   bool operator()(const KvPair& a, const KvPair& b) const {
-    return compare_keys(a.key, b.key) < 0 ||
-           (compare_keys(a.key, b.key) == 0 &&
-            compare_keys(a.value, b.value) < 0);
+    return (*this)(a.key, a.value, b.key, b.value);
+  }
+  bool operator()(const KvView& a, const KvView& b) const {
+    return (*this)(a.key, a.value, b.key, b.value);
   }
   static int compare_keys(std::span<const std::uint8_t> a,
                           std::span<const std::uint8_t> b);
@@ -39,8 +71,12 @@ KvPair make_kv(std::string_view key, std::string_view value);
 
 // Appends the record to `writer`.
 void encode_kv(const KvPair& pair, ByteWriter& writer);
+void encode_kv(const KvView& view, ByteWriter& writer);
 // Decodes one record; OutOfRange on truncation.
 Result<KvPair> decode_kv(ByteReader& reader);
+// Zero-copy decode: the view aliases the reader's underlying buffer and
+// is valid only while that buffer lives.
+Result<KvView> decode_kv_view(ByteReader& reader);
 
 // Serializes a whole run; `pairs` need not be sorted.
 Bytes encode_run(std::span<const KvPair> pairs);

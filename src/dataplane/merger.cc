@@ -14,9 +14,17 @@ BytesSource::BytesSource(std::shared_ptr<const Bytes> backing,
 
 bool BytesSource::next(KvPair* out) { return reader_.next(out); }
 
+bool BytesSource::next_view(KvView* out) { return reader_.next_view(out); }
+
 bool VectorSource::next(KvPair* out) {
   if (pos_ >= pairs_.size()) return false;
   *out = std::move(pairs_[pos_++]);
+  return true;
+}
+
+bool VectorSource::next_view(KvView* out) {
+  if (pos_ >= pairs_.size()) return false;
+  *out = KvView(pairs_[pos_++]);
   return true;
 }
 
@@ -26,21 +34,32 @@ StreamMerger::StreamMerger(std::vector<std::unique_ptr<KvSource>> sources)
 }
 
 void StreamMerger::refill(size_t source) {
-  KvPair pair;
-  if (sources_[source]->next(&pair)) {
-    heap_.push(HeapItem{std::move(pair), source});
+  KvView view;
+  if (sources_[source]->next_view(&view)) {
+    heap_.push(HeapItem{view, source});
   }
 }
 
-bool StreamMerger::next(KvPair* out) {
+bool StreamMerger::next_view(KvView* out) {
+  if (pending_refill_ != kNoRefill) {
+    // Deferred from the previous call: refilling earlier would have
+    // invalidated the view we handed out.
+    refill(pending_refill_);
+    pending_refill_ = kNoRefill;
+  }
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; the move is safe because we pop
-  // immediately — use const_cast-free copy of the small struct instead.
-  HeapItem item = heap_.top();
+  const HeapItem item = heap_.top();
   heap_.pop();
-  *out = std::move(item.pair);
+  *out = item.view;
   ++records_merged_;
-  refill(item.source);
+  pending_refill_ = item.source;
+  return true;
+}
+
+bool StreamMerger::next(KvPair* out) {
+  KvView view;
+  if (!next_view(&view)) return false;
+  *out = view.to_pair();
   return true;
 }
 

@@ -17,12 +17,25 @@
 
 namespace hmr::dataplane {
 
-// Pull interface over a sorted run.
+// Pull interface over a sorted run. The view variant is the hot path:
+// a returned view stays valid until the next call on the *same* source
+// (or source destruction, whichever is earlier); callers that need
+// longer lifetimes materialize with KvView::to_pair().
 class KvSource {
  public:
   virtual ~KvSource() = default;
   // False at end of stream.
   virtual bool next(KvPair* out) = 0;
+  // Allocation-free variant; the default adapter materializes through a
+  // scratch pair, concrete sources override with zero-copy reads.
+  virtual bool next_view(KvView* out) {
+    if (!next(&scratch_)) return false;
+    *out = KvView(scratch_);
+    return true;
+  }
+
+ private:
+  KvPair scratch_;  // backs the default next_view adapter
 };
 
 // Source over serialized record bytes.
@@ -32,6 +45,7 @@ class BytesSource final : public KvSource {
   BytesSource(std::shared_ptr<const Bytes> backing,
               std::span<const std::uint8_t> slice);
   bool next(KvPair* out) override;
+  bool next_view(KvView* out) override;  // aliases the backing buffer
 
  private:
   SegmentReader reader_;
@@ -43,6 +57,7 @@ class VectorSource final : public KvSource {
   explicit VectorSource(std::vector<KvPair> pairs)
       : pairs_(std::move(pairs)) {}
   bool next(KvPair* out) override;
+  bool next_view(KvView* out) override;
 
  private:
   std::vector<KvPair> pairs_;
@@ -50,34 +65,42 @@ class VectorSource final : public KvSource {
 };
 
 // Heap-based k-way merge; yields globally sorted output if every input
-// is sorted. Detects (and aborts on) unsorted inputs in debug use via
-// check_sorted().
+// is sorted. The heap holds non-owning views into the sources' buffers;
+// a source is refilled only on the call *after* its record was yielded,
+// so a view handed out by next_view() honors the KvSource lifetime
+// contract even for scratch-backed sources.
 class StreamMerger final : public KvSource {
  public:
   explicit StreamMerger(std::vector<std::unique_ptr<KvSource>> sources);
 
   bool next(KvPair* out) override;
+  bool next_view(KvView* out) override;
   std::uint64_t records_merged() const { return records_merged_; }
 
  private:
   struct HeapItem {
-    KvPair pair;
+    KvView view;
     size_t source;
   };
   struct HeapGreater {
     bool operator()(const HeapItem& a, const HeapItem& b) const {
       // std::priority_queue is a max-heap; invert for min-merge. Ties
       // break toward the lower source index for determinism.
-      const int c = KvLess::compare_keys(a.pair.key, b.pair.key);
+      const int c = KvLess::compare_keys(a.view.key, b.view.key);
       if (c != 0) return c > 0;
       return a.source > b.source;
     }
   };
 
+  static constexpr size_t kNoRefill = size_t(-1);
+
   void refill(size_t source);
 
   std::vector<std::unique_ptr<KvSource>> sources_;
   std::priority_queue<HeapItem, std::vector<HeapItem>, HeapGreater> heap_;
+  // Source whose view was yielded by the previous next_view() call and
+  // must be refilled before the next pop.
+  size_t pending_refill_ = kNoRefill;
   std::uint64_t records_merged_ = 0;
 };
 

@@ -50,11 +50,11 @@ MapOutputBuilder::MapOutputBuilder(int num_partitions,
   HMR_CHECK_MSG(num_partitions > 0, "need at least one partition");
 }
 
-void MapOutputBuilder::add(KvPair pair) {
-  pending_bytes_ += pair.serialized_size();
-  const int p =
-      partitioner_.partition(pair.key, int(partitions_.size()));
-  partitions_.at(p).push_back(std::move(pair));
+void MapOutputBuilder::add(const KvView& view) {
+  pending_bytes_ += view.serialized_size();
+  const int p = partitioner_.partition(view.key, int(partitions_.size()));
+  partitions_.at(p).push_back(
+      KvView{arena_.copy(view.key), arena_.copy(view.value)});
 }
 
 std::uint64_t MapOutputBuilder::pending_records() const {
@@ -70,17 +70,24 @@ MapOutput MapOutputBuilder::build(const CombineFn* combiner) {
   for (auto& partition : partitions_) {
     std::sort(partition.begin(), partition.end(), KvLess{});
     if (combiner != nullptr && !partition.empty()) {
-      std::vector<KvPair> combined;
-      const std::function<void(KvPair)> emit = [&combined](KvPair pair) {
-        combined.push_back(std::move(pair));
+      // The CombineFn API owns its inputs, so groups materialize out of
+      // the arena here; combined output is copied back in. Combining is
+      // rare relative to the sort path (aggregatable workloads only).
+      std::vector<KvView> combined;
+      const std::function<void(KvPair)> emit = [this,
+                                                &combined](KvPair pair) {
+        combined.push_back(
+            KvView{arena_.copy(pair.key), arena_.copy(pair.value)});
       };
       std::vector<Bytes> values;
       size_t i = 0;
       while (i < partition.size()) {
-        const Bytes& key = partition[i].key;
+        const Bytes key(partition[i].key.begin(), partition[i].key.end());
         values.clear();
-        while (i < partition.size() && partition[i].key == key) {
-          values.push_back(std::move(partition[i].value));
+        while (i < partition.size() &&
+               KvLess::compare_keys(partition[i].key, key) == 0) {
+          values.emplace_back(partition[i].value.begin(),
+                              partition[i].value.end());
           ++i;
         }
         (*combiner)(key, values, emit);
@@ -92,7 +99,7 @@ MapOutput MapOutputBuilder::build(const CombineFn* combiner) {
     IndexEntry entry;
     entry.offset = writer.size();
     entry.kv_count = partition.size();
-    for (const auto& pair : partition) encode_kv(pair, writer);
+    for (const auto& view : partition) encode_kv(view, writer);
     entry.length = writer.size() - entry.offset;
     out.index.push_back(entry);
     partition.clear();
@@ -105,6 +112,7 @@ MapOutput MapOutputBuilder::build(const CombineFn* combiner) {
                            .subspan(entry.offset, entry.length));
   }
   pending_bytes_ = 0;
+  arena_.reset();  // every view in partitions_ is dead now
   return out;
 }
 
@@ -113,12 +121,19 @@ SegmentReader::SegmentReader(std::shared_ptr<const Bytes> backing,
     : backing_(std::move(backing)), slice_(slice) {}
 
 bool SegmentReader::next(KvPair* out) {
+  KvView view;
+  if (!next_view(&view)) return false;
+  *out = view.to_pair();
+  return true;
+}
+
+bool SegmentReader::next_view(KvView* out) {
   if (exhausted()) return false;
   ByteReader reader(slice_.subspan(pos_));
-  auto pair = decode_kv(reader);
-  HMR_CHECK_MSG(pair.ok(), "corrupt segment record");
+  auto view = decode_kv_view(reader);
+  HMR_CHECK_MSG(view.ok(), "corrupt segment record");
   pos_ += reader.position();
-  *out = std::move(pair.value());
+  *out = view.value();
   return true;
 }
 

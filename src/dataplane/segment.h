@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "dataplane/kv.h"
 #include "dataplane/partitioner.h"
@@ -46,11 +47,21 @@ using CombineFn = std::function<void(
 
 // Collects a map task's emitted pairs, then sorts each partition and
 // serializes (the in-memory sort half of Hadoop's MapOutputBuffer).
+//
+// Record storage is arena-backed: add() copies the key/value bytes into
+// an internal Arena and keeps only 32-byte KvViews in the partition
+// buckets, so the sort moves views instead of vector pairs and the
+// per-record heap allocations of the old std::vector<KvPair> layout are
+// gone. build() resets the arena; slabs are retained, so repeated
+// spills from one builder reuse the same memory.
 class MapOutputBuilder {
  public:
   MapOutputBuilder(int num_partitions, const Partitioner& partitioner);
 
-  void add(KvPair pair);
+  // Copies the record's bytes into the builder's arena; the argument
+  // may be a temporary.
+  void add(const KvPair& pair) { add(KvView(pair)); }
+  void add(const KvView& view);
   std::uint64_t pending_bytes() const { return pending_bytes_; }
   std::uint64_t pending_records() const;
 
@@ -61,7 +72,8 @@ class MapOutputBuilder {
 
  private:
   const Partitioner& partitioner_;
-  std::vector<std::vector<KvPair>> partitions_;
+  Arena arena_;
+  std::vector<std::vector<KvView>> partitions_;
   std::uint64_t pending_bytes_ = 0;
 };
 
@@ -73,6 +85,9 @@ class SegmentReader {
                 std::span<const std::uint8_t> slice);
   // Reads the next record; false at end. Aborts on corrupt data.
   bool next(KvPair* out);
+  // Zero-copy variant: the view aliases the backing buffer, so it stays
+  // valid as long as the backing shared_ptr does.
+  bool next_view(KvView* out);
   // Reads up to max_pairs or max_bytes (whichever first) raw record bytes
   // starting at the cursor — the unit the OSU-IB responder ships.
   std::span<const std::uint8_t> take_chunk(std::uint64_t max_pairs,

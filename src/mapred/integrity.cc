@@ -15,14 +15,14 @@ void record_recovery_delay(JobRuntime& job, double started, bool recovered) {
 
 void count_io_retry(JobRuntime& job) {
   ++job.result.storage_io_retries;
-  job.engine.metrics().counter("storage.io.retries").add();
+  job.metric.io_retries.add();
 }
 
 }  // namespace
 
 void count_checksum_mismatch(JobRuntime& job) {
   ++job.result.checksum_mismatches;
-  job.engine.metrics().counter("integrity.checksum.mismatches").add();
+  job.metric.checksum_mismatches.add();
 }
 
 sim::Task<> charge_verify_cpu(JobRuntime& job, Host& host,

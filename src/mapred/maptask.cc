@@ -29,7 +29,7 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
        attempt < job.integrity.max_retries;
        ++attempt) {
     ++job.result.storage_io_retries;
-    job.engine.metrics().counter("storage.io.retries").add();
+    job.metric.io_retries.add();
     co_await job.engine.delay(job.integrity.disk_full_backoff);
     split = co_await job.dfs.read(host, task.input_file);
   }

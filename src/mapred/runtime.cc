@@ -19,6 +19,7 @@ JobRuntime::JobRuntime(Cluster& cluster, Network& network,
       cost(CostModel::from_conf(spec.conf)),
       integrity(IntegrityPolicy::from_conf(spec.conf)),
       job_id(job_id_in),
+      metric(engine.metrics()),
       trackers(std::move(trackers_in)),
       completion_pulse(engine),
       all_maps_done(engine),

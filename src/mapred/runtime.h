@@ -83,6 +83,44 @@ struct MapTaskInfo {
 
 class ShuffleEngine;
 
+// Cached handles into the engine's MetricsRegistry for every counter
+// the shuffle/storage hot paths touch per request, per retry, or per
+// fault event. Registered once per job (references are stable for the
+// registry's lifetime — std::map nodes never move), so call sites pay a
+// plain pointer add instead of a string-keyed map lookup per event.
+// Same idiom as net::Network's message metrics and PrefetchCache's
+// attach_metrics.
+struct ShuffleMetrics {
+  explicit ShuffleMetrics(MetricsRegistry& registry)
+      : fetch_requests(registry.counter("shuffle.fetch.requests")),
+        fetch_timeouts(registry.counter("shuffle.fetch.timeouts")),
+        fetch_retries(registry.counter("shuffle.fetch.retries")),
+        fetch_stale_dropped(registry.counter("shuffle.fetch.stale_dropped")),
+        malformed_msgs(registry.counter("shuffle.malformed_msgs")),
+        fault_dropped_requests(
+            registry.counter("shuffle.fault.dropped_requests")),
+        fault_dropped_responses(
+            registry.counter("shuffle.fault.dropped_responses")),
+        fault_stalled_responses(
+            registry.counter("shuffle.fault.stalled_responses")),
+        mapout_unserved(registry.counter("storage.mapout.unserved")),
+        io_retries(registry.counter("storage.io.retries")),
+        checksum_mismatches(
+            registry.counter("integrity.checksum.mismatches")) {}
+
+  Counter& fetch_requests;
+  Counter& fetch_timeouts;
+  Counter& fetch_retries;
+  Counter& fetch_stale_dropped;
+  Counter& malformed_msgs;
+  Counter& fault_dropped_requests;
+  Counter& fault_dropped_responses;
+  Counter& fault_stalled_responses;
+  Counter& mapout_unserved;
+  Counter& io_retries;
+  Counter& checksum_mismatches;
+};
+
 // Everything a task or engine needs to reach the simulated world.
 struct JobRuntime {
   JobRuntime(Cluster& cluster, Network& network, hdfs::MiniDfs& dfs,
@@ -98,6 +136,9 @@ struct JobRuntime {
   IntegrityPolicy integrity;
   int job_id = 0;
   double data_scale = 1.0;  // from the input files
+  // Hot-path metric handles (see ShuffleMetrics); `metric.x.add()`
+  // replaces `engine.metrics().counter("x").add()` in per-event code.
+  ShuffleMetrics metric;
 
   std::vector<MapTaskInfo> maps;
   int num_reduces = 0;

@@ -88,6 +88,7 @@ struct VanillaShuffleEngine::ReduceShuffleState {
 };
 
 sim::Task<> VanillaShuffleEngine::start(JobRuntime& job) {
+  fetch_rtt_ = &job.engine.metrics().latency_histogram("vanilla.fetch.rtt");
   daemons_ = std::make_unique<sim::WaitGroup>(job.engine);
   for (auto& tracker : job.trackers) {
     const int host_id = tracker->host->id();
@@ -127,7 +128,7 @@ sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
     if (!decoded.ok()) {
       // Malformed frame: drop it rather than crash the servlet; the
       // copier's watchdog re-issues the request.
-      job.engine.metrics().counter("shuffle.malformed_msgs").add();
+      job.metric.malformed_msgs.add();
       continue;
     }
     const auto [map_id, reduce_id] = *decoded;
@@ -137,21 +138,18 @@ sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
     if (job.spec.faults != nullptr) {
       sim::FaultPlan& faults = *job.spec.faults;
       if (faults.tracker_dead(host_id, job.engine.now())) {
-        job.engine.metrics().counter("shuffle.fault.dropped_requests")
-            .add();
+        job.metric.fault_dropped_requests.add();
         continue;
       }
       double stall_seconds = 0;
       bool drop = false;
       switch (faults.response_fate(host_id, &stall_seconds)) {
         case sim::FaultPlan::ResponseFate::kDrop:
-          job.engine.metrics().counter("shuffle.fault.dropped_responses")
-              .add();
+          job.metric.fault_dropped_responses.add();
           drop = true;
           break;
         case sim::FaultPlan::ResponseFate::kStall:
-          job.engine.metrics().counter("shuffle.fault.stalled_responses")
-              .add();
+          job.metric.fault_stalled_responses.add();
           co_await job.engine.delay(stall_seconds);
           break;
         case sim::FaultPlan::ResponseFate::kDeliver:
@@ -174,7 +172,7 @@ sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
       // The on-disk map output is unreadable past bounded recovery.
       // Drop the request: the copier's watchdog times out, blacklists
       // this tracker, and re-executes the map (mapred/recovery.h).
-      job.engine.metrics().counter("storage.mapout.unserved").add();
+      job.metric.mapout_unserved.add();
       continue;
     }
 
@@ -211,8 +209,8 @@ sim::Task<> VanillaShuffleEngine::in_memory_merge(JobRuntime& job,
   }
   dataplane::StreamMerger merger(std::move(sources));
   ByteWriter writer(&merged);
-  KvPair pair;
-  while (merger.next(&pair)) dataplane::encode_kv(pair, writer);
+  dataplane::KvView view;
+  while (merger.next_view(&view)) dataplane::encode_kv(view, writer);
 
   co_await job.charge_cpu(state.host, modeled, job.cost.merge_cpu_bw);
   const std::string path = "shuffle/" + job.spec.name + "/r" +
@@ -283,7 +281,7 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
     net::Message request = net::Message::data(
         encode_request(map_id, state.reduce_id), 1.0, kTagRequest);
     request.modeled_bytes = kRequestWireBytes;
-    job.engine.metrics().counter("shuffle.fetch.requests").add();
+    job.metric.fetch_requests.add();
     co_await conn->sock->send(std::move(request));
     const std::uint64_t timer_id = ++conn->timer_seq;
     if (job.retry.fetch_timeout > 0) {
@@ -303,13 +301,13 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
         if (!got_map.ok() || !got_reduce.ok()) {
           // Response too short to even carry its match prefix: drop it
           // like a stale duplicate; the watchdog covers the re-fetch.
-          job.engine.metrics().counter("shuffle.malformed_msgs").add();
+          job.metric.malformed_msgs.add();
           continue;
         }
         if (int(*got_map) == map_id && int(*got_reduce) == state.reduce_id) {
           const auto body_crc = r.u32();
           if (!body_crc.ok()) {
-            job.engine.metrics().counter("shuffle.malformed_msgs").add();
+            job.metric.malformed_msgs.add();
             continue;
           }
           if (job.integrity.enabled) {
@@ -322,7 +320,7 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
             co_await charge_verify_cpu(job, state.host,
                                        event->msg->modeled_bytes);
             if (crc32c(*rest) != *body_crc) {
-              job.engine.metrics().counter("shuffle.malformed_msgs").add();
+              job.metric.malformed_msgs.add();
               continue;
             }
           }
@@ -330,8 +328,7 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
           break;
         }
         // Stale duplicate of a fetch some copier already retried.
-        job.engine.metrics().counter("shuffle.fetch.stale_dropped")
-            .add();
+        job.metric.fetch_stale_dropped.add();
         continue;
       }
       if (event->timer_id == timer_id) break;  // our watchdog fired
@@ -342,7 +339,7 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
     if (!response.has_value()) {
       ++attempt;
       ++job.result.fetch_timeouts;
-      job.engine.metrics().counter("shuffle.fetch.timeouts").add();
+      job.metric.fetch_timeouts.add();
       if (auto* tracer = job.engine.tracer()) {
         tracer->instant(state.host.name(), "fault",
                         "fetch_timeout map_" + std::to_string(map_id));
@@ -358,14 +355,12 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
         co_await job.engine.delay(job.retry.backoff(attempt, rng));
       }
       ++job.result.fetch_retries;
-      job.engine.metrics().counter("shuffle.fetch.retries").add();
+      job.metric.fetch_retries.add();
       continue;
     }
 
     job.report_fetch_success(server_host);
-    job.engine.metrics()
-        .latency_histogram("vanilla.fetch.rtt")
-        .record(job.engine.now() - sent_at);
+    fetch_rtt_->record(job.engine.now() - sent_at);
     const std::uint64_t modeled = response->modeled_bytes;
     job.result.shuffled_modeled_bytes += modeled;
     if (refetching) job.result.refetched_modeled_bytes += modeled;
@@ -463,8 +458,8 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
     dataplane::StreamMerger merger(std::move(sources));
     Bytes merged;
     ByteWriter writer(&merged);
-    KvPair pair;
-    while (merger.next(&pair)) dataplane::encode_kv(pair, writer);
+    dataplane::KvView view;
+    while (merger.next_view(&view)) dataplane::encode_kv(view, writer);
     co_await job.charge_cpu(host, modeled, job.cost.merge_cpu_bw);
     const std::string path = "shuffle/" + job.spec.name + "/r" +
                              std::to_string(reduce_id) + "/pass" +

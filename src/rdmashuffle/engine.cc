@@ -73,6 +73,9 @@ RdmaShuffleOptions RdmaShuffleOptions::hadoop_a(const Conf& conf) {
 // ---------------------------------------------------------------------
 
 sim::Task<> RdmaShuffleEngine::start(JobRuntime& job) {
+  // Rebound per job: a reused engine instance must never hold handles
+  // into a previous run's registry.
+  metric_ = std::make_unique<OsuMetrics>(job.engine.metrics());
   daemons_ = std::make_unique<sim::WaitGroup>(job.engine);
   for (auto& tracker : job.trackers) {
     const int host_id = tracker->host->id();
@@ -118,7 +121,7 @@ sim::Task<> RdmaShuffleEngine::rdma_receiver(JobRuntime& job,
     if (!req.ok()) {
       // Malformed frame: drop it rather than crash the responder; the
       // copier's watchdog re-issues the request.
-      job.engine.metrics().counter("shuffle.malformed_msgs").add();
+      job.metric.malformed_msgs.add();
       continue;
     }
     PendingRequest pending{std::move(req).value(), &endpoint,
@@ -140,12 +143,10 @@ sim::Task<> RdmaShuffleEngine::rdma_responder(JobRuntime& job,
       // Orphaned request: the copier that sent it timed out long ago and
       // has retried elsewhere. Serving it would waste responder and disk
       // time on an answer nobody is waiting for.
-      job.engine.metrics().counter("osu.responder.evicted").add();
+      metric_->responder_evicted.add();
       continue;
     }
-    job.engine.metrics()
-        .latency_histogram("osu.responder.queue_wait")
-        .record(job.engine.now() - pending->enqueued_at);
+    metric_->queue_wait.record(job.engine.now() - pending->enqueued_at);
     co_await respond(job, service, host_id, std::move(*pending));
   }
   daemons_->done();
@@ -161,19 +162,16 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
   if (job.spec.faults != nullptr) {
     sim::FaultPlan& faults = *job.spec.faults;
     if (faults.tracker_dead(host_id, job.engine.now())) {
-      job.engine.metrics().counter("shuffle.fault.dropped_requests")
-          .add();
+      job.metric.fault_dropped_requests.add();
       co_return;
     }
     double stall_seconds = 0;
     switch (faults.response_fate(host_id, &stall_seconds)) {
       case sim::FaultPlan::ResponseFate::kDrop:
-        job.engine.metrics().counter("shuffle.fault.dropped_responses")
-            .add();
+        job.metric.fault_dropped_responses.add();
         co_return;
       case sim::FaultPlan::ResponseFate::kStall:
-        job.engine.metrics().counter("shuffle.fault.stalled_responses")
-            .add();
+        job.metric.fault_stalled_responses.add();
         co_await job.engine.delay(stall_seconds);
         break;
       case sim::FaultPlan::ResponseFate::kDeliver:
@@ -201,7 +199,7 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
         // spill time), then re-cache from the clean source.
         mapred::count_checksum_mismatch(job);
         ++job.result.cache_integrity_evictions;
-        job.engine.metrics().counter("cache.integrity.evictions").add();
+        metric_->cache_integrity_evictions.add();
         (void)service.cache.erase(cache_key);
         (void)service.prefetch_queue.try_send(int(req.map_id) | (1 << 24));
       } else {
@@ -232,11 +230,10 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
       // (at-rest rot or a persistent IO fault). Drop the request: the
       // copier's watchdog times out, blacklists this tracker, and
       // re-executes the map on a healthy one (mapred/recovery.h).
-      job.engine.metrics().counter("storage.mapout.unserved").add();
+      job.metric.mapout_unserved.add();
       co_return;
     }
-    job.engine.metrics().latency_histogram("osu.respond.disk").record(
-        job.engine.now() - dt0);
+    metric_->respond_disk.record(job.engine.now() - dt0);
   }
 
   DataResponse header;
@@ -261,15 +258,14 @@ sim::Task<> RdmaShuffleEngine::respond(JobRuntime& job,
   if (pending.endpoint->closed()) {
     // The copier timed out, recovered elsewhere, and tore this
     // connection down while the response was stalled or reading disk.
-    job.engine.metrics().counter("osu.respond.orphaned").add();
+    metric_->respond_orphaned.add();
     co_return;
   }
   const double st0 = job.engine.now();
   co_await pending.endpoint->send(net::Message::share(
       std::make_shared<const Bytes>(std::move(body)), modeled,
       kTagDataResponse));
-  job.engine.metrics().latency_histogram("osu.respond.send").record(
-      job.engine.now() - st0);
+  metric_->respond_send.record(job.engine.now() - st0);
 }
 
 sim::Task<> RdmaShuffleEngine::prefetcher(JobRuntime& job,
@@ -377,13 +373,12 @@ sim::Task<ucr::Endpoint*> RdmaShuffleEngine::ensure_client_endpoint(
       ByteReader r(*msg->payload);
       const auto header = DataResponse::decode_header(r);
       if (!header.ok()) {
-        job.engine.metrics().counter("shuffle.malformed_msgs").add();
+        job.metric.malformed_msgs.add();
         continue;
       }
       auto route = state->routes.find(int(header->map_id));
       if (route == state->routes.end()) {
-        job.engine.metrics().counter("shuffle.fetch.stale_dropped")
-            .add();
+        job.metric.fetch_stale_dropped.add();
         continue;
       }
       mapred::FetchEvent event;
@@ -426,7 +421,7 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
     net::Message request =
         net::Message::data(std::move(wire), 1.0, kTagDataRequest)
             .with_modeled(kRequestWireBytes);
-    job.engine.metrics().counter("shuffle.fetch.requests").add();
+    job.metric.fetch_requests.add();
     co_await endpoint->send(std::move(request));
     const std::uint64_t timer_id = ++stream->timer_seq;
     if (job.retry.fetch_timeout > 0) {
@@ -444,7 +439,7 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
         if (!header.ok() || r.remaining() < header->chunk_real_bytes) {
           // Malformed header or short body: drop it like a stale
           // duplicate and let the watchdog/retry path re-fetch.
-          job.engine.metrics().counter("shuffle.malformed_msgs").add();
+          job.metric.malformed_msgs.add();
           continue;
         }
         if (header->cursor_real == req.cursor_real) {
@@ -461,14 +456,13 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
                 static_cast<std::uint64_t>(
                     double(header->chunk_real_bytes) * job.data_scale));
             if (crc32c(*records) != header->chunk_crc) {
-              job.engine.metrics().counter("shuffle.malformed_msgs").add();
+              job.metric.malformed_msgs.add();
               continue;
             }
           }
           co_return std::move(event->msg);
         }
-        job.engine.metrics().counter("shuffle.fetch.stale_dropped")
-            .add();
+        job.metric.fetch_stale_dropped.add();
         continue;
       }
       if (event->timer_id == timer_id) co_return std::nullopt;
@@ -492,7 +486,7 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
       }
       ++attempt;
       ++job.result.fetch_timeouts;
-      job.engine.metrics().counter("shuffle.fetch.timeouts").add();
+      job.metric.fetch_timeouts.add();
       if (auto* tracer = job.engine.tracer()) {
         tracer->instant(host.name(), "fault",
                         "fetch_timeout map_" + std::to_string(map_id));
@@ -514,7 +508,7 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
         co_await job.engine.delay(job.retry.backoff(attempt, rng));
       }
       ++job.result.fetch_retries;
-      job.engine.metrics().counter("shuffle.fetch.retries").add();
+      job.metric.fetch_retries.add();
     }
   };
 
@@ -580,8 +574,7 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
       net::Message again = co_await exchange_with_retry(req);
       response = std::move(again);
     }
-    job.engine.metrics().latency_histogram("osu.fetch.rtt")
-        .record(job.engine.now() - rt0);
+    metric_->fetch_rtt.record(job.engine.now() - rt0);
     ByteReader r(*response.payload);
     // exchange() only returns messages whose header decoded and whose
     // body length checked out, so failure here is an engine bug.
@@ -671,8 +664,7 @@ sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
       cursor.pairs = std::move(chunk->pairs);
       cursor.idx = 0;
       cursor.mem_charge = chunk->mem_charge;
-      job.engine.metrics().latency_histogram("osu.merge.chunk_wait")
-          .record(job.engine.now() - t0);
+      metric_->merge_chunk_wait.record(job.engine.now() - t0);
       co_return true;
     }
   };
@@ -721,7 +713,9 @@ sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
     HeapItem item = heap.back();
     heap.pop_back();
     Cursor& cursor = cursors[item.stream];
-    KvPair pair = cursor.pairs[cursor.idx++];
+    // The cursor's chunk is discarded once drained, so move the record
+    // out instead of deep-copying its key/value buffers.
+    KvPair pair = std::move(cursor.pairs[cursor.idx++]);
     batch_real += pair.serialized_size();
     batch.push_back(std::move(pair));
     if (batch.size() >= kBatchPairs) co_await flush_batch();

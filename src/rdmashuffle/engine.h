@@ -189,8 +189,35 @@ class RdmaShuffleEngine : public mapred::ShuffleEngine {
                             std::uint64_t max_record_modeled,
                             sim::WaitGroup& done);
 
+  // Cached handles for the per-request/per-chunk metric sites, bound in
+  // start() (registry references are stable for the engine's lifetime;
+  // same idiom as mapred::ShuffleMetrics and net::Network).
+  struct OsuMetrics {
+    explicit OsuMetrics(MetricsRegistry& registry)
+        : responder_evicted(registry.counter("osu.responder.evicted")),
+          respond_orphaned(registry.counter("osu.respond.orphaned")),
+          cache_integrity_evictions(
+              registry.counter("cache.integrity.evictions")),
+          fetch_rtt(registry.latency_histogram("osu.fetch.rtt")),
+          respond_disk(registry.latency_histogram("osu.respond.disk")),
+          respond_send(registry.latency_histogram("osu.respond.send")),
+          queue_wait(registry.latency_histogram("osu.responder.queue_wait")),
+          merge_chunk_wait(
+              registry.latency_histogram("osu.merge.chunk_wait")) {}
+
+    Counter& responder_evicted;
+    Counter& respond_orphaned;
+    Counter& cache_integrity_evictions;
+    FixedHistogram& fetch_rtt;
+    FixedHistogram& respond_disk;
+    FixedHistogram& respond_send;
+    FixedHistogram& queue_wait;
+    FixedHistogram& merge_chunk_wait;
+  };
+
   std::string name_;
   RdmaShuffleOptions options_;
+  std::unique_ptr<OsuMetrics> metric_;  // bound in start()
   std::map<int, std::unique_ptr<TrackerService>> services_;  // by host id
   // Reducer-side endpoints; kept alive until stop() so the symmetric
   // close handshake can complete.

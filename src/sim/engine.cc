@@ -27,7 +27,8 @@ void on_detached_done(PromiseBase& promise, void* frame_address) noexcept {
 
 }  // namespace detail
 
-Engine::Engine(std::uint64_t seed) : seed_(seed) {
+Engine::Engine(std::uint64_t seed, EventQueue::Impl queue_impl)
+    : queue_(queue_impl), seed_(seed) {
   Logger::instance().set_time_source([this] { return now_; });
 }
 
@@ -47,7 +48,7 @@ Engine::~Engine() {
 void Engine::schedule_at(Time at, std::coroutine_handle<> h) {
   if (shutting_down_) return;
   HMR_CHECK_MSG(at >= now_, "scheduling into the past");
-  queue_.push(Event{at, next_seq_++, h});
+  queue_.push(now_, EventQueue::Event{at, next_seq_++, h});
 }
 
 void Engine::spawn(Task<> task) {
@@ -63,14 +64,17 @@ void Engine::spawn(Task<> task) {
 
 bool Engine::step() {
   if (queue_.empty()) return false;
-  Event event = queue_.top();
-  queue_.pop();
+  if (max_events_ != 0 && events_dispatched_ >= max_events_) {
+    // Runaway valve: stop dispatching and let run()/run_until() return
+    // with overrun() set, leaving the queue intact for inspection. The
+    // caller decides whether that is fatal.
+    overrun_ = true;
+    return false;
+  }
+  EventQueue::Event event = queue_.pop();
   HMR_CHECK(event.at >= now_);
   now_ = event.at;
   ++events_dispatched_;
-  if (max_events_ != 0 && events_dispatched_ > max_events_) {
-    HMR_CHECK_MSG(false, "simulation exceeded max_events — runaway loop?");
-  }
   event.handle.resume();
   return true;
 }
@@ -82,10 +86,11 @@ Time Engine::run() {
 }
 
 Time Engine::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    step();
+  while (!queue_.empty() && queue_.next_at() <= deadline) {
+    if (!step()) break;
   }
-  if (now_ < deadline) now_ = deadline;
+  // Don't jump time past still-queued events after an overrun stop.
+  if (!overrun_ && now_ < deadline) now_ = deadline;
   return now_;
 }
 

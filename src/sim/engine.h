@@ -8,7 +8,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
 #include <set>
 #include <string>
 #include <vector>
@@ -16,17 +15,17 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "sim/event_queue.h"
 #include "sim/task.h"
 
 namespace hmr::sim {
-
-using Time = double;
 
 class Tracer;
 
 class Engine {
  public:
-  explicit Engine(std::uint64_t seed = 1);
+  explicit Engine(std::uint64_t seed = 1,
+                  EventQueue::Impl queue_impl = EventQueue::Impl::kFourAry);
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -63,7 +62,8 @@ class Engine {
   Time run();
   // Runs until the queue drains or simulated time would pass `deadline`.
   Time run_until(Time deadline);
-  // Dispatches at most one event; returns false if the queue was empty.
+  // Dispatches at most one event; returns false if the queue was empty
+  // or the max_events valve tripped (see overrun()).
   bool step();
 
   // Number of spawned processes that have not yet finished. A nonzero
@@ -72,8 +72,17 @@ class Engine {
   std::int64_t live_processes() const { return live_processes_; }
   std::uint64_t events_dispatched() const { return events_dispatched_; }
 
-  // Safety valve for runaway simulations; 0 disables the limit.
+  // Safety valve for runaway simulations; 0 disables the limit. When the
+  // limit is hit, run()/run_until() return cleanly with overrun() true
+  // and the remaining events still queued, so harnesses (simfuzz,
+  // benches) can report the overrun as a failure instead of crashing.
   void set_max_events(std::uint64_t max_events) { max_events_ = max_events; }
+  bool overrun() const { return overrun_; }
+  std::size_t pending_events() const { return queue_.size(); }
+  // True once the destructor has started tearing down detached frames;
+  // scheduling is disabled and sinks (e.g. the tracer) must not assume
+  // engine services beyond now().
+  bool shutting_down() const { return shutting_down_; }
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -89,21 +98,12 @@ class Engine {
  private:
   friend void detail::on_detached_done(detail::PromiseBase&, void*) noexcept;
 
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;
-    bool operator>(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventQueue queue_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_dispatched_ = 0;
   std::uint64_t max_events_ = 0;
+  bool overrun_ = false;
   std::int64_t live_processes_ = 0;
   std::uint64_t seed_;
   MetricsRegistry metrics_;

@@ -29,10 +29,11 @@ void append_json_string(std::string& out, std::string_view s) {
 }  // namespace
 
 std::string Tracer::to_chrome_json() const {
-  // Assign each track a stable tid in first-seen order.
-  std::map<std::string, int> tids;
+  // Assign each track a stable tid in first-seen order (the metadata
+  // records themselves list tracks in name order, as before interning).
+  std::map<std::string_view, int> tids;
   for (const auto& event : events_) {
-    tids.emplace(event.track, int(tids.size()) + 1);
+    tids.emplace(strings_[event.track], int(tids.size()) + 1);
   }
 
   std::string out = "{\"traceEvents\":[";
@@ -52,20 +53,20 @@ std::string Tracer::to_chrome_json() const {
     const double ts_us = event.start * 1e6;
     if (event.instant) {
       out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":";
-      out += std::to_string(tids[event.track]);
+      out += std::to_string(tids[strings_[event.track]]);
       std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", ts_us);
       out += buf;
     } else {
       out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
-      out += std::to_string(tids[event.track]);
+      out += std::to_string(tids[strings_[event.track]]);
       std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f", ts_us,
                     (event.end - event.start) * 1e6);
       out += buf;
     }
     out += ",\"cat\":";
-    append_json_string(out, event.category);
+    append_json_string(out, strings_[event.category]);
     out += ",\"name\":";
-    append_json_string(out, event.name);
+    append_json_string(out, strings_[event.name]);
     out += '}';
   }
   out += "]}";

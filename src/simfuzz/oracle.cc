@@ -158,11 +158,13 @@ std::string job_result_json(const mapred::JobResult& job) {
   return j.dump();
 }
 
-EngineRun run_engine(const Scenario& scenario, const std::string& engine) {
+EngineRun run_engine(const Scenario& scenario, const std::string& engine,
+                     sim::EventQueue::Impl queue_impl) {
   EngineRun run;
   run.engine = engine;
 
   ScenarioSetup setup = scenario_setup(scenario, engine);
+  setup.bed_spec.queue_impl = queue_impl;
   workloads::Testbed bed(setup.bed_spec);
   auto digest = bed.generate(setup.terasort ? "teragen" : "randomwriter",
                              setup.gen);
@@ -508,6 +510,17 @@ void check_multi_job(const Scenario& scenario, Verdict* verdict) {
   }
 }
 
+void check_queue_equivalence(const Scenario& scenario, const EngineRun& ref,
+                             Verdict* verdict) {
+  const EngineRun legacy = run_engine(
+      scenario, ref.engine, sim::EventQueue::Impl::kLegacyBinaryHeap);
+  if (legacy.result_json != ref.result_json) {
+    add(verdict, "queue.result_identity", ref.engine,
+        "legacy binary-heap replay produced a different serialized "
+        "JobResult than the 4-ary queue");
+  }
+}
+
 Verdict check_scenario(const Scenario& scenario) {
   Verdict verdict;
   std::vector<EngineRun> runs;
@@ -517,6 +530,10 @@ Verdict check_scenario(const Scenario& scenario) {
   }
   check_cross_engine(runs, &verdict);
   check_multi_job(scenario, &verdict);
+  // Old-vs-new event queue on the paper's engine: the serial dispatch
+  // order is part of the determinism contract, so the whole serialized
+  // JobResult (timestamps, counters, metrics) must be byte-identical.
+  check_queue_equivalence(scenario, runs[1], &verdict);
   if (scenario.check_determinism) {
     const EngineRun rerun = run_engine(scenario, "osu-ib");
     if (rerun.result_json != runs[1].result_json) {

@@ -23,6 +23,7 @@
 
 #include "common/metrics.h"
 #include "mapred/types.h"
+#include "sim/event_queue.h"
 #include "simfuzz/scenario.h"
 #include "workloads/jobs.h"
 
@@ -69,7 +70,11 @@ std::string job_result_json(const mapred::JobResult& job);
 // wrong *output*; it still HMR_CHECKs on harness bugs (generation
 // failure), and scenarios whose faults make completion impossible abort
 // in the runtime by design (the generator never emits those).
-EngineRun run_engine(const Scenario& scenario, const std::string& engine);
+// `queue_impl` selects the engine's event-queue implementation; the
+// queue-equivalence oracle replays with the legacy binary heap.
+EngineRun run_engine(
+    const Scenario& scenario, const std::string& engine,
+    sim::EventQueue::Impl queue_impl = sim::EventQueue::Impl::kFourAry);
 
 // Appends per-engine violations for one run.
 void check_engine_run(const Scenario& scenario, const EngineRun& run,
@@ -83,8 +88,16 @@ void check_cross_engine(const std::vector<EngineRun>& runs, Verdict* verdict);
 // both the input digest and its serial twin.
 void check_multi_job(const Scenario& scenario, Verdict* verdict);
 
+// Event-queue equivalence oracle: replays one engine with the legacy
+// binary-heap event queue and demands a byte-identical serialized
+// JobResult. Both queues implement the same (timestamp, seq) total
+// order, so ANY divergence is a queue bug, not a modeling change.
+void check_queue_equivalence(const Scenario& scenario, const EngineRun& ref,
+                             Verdict* verdict);
+
 // The full battery: all three engines, per-engine + cross-engine checks,
-// plus the sampled determinism re-run when the scenario asks for it.
+// the old-vs-new event-queue replay, plus the sampled determinism re-run
+// when the scenario asks for it.
 Verdict check_scenario(const Scenario& scenario);
 
 }  // namespace hmr::simfuzz

@@ -5,7 +5,8 @@
 
 namespace hmr::workloads {
 
-Testbed::Testbed(TestbedSpec spec) : spec_(spec), engine_(spec.seed) {
+Testbed::Testbed(TestbedSpec spec)
+    : spec_(spec), engine_(spec.seed, spec.queue_impl) {
   // host 0 = master (NameNode + JobTracker); hosts 1..N = DataNode +
   // TaskTracker.
   auto host_specs = net::Cluster::uniform(spec.nodes + 1, spec.disks_per_node,

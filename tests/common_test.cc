@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/conf.h"
 #include "common/crc32.h"
@@ -16,6 +17,63 @@
 
 namespace hmr {
 namespace {
+
+// ----------------------------------------------------------------- arena
+
+TEST(ArenaTest, CopyReturnsStableIndependentSpans) {
+  Arena arena;
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {4, 5};
+  auto va = arena.copy(a);
+  auto vb = arena.copy(b);
+  EXPECT_NE(va.data(), a.data());  // really copied
+  EXPECT_EQ(Bytes(va.begin(), va.end()), a);
+  EXPECT_EQ(Bytes(vb.begin(), vb.end()), b);
+  EXPECT_EQ(arena.allocated_bytes(), 5u);
+}
+
+TEST(ArenaTest, ZeroLengthAllocationIsFree) {
+  Arena arena;
+  auto span = arena.allocate(0);
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(arena.slab_count(), 0u);
+}
+
+TEST(ArenaTest, OversizeAllocationGetsDedicatedSlab) {
+  Arena arena(/*slab_bytes=*/128);
+  auto big = arena.allocate(1000);
+  EXPECT_EQ(big.size(), 1000u);
+  auto small = arena.allocate(16);
+  EXPECT_EQ(small.size(), 16u);
+  // Writes to both must not overlap.
+  std::memset(big.data(), 0xaa, big.size());
+  std::memset(small.data(), 0xbb, small.size());
+  EXPECT_EQ(big[999], 0xaa);
+  EXPECT_EQ(small[0], 0xbb);
+}
+
+TEST(ArenaTest, ResetReusesSlabsWithoutGrowth) {
+  Arena arena(/*slab_bytes=*/256);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 64; ++i) arena.allocate(32);
+    arena.reset();
+  }
+  const size_t slabs_after_warmup = arena.slab_count();
+  for (int i = 0; i < 64; ++i) arena.allocate(32);
+  EXPECT_EQ(arena.slab_count(), slabs_after_warmup);
+  EXPECT_EQ(arena.allocated_bytes(), 64u * 32u);
+}
+
+TEST(ArenaTest, ManySmallAllocationsSpanSlabs) {
+  Arena arena(/*slab_bytes=*/64);
+  std::vector<std::span<std::uint8_t>> spans;
+  for (int i = 0; i < 100; ++i) {
+    spans.push_back(arena.allocate(10));
+    spans.back()[0] = std::uint8_t(i);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(spans[i][0], std::uint8_t(i));
+  EXPECT_GT(arena.slab_count(), 1u);
+}
 
 // ---------------------------------------------------------------- status
 

@@ -297,6 +297,92 @@ TEST(MergerTest, ZeroSourcesYieldNothing) {
   StreamMerger merger({});
   KvPair pair;
   EXPECT_FALSE(merger.next(&pair));
+  KvView view;
+  EXPECT_FALSE(merger.next_view(&view));
+}
+
+TEST(MergerTest, ViewDrainMatchesOwningDrain) {
+  auto make_sources = [] {
+    std::vector<std::unique_ptr<KvSource>> sources;
+    for (int s = 0; s < 3; ++s) {
+      auto run = random_pairs(100, 40 + s);
+      std::sort(run.begin(), run.end(), KvLess{});
+      sources.push_back(std::make_unique<BytesSource>(
+          std::make_shared<const Bytes>(encode_run(run))));
+    }
+    return sources;
+  };
+  StreamMerger owning(make_sources());
+  const auto expected = drain(owning);
+
+  StreamMerger viewing(make_sources());
+  std::vector<KvPair> got;
+  KvView view;
+  while (viewing.next_view(&view)) got.push_back(view.to_pair());
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(viewing.records_merged(), expected.size());
+}
+
+TEST(MergerTest, ViewStaysValidUntilNextCall) {
+  // The deferred-refill contract: the view yielded by call N must not be
+  // invalidated until call N+1, even for scratch-backed default sources.
+  class ScratchSource final : public KvSource {
+   public:
+    bool next(KvPair* out) override {
+      if (n_ >= 3) return false;
+      const char key[3] = {'k', char('0' + n_), '\0'};
+      *out = make_kv(key, "v");
+      ++n_;
+      return true;
+    }
+
+   private:
+    int n_ = 0;
+  };
+  std::vector<std::unique_ptr<KvSource>> sources;
+  sources.push_back(std::make_unique<ScratchSource>());
+  StreamMerger merger(std::move(sources));
+  KvView view;
+  ASSERT_TRUE(merger.next_view(&view));
+  // Inspect AFTER the pop — would read freed/overwritten scratch memory
+  // if the merger refilled eagerly.
+  EXPECT_EQ(std::string(view.key.begin(), view.key.end()), "k0");
+  ASSERT_TRUE(merger.next_view(&view));
+  EXPECT_EQ(std::string(view.key.begin(), view.key.end()), "k1");
+  ASSERT_TRUE(merger.next_view(&view));
+  EXPECT_EQ(std::string(view.key.begin(), view.key.end()), "k2");
+  EXPECT_FALSE(merger.next_view(&view));
+}
+
+TEST(KvTest, ViewEncodeMatchesPairEncode) {
+  const KvPair pair = make_kv("key", "value");
+  ByteWriter from_pair;
+  encode_kv(pair, from_pair);
+  ByteWriter from_view;
+  encode_kv(KvView(pair), from_view);
+  EXPECT_EQ(from_pair.data(), from_view.data());
+  EXPECT_EQ(KvView(pair).serialized_size(), pair.serialized_size());
+}
+
+TEST(KvTest, DecodeViewIsZeroCopy) {
+  const Bytes run = encode_run(std::vector<KvPair>{make_kv("a", "1")});
+  ByteReader reader(run);
+  auto view = decode_kv_view(reader);
+  ASSERT_TRUE(view.ok());
+  // The spans alias the input buffer — no copy happened.
+  EXPECT_GE(view.value().key.data(), run.data());
+  EXPECT_LT(view.value().key.data(), run.data() + run.size());
+  EXPECT_EQ(view.value().to_pair(), make_kv("a", "1"));
+}
+
+TEST(KvTest, KvLessAgreesAcrossPairAndView) {
+  const auto pairs = random_pairs(64, 77);
+  KvLess less;
+  for (size_t i = 0; i + 1 < pairs.size(); ++i) {
+    const bool by_pair = less(pairs[i], pairs[i + 1]);
+    const bool by_view = less(KvView(pairs[i]), KvView(pairs[i + 1]));
+    EXPECT_EQ(by_pair, by_view);
+  }
 }
 
 TEST(MergerTest, BytesSourceOverSegments) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/channel.h"
@@ -43,6 +45,68 @@ TEST(EngineTest, EqualTimeEventsRunInScheduleOrder) {
   }
   engine.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// Both queue implementations must realize the exact same (at, seq) total
+// order, including events pushed at the current time (FIFO fast path)
+// interleaved with same-time events that were heap-resident already.
+TEST(EventQueueTest, ImplsAgreeOnDispatchOrder) {
+  for (const auto impl :
+       {EventQueue::Impl::kFourAry, EventQueue::Impl::kLegacyBinaryHeap}) {
+    EventQueue queue(impl);
+    std::uint64_t seq = 0;
+    // Heap-resident events for t=1.0 scheduled from t=0...
+    queue.push(0.0, {1.0, seq++, {}});  // seq 0
+    queue.push(0.0, {2.0, seq++, {}});  // seq 1
+    queue.push(0.0, {1.0, seq++, {}});  // seq 2
+    // ...then time advances to 1.0 and same-time pushes hit the FIFO.
+    queue.push(1.0, {1.0, seq++, {}});  // seq 3
+    queue.push(1.0, {1.5, seq++, {}});  // seq 4 (future: heap)
+    queue.push(1.0, {1.0, seq++, {}});  // seq 5
+    std::vector<std::uint64_t> order;
+    while (!queue.empty()) order.push_back(queue.pop().seq);
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 2, 3, 5, 4, 1}))
+        << "impl=" << static_cast<int>(impl);
+  }
+}
+
+TEST(EventQueueTest, NextAtSeesBothLanes) {
+  EventQueue queue(EventQueue::Impl::kFourAry);
+  queue.push(0.0, {3.0, 0, {}});
+  EXPECT_DOUBLE_EQ(queue.next_at(), 3.0);
+  queue.push(0.0, {0.0, 1, {}});  // lands in the now-FIFO
+  EXPECT_DOUBLE_EQ(queue.next_at(), 0.0);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop().seq, 1u);
+  EXPECT_EQ(queue.pop().seq, 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+// End-to-end determinism: a jittery workload dispatches identically on
+// the 4-ary+FIFO queue and the legacy binary heap.
+TEST(EngineTest, QueueImplsAreObservationallyEqual) {
+  auto trace = [](EventQueue::Impl impl) {
+    Engine engine(7, impl);
+    std::vector<std::pair<double, int>> events;
+    for (int i = 0; i < 16; ++i) {
+      engine.spawn(
+          [](Engine& e, std::vector<std::pair<double, int>>& events,
+             int id) -> Task<> {
+            Rng rng = e.make_rng("jitter." + std::to_string(id));
+            for (int step = 0; step < 50; ++step) {
+              const double dt = rng.chance(0.5) ? 0.0 : rng.uniform();
+              co_await e.delay(dt);
+              events.emplace_back(e.now(), id);
+            }
+          }(engine, events, i));
+    }
+    engine.run();
+    return events;
+  };
+  const auto fast = trace(EventQueue::Impl::kFourAry);
+  const auto legacy = trace(EventQueue::Impl::kLegacyBinaryHeap);
+  EXPECT_EQ(fast, legacy);
+  EXPECT_EQ(fast.size(), 16u * 50u);
 }
 
 TEST(EngineTest, ZeroDelayRunsAtSameTime) {
@@ -623,6 +687,81 @@ TEST(TracerTest, JsonEscapesSpecials) {
   EXPECT_NE(json.find("na\\\\me\\nline"), std::string::npos);
 }
 
+// Regression tests for Span teardown ordering. In the usual scope order
+// (`Engine e; Tracer t(e);`) the tracer dies before the engine, and the
+// engine then destroys detached frames whose Spans still point at the
+// dead tracer. The span must detect this (via the engine's tracer
+// identity) and drop the record instead of touching freed memory.
+TEST(SpanLifetimeTest, SpanInLeakedFrameSurvivesTracerDeath) {
+  {
+    Engine engine;
+    Tracer tracer(engine);
+    engine.set_tracer(&tracer);
+    engine.spawn([](Engine& e) -> Task<> {
+      auto span = maybe_span(e.tracer(), "host", "cat", "stuck");
+      co_await e.delay(1e9);  // never resumed; frame dies in ~Engine
+    }(engine));
+    engine.run_until(1.0);
+    EXPECT_EQ(engine.live_processes(), 1);
+  }  // ~Tracer detaches, then ~Engine destroys the frame: span is a no-op
+  SUCCEED();
+}
+
+TEST(SpanLifetimeTest, TracerDetachesFromEngineOnDestruction) {
+  Engine engine;
+  {
+    Tracer tracer(engine);
+    engine.set_tracer(&tracer);
+    EXPECT_EQ(engine.tracer(), &tracer);
+  }
+  EXPECT_EQ(engine.tracer(), nullptr);
+}
+
+TEST(SpanLifetimeTest, ReplacedTracerDoesNotReceiveStaleSpans) {
+  Engine engine;
+  Tracer first(engine);
+  Tracer second(engine);
+  engine.set_tracer(&first);
+  {
+    auto span = first.span("t", "c", "from_first");
+    // The tracer is swapped while the span is open; on close, the span
+    // must record to neither (its tracer is no longer installed).
+    engine.set_tracer(&second);
+  }
+  EXPECT_EQ(first.size(), 0u);
+  EXPECT_EQ(second.size(), 0u);
+  engine.set_tracer(nullptr);
+}
+
+TEST(SpanLifetimeTest, SpanStillRecordsInNormalOperation) {
+  Engine engine;
+  Tracer tracer(engine);
+  engine.set_tracer(&tracer);
+  engine.spawn([](Engine& e) -> Task<> {
+    auto span = maybe_span(e.tracer(), "host", "cat", "work");
+    co_await e.delay(2.0);
+  }(engine));
+  engine.run();
+  ASSERT_EQ(tracer.size(), 1u);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000000.000"), std::string::npos);
+}
+
+TEST(TracerTest, InterningKeepsLabelsStable) {
+  Engine engine;
+  Tracer tracer(engine);
+  // Pass labels through short-lived buffers: the tracer must own copies.
+  for (int i = 0; i < 3; ++i) {
+    const std::string track = "track" + std::to_string(i % 2);
+    tracer.instant(track, "cat", "evt");
+  }
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"track0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"track1\""), std::string::npos);
+  EXPECT_EQ(tracer.size(), 3u);
+}
+
 TEST(TracerTest, TracksGetStableThreadIds) {
   Engine engine;
   Tracer tracer(engine);
@@ -645,13 +784,39 @@ TEST(TracerTest, TracksGetStableThreadIds) {
 namespace hmr::sim {
 namespace {
 
-TEST(EngineTest, MaxEventsGuardsRunaways) {
+TEST(EngineTest, MaxEventsSurfacesCleanOverrun) {
   Engine engine;
   engine.set_max_events(100);
   engine.spawn([](Engine& e) -> Task<> {
     while (true) co_await e.delay(0.001);  // would run forever
   }(engine));
-  EXPECT_DEATH(engine.run(), "max_events");
+  engine.run();  // returns instead of aborting
+  EXPECT_TRUE(engine.overrun());
+  EXPECT_EQ(engine.events_dispatched(), 100u);
+  EXPECT_GT(engine.pending_events(), 0u);   // runaway still queued
+  EXPECT_EQ(engine.live_processes(), 1);    // the loop never finished
+  EXPECT_FALSE(engine.step());              // valve stays shut
+}
+
+TEST(EngineTest, RunUntilStopsAtOverrunWithoutTimeJump) {
+  Engine engine;
+  engine.set_max_events(10);
+  engine.spawn([](Engine& e) -> Task<> {
+    while (true) co_await e.delay(1.0);
+  }(engine));
+  engine.run_until(100.0);
+  EXPECT_TRUE(engine.overrun());
+  // Time must not jump to the deadline past still-queued events.
+  EXPECT_LT(engine.now(), 100.0);
+}
+
+TEST(EngineTest, NoOverrunWhenUnderLimit) {
+  Engine engine;
+  engine.set_max_events(1000);
+  engine.spawn([](Engine& e) -> Task<> { co_await e.delay(1.0); }(engine));
+  engine.run();
+  EXPECT_FALSE(engine.overrun());
+  EXPECT_EQ(engine.live_processes(), 0);
 }
 
 TEST(EngineTest, DetachedExceptionAborts) {

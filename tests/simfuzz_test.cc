@@ -11,9 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include "mapred/types.h"
 #include "simfuzz/fuzzer.h"
 #include "simfuzz/oracle.h"
 #include "simfuzz/scenario.h"
+#include "workloads/jobs.h"
+#include "workloads/testbed.h"
 
 namespace hmr::simfuzz {
 namespace {
@@ -190,6 +193,68 @@ TEST(OracleTest, GoldenDeterminismPerEngine) {
     ASSERT_FALSE(first.result_json.empty()) << engine;
     EXPECT_EQ(first.result_json, second.result_json) << engine;
   }
+}
+
+// The old-vs-new event queue oracle on every engine: both queue
+// implementations promise the same (timestamp, seq) dispatch order, so
+// the serialized JobResult — every phase timestamp, counter, and the
+// metrics snapshot — must come out byte-identical.
+TEST(OracleTest, QueueImplsProduceByteIdenticalResults) {
+  const Scenario s = small_scenario();
+  for (const char* engine : {"vanilla", "osu-ib", "hadoop-a"}) {
+    const EngineRun fourary =
+        run_engine(s, engine, sim::EventQueue::Impl::kFourAry);
+    const EngineRun legacy =
+        run_engine(s, engine, sim::EventQueue::Impl::kLegacyBinaryHeap);
+    ASSERT_FALSE(fourary.result_json.empty()) << engine;
+    EXPECT_EQ(fourary.result_json, legacy.result_json) << engine;
+  }
+}
+
+// ISSUE 7 success metric: a 256-node terasort completes in CI-budget
+// wall time and the 4-ary queue reproduces the legacy serial engine's
+// run byte for byte at that scale — the queue changes how fast the
+// simulator dispatches, never what the job computes.
+TEST(OracleTest, Terasort256NodesByteIdenticalAcrossQueues) {
+  constexpr double kScale = 8192.0;  // ~512 KiB real bytes carried
+  const auto run_with = [&](sim::EventQueue::Impl impl) {
+    workloads::TestbedSpec spec;
+    spec.nodes = 256;
+    spec.hdfs.block_size = 32 * kMiB;
+    spec.queue_impl = impl;
+    workloads::Testbed bed(spec);
+
+    workloads::DataGenSpec gen;
+    gen.dir = "/in";
+    gen.modeled_total = 4096 * kMiB;  // 128 map tasks at 32 MiB blocks
+    gen.part_modeled = 32 * kMiB;
+    gen.scale = kScale;
+    gen.seed = 9;
+    EXPECT_TRUE(bed.generate("teragen", gen).ok());
+
+    Conf conf;
+    conf.set(mapred::kShuffleEngine, "osu-ib");
+    conf.set_int(mapred::kNumReduces, 256);  // one reducer per node
+    conf.set_double(mapred::kKvInflation, kScale);
+    conf.set_bytes(mapred::kMaxRecordBytes,
+                   std::uint64_t(102.0 * kScale));
+    const auto result =
+        bed.run_job(workloads::terasort_job(bed.dfs(), "/in", "/out", conf));
+    EXPECT_EQ(result.num_maps, 128);
+    EXPECT_EQ(result.num_reduces, 256);
+    const auto report = workloads::validate_output(bed.dfs(), "/out");
+    EXPECT_TRUE(report.ok());
+    if (report.ok()) {
+      EXPECT_TRUE(report->per_part_sorted);
+      EXPECT_TRUE(report->globally_sorted);
+    }
+    return job_result_json(result);
+  };
+  const std::string fourary = run_with(sim::EventQueue::Impl::kFourAry);
+  const std::string legacy =
+      run_with(sim::EventQueue::Impl::kLegacyBinaryHeap);
+  ASSERT_FALSE(fourary.empty());
+  EXPECT_EQ(fourary, legacy);
 }
 
 TEST(OracleTest, StallFaultTeardownRaceStaysFixed) {
