@@ -23,6 +23,16 @@
 // state, and the reported ratio is the MEDIAN of per-pair ratios — a
 // noisy stretch skews one pair, not the estimate. Both impls see
 // identical event streams.
+// A second family of series covers ISSUE-8 parallel work events
+// (sim/parallel.h): "parallel-overhead" is the thread-CPU cost of
+// routing compute through `co_await engine.parallel` at workers=1
+// relative to running the same compute inline (the price of admission,
+// ~1.0), and "parallel-speedup" is the wall-clock time of the same
+// compute-heavy workload at workers=2 relative to workers=1 (< 1 is a
+// speedup; 4- and 8-worker ratios ride along as ungated extra keys
+// because CI core counts vary). Both runs double as an identity check:
+// `validated` demands every width produced the same event count, final
+// clock, and per-host compute checksum.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -35,6 +45,7 @@
 #include "common/rng.h"
 #include "sim/engine.h"
 #include "sim/event_queue.h"
+#include "sim/parallel.h"
 
 namespace {
 
@@ -146,6 +157,83 @@ Once engine_dispatch(EventQueue::Impl impl) {
   return m;
 }
 
+// Wall clock for the speedup series: worker threads are the whole
+// point, so thread-CPU time of the engine thread would miss them.
+double now_wall_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+// One timed repetition of the parallel-compute workload.
+struct ParallelOnce {
+  double seconds = 0;
+  std::uint64_t events = 0;
+  double final_time = 0;
+  std::uint64_t checksum = 0;  // XOR of per-host compute sums
+};
+
+// Workload 3: parallel work events. Eight hosts each run rounds of
+// `co_await parallel(host, <hash spin>)` separated by equal delays, so
+// every round is one batch of eight single-item chains — the shape
+// map-compute batches take in a real job. The spin is sized to
+// millisecond-scale chains (what a map task's decode+sort+build costs)
+// so compute dominates the pool's per-batch condvar handoff — on
+// virtualized CI runners a futex wake costs tens to hundreds of
+// microseconds, which would drown sub-millisecond chains. `use_wall`
+// picks the clock: wall for speedup, thread-CPU for the workers=1
+// overhead ratio (single-threaded there, and immune to CI preemption).
+ParallelOnce parallel_compute(int workers, bool use_wall,
+                              bool use_parallel_path = true) {
+  constexpr int kHosts = 8;
+  constexpr int kRounds = 8;
+  constexpr int kSpin = 2'000'000;
+  Engine engine(3);
+  engine.set_parallel_workers(workers);
+  std::vector<std::uint64_t> sums(std::size_t(kHosts), 0);
+  const auto spin = [](int host, int round) {
+    std::uint64_t h = 1469598103934665603ull +
+                      std::uint64_t(host) * 1099511628211ull +
+                      std::uint64_t(round);
+    for (int i = 0; i < kSpin; ++i) {
+      h ^= std::uint64_t(i);
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  for (int host = 0; host < kHosts; ++host) {
+    if (use_parallel_path) {
+      engine.spawn([](Engine& e, int host, std::uint64_t* sum,
+                      decltype(spin) spin) -> Task<> {
+        for (int round = 0; round < kRounds; ++round) {
+          co_await e.parallel(host, [=](ParallelEffects&) {
+            *sum += spin(host, round);  // chain-confined slot
+          });
+          co_await e.delay(1e-3);
+        }
+      }(engine, host, &sums[std::size_t(host)], spin));
+    } else {
+      // Inline twin: identical compute and event cadence, no work
+      // events — the baseline the overhead ratio divides by.
+      engine.spawn([](Engine& e, int host, std::uint64_t* sum,
+                      decltype(spin) spin) -> Task<> {
+        for (int round = 0; round < kRounds; ++round) {
+          *sum += spin(host, round);
+          co_await e.delay(1e-3);
+        }
+      }(engine, host, &sums[std::size_t(host)], spin));
+    }
+  }
+  ParallelOnce m;
+  const double t0 = use_wall ? now_wall_seconds() : now_seconds();
+  engine.run();
+  m.seconds = (use_wall ? now_wall_seconds() : now_seconds()) - t0;
+  m.events = engine.events_dispatched();
+  m.final_time = engine.now();
+  for (std::uint64_t s : sums) m.checksum ^= s;
+  return m;
+}
+
 double median(std::vector<double> v) {
   std::sort(v.begin(), v.end());
   const std::size_t n = v.size();
@@ -203,6 +291,102 @@ Json make_run(const std::string& series, const Comparison& c) {
   return run;
 }
 
+// The identity half of the parallel series: every width must have seen
+// the same stream and computed the same bytes.
+bool parallel_match(const ParallelOnce& a, const ParallelOnce& b) {
+  return a.events == b.events && a.final_time == b.final_time &&
+         a.checksum == b.checksum;
+}
+
+// The parallel series are gated with the ratio of per-width MINIMUM rep
+// times, not the median of per-pair ratios the queue series use: wall
+// clock on virtualized runners takes one-sided noise (steal, neighbor
+// load only ever slow a rep down), and the min over interleaved reps is
+// the clean-machine estimate that noise cannot inflate.
+double min_of(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+// Overhead of the parallel path itself: thread-CPU time of the
+// workers=1 engine routing compute through work events, as a fraction
+// of the inline twin.
+Json make_parallel_overhead_run() {
+  std::vector<double> path_times, inline_times;
+  bool match = true;
+  std::uint64_t events = 0;
+  parallel_compute(1, /*use_wall=*/false);
+  parallel_compute(1, /*use_wall=*/false, /*use_parallel_path=*/false);
+  for (int rep = 0; rep < kReps; ++rep) {
+    const ParallelOnce p = parallel_compute(1, /*use_wall=*/false);
+    const ParallelOnce inline_twin =
+        parallel_compute(1, /*use_wall=*/false, /*use_parallel_path=*/false);
+    path_times.push_back(p.seconds);
+    inline_times.push_back(inline_twin.seconds);
+    match = match && p.checksum == inline_twin.checksum;
+    events = p.events;
+  }
+  const double ratio = min_of(path_times) / min_of(inline_times);
+  Json phases = Json::object();
+  for (const char* phase : {"map", "shuffle", "merge", "reduce"}) {
+    phases.set(phase, Json(0.0));
+  }
+  Json run = Json::object();
+  run.set("series", Json("parallel-overhead 1-worker"));
+  run.set("size_gb", Json(0.0));
+  run.set("seconds", Json(ratio));
+  run.set("phases", std::move(phases));
+  run.set("overlap_fraction", Json(0.0));
+  run.set("cache_hit_rate", Json(0.0));
+  run.set("validated", Json(match));
+  run.set("events_per_rep", Json(double(events)));
+  std::printf("%-28s parallel-path/inline CPU ratio %.3f\n",
+              "parallel-overhead 1-worker", ratio);
+  return run;
+}
+
+// Wall-clock speedup of real worker threads. The gated "seconds" is the
+// workers=2 ratio (every CI runner has 2 cores); wider pools ride along
+// as ungated keys. Reps interleave all widths so each rep's ratios share
+// machine state.
+Json make_parallel_speedup_run() {
+  std::vector<double> t1, t2, t4, t8;
+  bool match = true;
+  parallel_compute(1, /*use_wall=*/true);
+  parallel_compute(2, /*use_wall=*/true);
+  for (int rep = 0; rep < kReps; ++rep) {
+    const ParallelOnce w1 = parallel_compute(1, /*use_wall=*/true);
+    const ParallelOnce w2 = parallel_compute(2, /*use_wall=*/true);
+    const ParallelOnce w4 = parallel_compute(4, /*use_wall=*/true);
+    const ParallelOnce w8 = parallel_compute(8, /*use_wall=*/true);
+    t1.push_back(w1.seconds);
+    t2.push_back(w2.seconds);
+    t4.push_back(w4.seconds);
+    t8.push_back(w8.seconds);
+    match = match && parallel_match(w1, w2) && parallel_match(w1, w4) &&
+            parallel_match(w1, w8);
+  }
+  const double r2 = min_of(t2) / min_of(t1);
+  const double r4 = min_of(t4) / min_of(t1);
+  const double r8 = min_of(t8) / min_of(t1);
+  Json phases = Json::object();
+  for (const char* phase : {"map", "shuffle", "merge", "reduce"}) {
+    phases.set(phase, Json(0.0));
+  }
+  Json run = Json::object();
+  run.set("series", Json("parallel-speedup 2-workers"));
+  run.set("size_gb", Json(0.0));
+  run.set("seconds", Json(r2));
+  run.set("phases", std::move(phases));
+  run.set("overlap_fraction", Json(0.0));
+  run.set("cache_hit_rate", Json(0.0));
+  run.set("validated", Json(match));
+  run.set("speedup_w4", Json(r4));
+  run.set("speedup_w8", Json(r8));
+  std::printf("%-28s wall ratio w2 %.3f  w4 %.3f  w8 %.3f  (%.2fx at 2)\n",
+              "parallel-speedup 2-workers", r2, r4, r8, 1.0 / r2);
+  return run;
+}
+
 }  // namespace
 
 int main() {
@@ -213,6 +397,8 @@ int main() {
       make_run("queue-churn 32k-backlog", measure(queue_churn)));
   runs.push_back(
       make_run("engine-dispatch 128k-timers", measure(engine_dispatch)));
+  runs.push_back(make_parallel_overhead_run());
+  runs.push_back(make_parallel_speedup_run());
 
   Json doc = Json::object();
   doc.set("schema", Json("hmr-bench-v1"));

@@ -97,7 +97,7 @@ std::vector<double> latency_buckets() {
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    it = counters_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
@@ -105,7 +105,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge{}).first;
+    it = gauges_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }

@@ -17,7 +17,8 @@ bool has_prefix(const std::string& path, std::string_view prefix) {
 }
 
 const std::set<std::string, std::less<>> kKnownRules = {
-    "determinism", "status-discipline", "config-registry", "metric-registry"};
+    "determinism", "status-discipline", "config-registry", "metric-registry",
+    "thread-discipline"};
 
 // Drops findings waived by a justified suppression on the same line or
 // the line above; reports malformed suppressions.
@@ -77,6 +78,12 @@ Report lint_files(const std::vector<SourceFile>& files, const Options& opts) {
 
     std::vector<Finding> local;
     if (in_src) check_determinism(f, &local);
+    // sim/parallel.{h,cc} is the one sanctioned home for raw threads and
+    // locks (the WorkerPool); its own includes carry justified
+    // suppressions, and everything else in src/ must stay thread-free.
+    if (in_src && !has_prefix(f.path, "src/sim/parallel.")) {
+      check_thread_discipline(f, &local);
+    }
     check_status_discipline(f, fn_registry,
                             /*check_value_guard=*/in_src || in_tools, &local);
     if (in_src || in_tools) extract_config_keys(f, &config_uses, &local);

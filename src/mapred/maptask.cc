@@ -36,17 +36,34 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
   HMR_CHECK_MSG(split.ok(), "map input read failed: " + split.status().to_string());
 
   // Decode records and run the user map function into the sort buffer.
-  auto records = dataplane::decode_run(*split);
-  HMR_CHECK_MSG(records.ok(), "corrupt input split: " + task.input_file);
+  // This is pure compute over the split bytes and the task-local builder
+  // (whose arena is owned by this frame), so it runs as a parallel work
+  // event: same-timestamp map computes on *other* hosts may execute
+  // concurrently. Everything shared — job counters, result fields — is
+  // written after the await, on the engine thread; map_fn must be
+  // re-entrant (all bundled workload fns are stateless).
   dataplane::MapOutputBuilder builder(job.num_reduces, *job.spec.partitioner);
-  const Emit emit = [&builder](KvPair pair) { builder.add(std::move(pair)); };
-  job.result.counters["MAP_INPUT_RECORDS"] +=
-      std::int64_t(records->size());
-  if (job.spec.map_fn) {
-    for (const auto& record : *records) job.spec.map_fn(record, emit);
-  } else {
-    for (auto& record : *records) emit(std::move(record));
-  }
+  std::uint64_t input_records = 0;
+  bool decode_ok = false;
+  co_await job.engine.parallel(
+      host.id(), [&](sim::ParallelEffects& effects) {
+        auto records = dataplane::decode_run(*split);
+        if (!records.ok()) return;
+        decode_ok = true;
+        input_records = records->size();
+        const Emit emit = [&builder](KvPair pair) {
+          builder.add(std::move(pair));
+        };
+        if (job.spec.map_fn) {
+          for (const auto& record : *records) job.spec.map_fn(record, emit);
+        } else {
+          for (auto& record : *records) emit(std::move(record));
+        }
+        effects.instant(host.name(), "map",
+                        "map_compute_" + std::to_string(map_id));
+      });
+  HMR_CHECK_MSG(decode_ok, "corrupt input split: " + task.input_file);
+  job.result.counters["MAP_INPUT_RECORDS"] += std::int64_t(input_records);
   job.result.counters["MAP_OUTPUT_RECORDS"] +=
       std::int64_t(builder.pending_records());
   job.result.counters["MAP_OUTPUT_BYTES"] += static_cast<std::int64_t>(
@@ -66,9 +83,14 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
       job.spec.combine_fn(key, values, emit);
     };
   }
+  // Sort + combine + serialize, the other pure-compute half; combine_fn
+  // is confined to the builder's records, so it parallelizes under the
+  // same contract as map_fn above.
   const auto combine_in = builder.pending_records();
-  dataplane::MapOutput output =
-      builder.build(job.spec.combine_fn ? &combiner : nullptr);
+  dataplane::MapOutput output;
+  co_await job.engine.parallel(host.id(), [&](sim::ParallelEffects&) {
+    output = builder.build(job.spec.combine_fn ? &combiner : nullptr);
+  });
   if (job.spec.combine_fn) {
     std::uint64_t combine_out = 0;
     for (const auto& entry : output.index) combine_out += entry.kv_count;
@@ -85,7 +107,7 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
       1, (output_modeled + sort_mb - 1) / std::max<std::uint64_t>(1, sort_mb));
   job.result.spills += spills;
   job.result.counters["SPILLED_RECORDS"] +=
-      std::int64_t(double(records->size()) * double(spills));
+      std::int64_t(double(input_records) * double(spills));
 
   const std::string path = "mapout/" + job.spec.name + "/map_" +
                            std::to_string(map_id) + "_h" +

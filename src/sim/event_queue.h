@@ -37,6 +37,8 @@ namespace hmr::sim {
 
 using Time = double;
 
+struct ParallelWork;  // sim/parallel.h
+
 class EventQueue {
  public:
   enum class Impl {
@@ -48,6 +50,10 @@ class EventQueue {
     Time at;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
+    // Non-null marks a *work event*: the engine executes work->fn
+    // (possibly on a worker thread, batched with same-timestamp work
+    // events) before resuming `handle`. Plain events leave it null.
+    ParallelWork* work = nullptr;
   };
 
   explicit EventQueue(Impl impl = Impl::kFourAry) : impl_(impl) {}
@@ -58,10 +64,15 @@ class EventQueue {
   }
 
   // Timestamp of the next event to dispatch; queue must be non-empty.
-  Time next_at() const {
-    if (fifo_head_ == fifo_.size()) return heap_.front().at;
-    if (heap_.empty()) return fifo_[fifo_head_].at;
-    return fifo_front_wins() ? fifo_[fifo_head_].at : heap_.front().at;
+  Time next_at() const { return front().at; }
+
+  // The next event to dispatch, without removing it; queue must be
+  // non-empty. Used by the engine to extend a parallel batch with the
+  // contiguous run of same-timestamp work events.
+  const Event& front() const {
+    if (fifo_head_ == fifo_.size()) return heap_.front();
+    if (heap_.empty() || fifo_front_wins()) return fifo_[fifo_head_];
+    return heap_.front();
   }
 
   // `now` is the engine's current time: events landing exactly at `now`

@@ -1,0 +1,84 @@
+#include "sim/parallel.h"
+
+#include "common/status.h"
+
+namespace hmr::sim {
+
+WorkerPool::WorkerPool(int workers) : workers_(workers) {
+  HMR_CHECK_MSG(workers >= 1, "WorkerPool needs at least one worker");
+  threads_.reserve(std::size_t(workers - 1));
+  for (int i = 0; i < workers - 1; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::vector<std::vector<ParallelWork*>>& chains) {
+  if (chains.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    chains_ = &chains;
+    done_chains_ = 0;
+    next_chain_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The engine thread is worker 0: it claims chains like everyone else,
+  // so a single-chain batch never pays a thread handoff.
+  while (run_one_chain()) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_chains_ == chains.size(); });
+  // The mutex hand-off above is the happens-before edge: every effect a
+  // worker wrote into its chains' staging buffers is visible to the
+  // engine thread from here on.
+  chains_ = nullptr;
+}
+
+bool WorkerPool::run_one_chain() {
+  const std::vector<std::vector<ParallelWork*>>* chains = nullptr;
+  std::size_t index = 0;
+  {
+    // Snapshot and claim under one lock: a helper that wakes late (or
+    // straddles two batches) either claims a chain of the batch that is
+    // genuinely current or sees nothing left — never a stale chain.
+    std::lock_guard<std::mutex> lock(mu_);
+    chains = chains_;
+    if (chains == nullptr) return false;
+    index = next_chain_;
+    if (index >= chains->size()) return false;
+    ++next_chain_;
+  }
+  for (ParallelWork* work : (*chains)[index]) work->execute();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++done_chains_ == chains->size()) done_cv_.notify_all();
+  }
+  return true;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    while (run_one_chain()) {
+    }
+  }
+}
+
+}  // namespace hmr::sim

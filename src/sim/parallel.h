@@ -1,0 +1,161 @@
+// Conservative parallel event execution for sim::Engine.
+//
+// The engine stays deterministic by construction: parallelism is opt-in
+// per call site through `co_await engine.parallel(host, fn)`, which
+// turns `fn` into a *work event* at the current simulated time. When the
+// engine reaches a contiguous run of same-timestamp work events it
+// partitions them by owning host into independent chains, executes the
+// chains on a fixed-size worker pool (sim.parallel.workers, default 1 =
+// the serial engine), and then applies each work item's staged side
+// effects and resumes its continuation serially in (timestamp, seq)
+// order. See DESIGN.md §6.4 for the full determinism argument.
+//
+// The contract a parallel fn must obey (the host-independence
+// assumption):
+//  - deterministic: output depends only on its closure,
+//  - confined: reads only its closure, host-local state owned by the
+//    awaiting task, and immutable shared state; never engine, queue,
+//    metrics, tracer, RNG streams, or another host's state,
+//  - effects-staged: anything that must reach shared state goes through
+//    the ParallelEffects buffer, which the engine drains on its own
+//    thread in deterministic order,
+//  - non-blocking: no simulated waiting (fns are plain functions, not
+//    coroutines) and no real blocking either.
+// Violations are caught, not trusted away: the always-on simfuzz
+// `engine.parallel_identity` oracle replays every scenario serially and
+// demands byte-identical results, and the TSan CI job runs the stress
+// suite with real worker threads.
+//
+// This header is the only place in the tree allowed to use raw threads
+// and locks (hmr-lint rule `thread-discipline`); everything else goes
+// through Engine::parallel().
+#pragma once
+
+#include <condition_variable>   // lint:ignore(thread-discipline): WorkerPool owns all cross-thread state
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>                // lint:ignore(thread-discipline): WorkerPool owns all cross-thread state
+#include <string>
+#include <thread>               // lint:ignore(thread-discipline): WorkerPool owns all cross-thread state
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "sim/event_queue.h"
+
+namespace hmr::sim {
+
+class Engine;
+
+// Per-work staging buffer for side effects produced inside a parallel
+// fn. Each ParallelWork owns exactly one, so fns append without
+// synchronization; the engine drains buffers on its own thread in
+// (timestamp, seq) order, which makes the merged effect stream identical
+// to what a serial execution would have produced.
+class ParallelEffects {
+ public:
+  // Stages `counter += delta`. The handle must outlive the drain (all
+  // MetricsRegistry entries are node-stable, so any registered counter
+  // qualifies).
+  void add(Counter& counter, std::int64_t delta = 1) {
+    counters_.emplace_back(&counter, delta);
+  }
+  // Stages a zero-duration tracer marker at the batch timestamp.
+  void instant(std::string track, std::string category, std::string name) {
+    traces_.push_back(StagedTrace{std::move(track), std::move(category),
+                                  std::move(name), 0.0, /*instant=*/true});
+  }
+  // Stages a complete tracer span from `start` to the batch timestamp.
+  void complete(std::string track, std::string category, std::string name,
+                Time start) {
+    traces_.push_back(StagedTrace{std::move(track), std::move(category),
+                                  std::move(name), start, /*instant=*/false});
+  }
+  // Stages an arbitrary engine-thread callback (e.g. scheduling new
+  // events); runs during the drain, before the continuation resumes.
+  void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+
+  bool empty() const {
+    return counters_.empty() && traces_.empty() && deferred_.empty();
+  }
+
+ private:
+  friend class Engine;
+  struct StagedTrace {
+    std::string track;
+    std::string category;
+    std::string name;
+    Time start;
+    bool instant;
+  };
+  std::vector<std::pair<Counter*, std::int64_t>> counters_;
+  std::vector<StagedTrace> traces_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+// One scheduled unit of parallel work. Lives inside the awaiting
+// coroutine's frame (it *is* the awaiter), so it stays valid exactly as
+// long as the task is suspended on it; the engine must not touch it
+// after resuming the continuation.
+struct ParallelWork {
+  int host = -1;
+  std::uint64_t seq = 0;
+  std::function<void(ParallelEffects&)> fn;
+  std::coroutine_handle<> continuation;
+  ParallelEffects effects;
+  std::exception_ptr error;
+
+  // Runs on a worker (or the engine thread at workers=1). Exceptions are
+  // captured and rethrown from await_resume on the engine thread, so a
+  // throwing fn fails the awaiting task, not the process.
+  void execute() {
+    try {
+      fn(effects);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+};
+
+// Fixed-size pool executing host chains of a single batch. The engine
+// thread participates as worker 0, so a pool of size N spawns N-1
+// helper threads; run() is a full barrier — every chain has finished
+// (with a happens-before edge to the caller) when it returns.
+//
+// All cross-thread state in the simulator lives here, behind one mutex;
+// fns themselves run unsynchronized because chains share nothing (the
+// host partition is the isolation boundary).
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int workers() const { return workers_; }
+
+  // Executes every chain; items within a chain run in order on one
+  // worker. Blocks until all chains complete.
+  void run(const std::vector<std::vector<ParallelWork*>>& chains);
+
+ private:
+  void worker_loop();
+  // Claims and runs one chain; false when none remain to claim.
+  bool run_one_chain();
+
+  const int workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // Guarded by mu_:
+  const std::vector<std::vector<ParallelWork*>>* chains_ = nullptr;
+  std::size_t next_chain_ = 0;  // claim ticket for the current batch
+  std::size_t done_chains_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hmr::sim

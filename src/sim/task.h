@@ -8,9 +8,11 @@
 //  * detached:   `engine.spawn(child(...));` — the engine takes ownership
 //    and the frame self-destroys at final suspend.
 //
-// The engine is single-threaded; no atomics are needed. Determinism comes
-// from all cross-task wakeups being routed through the engine's ordered
-// event queue.
+// Coroutines are created, resumed, and destroyed on the engine thread
+// only — worker threads (sim/parallel.h) run plain closures, never
+// coroutine frames — so the promise machinery needs no atomics.
+// Determinism comes from all cross-task wakeups being routed through
+// the engine's ordered event queue.
 #pragma once
 
 #include <coroutine>

@@ -56,6 +56,7 @@ ScenarioSetup scenario_setup(const Scenario& scenario,
                                : net::NetProfile::verbs_qdr();
   setup.bed_spec.hdfs.block_size = scenario.block_bytes;
   setup.bed_spec.seed = scenario.seed;
+  setup.bed_spec.parallel_workers = scenario.parallel_workers;
 
   const double scale =
       std::max(1.0, double(scenario.modeled_bytes) /
@@ -159,12 +160,15 @@ std::string job_result_json(const mapred::JobResult& job) {
 }
 
 EngineRun run_engine(const Scenario& scenario, const std::string& engine,
-                     sim::EventQueue::Impl queue_impl) {
+                     sim::EventQueue::Impl queue_impl, int parallel_workers) {
   EngineRun run;
   run.engine = engine;
 
   ScenarioSetup setup = scenario_setup(scenario, engine);
   setup.bed_spec.queue_impl = queue_impl;
+  if (parallel_workers >= 1) {
+    setup.bed_spec.parallel_workers = parallel_workers;
+  }
   workloads::Testbed bed(setup.bed_spec);
   auto digest = bed.generate(setup.terasort ? "teragen" : "randomwriter",
                              setup.gen);
@@ -521,6 +525,25 @@ void check_queue_equivalence(const Scenario& scenario, const EngineRun& ref,
   }
 }
 
+void check_parallel_identity(const Scenario& scenario, const EngineRun& ref,
+                             Verdict* verdict) {
+  // Replay at the opposite pool width: a parallel scenario gets a serial
+  // twin (the reference semantics), a serial scenario gets a 2-worker
+  // twin — so EVERY scenario compares real worker threads against the
+  // serial engine. Any divergence means a parallel fn broke the
+  // host-independence contract (sim/parallel.h) or the staging drain
+  // reordered effects.
+  const int twin_workers = scenario.parallel_workers > 1 ? 1 : 2;
+  const EngineRun twin = run_engine(
+      scenario, ref.engine, sim::EventQueue::Impl::kFourAry, twin_workers);
+  if (twin.result_json != ref.result_json) {
+    add(verdict, "engine.parallel_identity", ref.engine,
+        fmt("replay at sim.parallel.workers=%d produced a different "
+            "serialized JobResult than workers=%d",
+            twin_workers, scenario.parallel_workers));
+  }
+}
+
 Verdict check_scenario(const Scenario& scenario) {
   Verdict verdict;
   std::vector<EngineRun> runs;
@@ -534,6 +557,9 @@ Verdict check_scenario(const Scenario& scenario) {
   // order is part of the determinism contract, so the whole serialized
   // JobResult (timestamps, counters, metrics) must be byte-identical.
   check_queue_equivalence(scenario, runs[1], &verdict);
+  // Serial-vs-parallel on the paper's engine, always on: worker threads
+  // may change where fn bodies run, never the simulated outcome.
+  check_parallel_identity(scenario, runs[1], &verdict);
   if (scenario.check_determinism) {
     const EngineRun rerun = run_engine(scenario, "osu-ib");
     if (rerun.result_json != runs[1].result_json) {

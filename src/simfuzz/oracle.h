@@ -72,9 +72,13 @@ std::string job_result_json(const mapred::JobResult& job);
 // in the runtime by design (the generator never emits those).
 // `queue_impl` selects the engine's event-queue implementation; the
 // queue-equivalence oracle replays with the legacy binary heap.
+// `parallel_workers` >= 1 overrides the scenario's worker-pool width
+// (the parallel-identity oracle and the parallel stress suite replay
+// the same scenario at several widths); -1 keeps the scenario's value.
 EngineRun run_engine(
     const Scenario& scenario, const std::string& engine,
-    sim::EventQueue::Impl queue_impl = sim::EventQueue::Impl::kFourAry);
+    sim::EventQueue::Impl queue_impl = sim::EventQueue::Impl::kFourAry,
+    int parallel_workers = -1);
 
 // Appends per-engine violations for one run.
 void check_engine_run(const Scenario& scenario, const EngineRun& run,
@@ -95,9 +99,17 @@ void check_multi_job(const Scenario& scenario, Verdict* verdict);
 void check_queue_equivalence(const Scenario& scenario, const EngineRun& ref,
                              Verdict* verdict);
 
+// Serial-vs-parallel identity oracle (always on): replays one engine at
+// the opposite worker-pool width (serial scenarios get workers=2,
+// parallel scenarios get workers=1) and demands a byte-identical
+// serialized JobResult. Divergence means a parallel fn violated the
+// host-independence contract of sim/parallel.h.
+void check_parallel_identity(const Scenario& scenario, const EngineRun& ref,
+                             Verdict* verdict);
+
 // The full battery: all three engines, per-engine + cross-engine checks,
-// the old-vs-new event-queue replay, plus the sampled determinism re-run
-// when the scenario asks for it.
+// the old-vs-new event-queue replay, the serial-vs-parallel replay, plus
+// the sampled determinism re-run when the scenario asks for it.
 Verdict check_scenario(const Scenario& scenario);
 
 }  // namespace hmr::simfuzz

@@ -82,6 +82,13 @@ struct Scenario {
   // each job computes).
   int concurrent_jobs = 1;
 
+  // Parallel-engine dimension (sim.parallel.workers): the worker-pool
+  // width every engine run of this scenario uses. The always-on
+  // engine.parallel_identity oracle replays one engine serially and
+  // demands a byte-identical JobResult, so any fuzzed value > 1
+  // exercises real worker threads against the serial reference.
+  int parallel_workers = 1;
+
   // Fault plan (network and disk sites together); empty = healthy run.
   std::vector<FaultSite> faults;
 

@@ -1,0 +1,18 @@
+// Fixture: sim-facing code reaching for every raw-threading primitive
+// the thread-discipline rule bans. Never compiled; scanned by
+// lint_test.cc.
+#include <mutex>
+#include <thread>
+
+int racy(int* shared) {
+  std::mutex mu;
+  std::condition_variable cv;
+  (void)cv;
+  std::thread worker([shared, &mu] {
+    std::lock_guard<std::mutex> lock(mu);
+    ++*shared;
+  });
+  auto f = std::async([] { return 1; });
+  worker.join();
+  return *shared + f.get();
+}

@@ -1,0 +1,24 @@
+// Fixture: the sanctioned spellings of everything thread_bad.cc does
+// wrong — effects staged through engine.parallel, atomics for lock-free
+// guards, and identifiers that merely share a banned name. Never
+// compiled; scanned by lint_test.cc.
+#include <atomic>
+
+#include "sim/engine.h"
+
+hmr::sim::Task<> confined(hmr::sim::Engine& engine, hmr::Counter& counter) {
+  std::atomic<int> guard{0};  // atomics are allowed: lock-free, non-blocking
+  co_await engine.parallel(1, [&counter](hmr::sim::ParallelEffects& fx) {
+    fx.add(counter, 1);
+  });
+  guard.store(1, std::memory_order_release);
+}
+
+// Unqualified names that collide with banned ones stay silent: only
+// `std::`-qualified uses (or the headers) flag.
+struct Handle {
+  int mutex = 0;   // a field, not std::mutex
+  int thread = 0;  // a field, not std::thread
+};
+
+int promise_like(Handle h) { return h.mutex + h.thread; }

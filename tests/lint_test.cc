@@ -124,6 +124,30 @@ TEST(LintMetricTest, SilentWhenDocumentedIncludingPrefixSuffix) {
   EXPECT_EQ(report.metric_name_suffixes[0], "used_bytes");
 }
 
+TEST(LintThreadTest, FlagsRawThreadingPrimitives) {
+  const Report report = lint_fixture("thread_bad.cc");
+  // <mutex> + <thread> includes, std::mutex, std::condition_variable,
+  // std::thread, std::lock_guard<std::mutex> (two), std::async.
+  EXPECT_EQ(count_rule(report, "thread-discipline"), 8) << dump(report);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(LintThreadTest, SilentOnConfinedParallelismAndAtomics) {
+  const Report report = lint_fixture("thread_ok.cc");
+  EXPECT_TRUE(report.clean()) << dump(report);
+}
+
+TEST(LintThreadTest, ParallelHeaderIsExempt) {
+  // The WorkerPool's own home may use raw threads; the same text under
+  // any other src/ path flags.
+  const std::string text =
+      "#include <thread>\n#include <mutex>\nstd::mutex mu;\n";
+  const Report exempt = lint_files({{"src/sim/parallel.h", text}}, {});
+  EXPECT_EQ(count_rule(exempt, "thread-discipline"), 0) << dump(exempt);
+  const Report flagged = lint_files({{"src/sim/engine2.h", text}}, {});
+  EXPECT_EQ(count_rule(flagged, "thread-discipline"), 3) << dump(flagged);
+}
+
 TEST(LintSuppressionTest, UnjustifiedOrUnknownSuppressionsDoNotWaive) {
   const Report report = lint_fixture("suppression_bad.cc");
   EXPECT_EQ(count_rule(report, "suppression"), 2) << dump(report);
