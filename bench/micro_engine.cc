@@ -33,6 +33,10 @@
 // because CI core counts vary). Both runs double as an identity check:
 // `validated` demands every width produced the same event count, final
 // clock, and per-host compute checksum.
+// A third series times the ISSUE-9 hmr-lint call-graph analysis over
+// the repo's own tree: the gated quantity is full-analysis time as a
+// multiple of a bare lex of the same files, bounding what the
+// repo-wide effect propagation costs on top of tokenization.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -43,6 +47,8 @@
 
 #include "common/json.h"
 #include "common/rng.h"
+#include "lint/lexer.h"
+#include "lint/lint.h"
 #include "sim/engine.h"
 #include "sim/event_queue.h"
 #include "sim/parallel.h"
@@ -387,6 +393,80 @@ Json make_parallel_speedup_run() {
   return run;
 }
 
+// Workload 5: the hmr-lint repo-wide call-graph analysis (ISSUE 9) run
+// over the repo's own tree. Gated "seconds" is the full analysis (call
+// graph extraction, fixed-point effect propagation, every rule family)
+// as a multiple of a bare lex of the same files — a machine-independent
+// ratio, like the queue series, bounding how much the call-graph layers
+// cost on top of tokenization. Absolute full-tree milliseconds ride
+// along ungated for human eyes. `validated` doubles as a dogfood check:
+// the tree must lint to zero findings.
+Json make_lint_run() {
+  std::vector<lint::SourceFile> files;
+  // The CI bench job runs from the repo root; the ".." fallbacks cover
+  // invocations from build/ or build/bench/.
+  for (const char* root : {".", "..", "../.."}) {
+    auto tree = lint::collect_tree(root, {"src", "tools", "tests"});
+    if (tree.ok() && tree.value().size() >= 20) {
+      files = std::move(tree).value();
+      break;
+    }
+  }
+  Json phases = Json::object();
+  for (const char* phase : {"map", "shuffle", "merge", "reduce"}) {
+    phases.set(phase, Json(0.0));
+  }
+  Json run = Json::object();
+  run.set("series", Json("lint-callgraph full-tree"));
+  run.set("size_gb", Json(0.0));
+  run.set("phases", std::move(phases));
+  run.set("overlap_fraction", Json(0.0));
+  run.set("cache_hit_rate", Json(0.0));
+  if (files.empty()) {
+    // No repo tree near the binary (an installed copy, say): emit an
+    // invalid run rather than crash. CI always has the tree.
+    run.set("seconds", Json(0.0));
+    run.set("validated", Json(false));
+    std::printf("%-28s repo tree not found; series invalid\n",
+                "lint-callgraph full-tree");
+    return run;
+  }
+  (void)lint::lint_files(files, {});  // warmup: allocator growth
+  std::vector<double> full_times, lex_times;
+  std::size_t findings = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Both passes repeat inside the timer: a single pass is a handful
+    // of ~10ms kernel CPU-accounting jiffies, and quantization on
+    // either side of the ratio would eat the gate's tolerance.
+    constexpr int kFullIters = 4;
+    double t0 = now_seconds();
+    for (int it = 0; it < kFullIters; ++it) {
+      const lint::Report report = lint::lint_files(files, {});
+      findings = report.findings.size();
+    }
+    full_times.push_back((now_seconds() - t0) / kFullIters);
+    constexpr int kLexIters = 8;
+    t0 = now_seconds();
+    std::size_t tokens = 0;
+    for (int it = 0; it < kLexIters; ++it) {
+      for (const auto& f : files) {
+        tokens += lint::lex(f.path, f.text).tokens.size();
+      }
+    }
+    lex_times.push_back((now_seconds() - t0) / kLexIters);
+    if (tokens == 0) findings += 1;  // lex produced nothing: invalid
+  }
+  const double ratio = min_of(full_times) / min_of(lex_times);
+  run.set("seconds", Json(ratio));
+  run.set("validated", Json(findings == 0));
+  run.set("lint_files", Json(double(files.size())));
+  run.set("lint_full_ms", Json(min_of(full_times) * 1e3));
+  std::printf("%-28s full/lex ratio %.2f   full %.0f ms over %zu files\n",
+              "lint-callgraph full-tree", ratio, min_of(full_times) * 1e3,
+              files.size());
+  return run;
+}
+
 }  // namespace
 
 int main() {
@@ -399,6 +479,7 @@ int main() {
       make_run("engine-dispatch 128k-timers", measure(engine_dispatch)));
   runs.push_back(make_parallel_overhead_run());
   runs.push_back(make_parallel_speedup_run());
+  runs.push_back(make_lint_run());
 
   Json doc = Json::object();
   doc.set("schema", Json("hmr-bench-v1"));

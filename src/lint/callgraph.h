@@ -1,0 +1,210 @@
+// Repo-wide call graph + transitive effect analysis for hmr-lint.
+//
+// A pre-pass over every lexed file (alongside the FunctionRegistry
+// pre-pass in rules.h) records function definitions — with their
+// namespace/class scope chain, body token range, and coroutine-ness —
+// and the call sites inside each body. A fixed-point propagation then
+// computes per-function *effect sets* over a small lattice:
+//
+//   clock    wall-clock reads (steady_clock & friends)
+//   rng      OS/libc randomness (rand, random_device, mt19937, ...)
+//   env      host environment reads (getenv)
+//   engine   sim::Engine state (now, schedule_*, spawn, delay, parallel)
+//   tracer   Tracer writes (instant, complete, span)
+//   metrics  MetricsRegistry handle lookups and histogram records
+//   global   mutable function-local statics
+//   lock     raw std:: locking or sim::Resource acquisition
+//   io       blocking host I/O (fopen/fread/fstream, ...)
+//
+// Direct effects come from token scans and a table of intrinsic seeds
+// keyed by qualified name (Engine::now, Tracer::instant, ...);
+// transitive effects flow caller-ward through call edges. Resolution is
+// name-based (this is a token-level linter, not a compiler): a call
+// site unions the effects of every definition sharing its bare name,
+// except that `std::`-qualified calls never resolve to repo functions
+// and coroutine definitions are excluded at non-co_await call sites. A
+// qualifier at the call site (`Disk::write(...)`) narrows resolution to
+// matching qualified definitions. The propagation records, per effect
+// bit, the call or token that introduced it, so findings can report the
+// full offending call *path*.
+//
+// Three rule families run on top (see docs/LINT.md):
+//   parallel-purity        — lambdas passed to engine.parallel(host, fn)
+//                            and everything reachable from them may only
+//                            touch ParallelEffects-staged state, atomics,
+//                            and work-local data.
+//   coroutine-borrow       — KvView / arena-borrowed spans must not be
+//                            held live across a co_await suspension.
+//   transitive-determinism — call-time determinism bans (rand, srand,
+//                            getenv) fire when the call is *reachable
+//                            from a sim context* (a coroutine), not
+//                            merely when it appears under src/.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+namespace hmr::lint {
+
+// Effect lattice bits. A function's effect set is the bitwise OR of its
+// direct effects and every (resolvable) callee's set.
+enum EffectBit : unsigned {
+  kEffClock = 1u << 0,
+  kEffRng = 1u << 1,
+  kEffEnv = 1u << 2,
+  kEffEngine = 1u << 3,
+  kEffTracer = 1u << 4,
+  kEffMetrics = 1u << 5,
+  kEffGlobal = 1u << 6,
+  kEffLock = 1u << 7,
+  kEffIo = 1u << 8,
+};
+inline constexpr unsigned kEffAll = (1u << 9) - 1;
+inline constexpr int kEffBits = 9;
+
+// "clock|rng|lock" for a mask; "" for 0.
+std::string effect_names(unsigned mask);
+
+// One call site inside a function body.
+struct CallSite {
+  std::string name;       // bare callee name
+  std::string qualifier;  // "Disk" in `Disk::write(...)`, else empty
+  int line = 0;
+  bool awaited = false;     // chain directly behind a co_await
+  bool member = false;      // receiver call (`x.f(...)` / `x->f(...)`)
+  std::string receiver;     // first ident of the chain for member calls
+  std::size_t token = 0;    // index into the owning file's token stream
+};
+
+// A banned call-time determinism token (rand/srand/getenv) found in a
+// body; kept separately so transitive-determinism can report the exact
+// site rather than just the effect bit.
+struct DetCall {
+  std::string name;
+  int line = 0;
+};
+
+// How an effect bit entered a function: either a direct token in its
+// own body (callee < 0) or propagation from a callee definition.
+struct EffectOrigin {
+  int callee = -1;    // index into CallGraph::functions(), -1 = direct
+  std::string token;  // offending token for direct origins
+  int line = 0;
+};
+
+struct FunctionDef {
+  std::string qualified;  // scope chain + name, "::"-joined (no hmr::)
+  std::string name;       // bare name
+  std::string file;
+  int line = 0;
+  bool coroutine = false;  // Task<...> return type or co_await in body
+  unsigned direct = 0;     // direct effect bits
+  unsigned effects = 0;    // after propagation (superset of direct)
+  std::vector<CallSite> calls;
+  std::vector<DetCall> det_calls;
+  EffectOrigin origin[kEffBits];
+  // Body token range [body_begin, body_end) into the owning lexed file;
+  // used by the per-file rules, not serialized.
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+class CallGraph {
+ public:
+  // Extracts definitions and call sites from `file`. Call once per file,
+  // then finalize() exactly once.
+  void add_file(const LexedFile& file);
+
+  // Resolves every call edge and propagates effects to a fixed point;
+  // also runs the sim-context reachability pass (roots = coroutines).
+  void finalize();
+
+  const std::vector<FunctionDef>& functions() const { return fns_; }
+
+  // Indices of definitions a call may target. `for_effects` excludes
+  // coroutine definitions at non-awaited sites (a Task built but not
+  // awaited never runs its body); reachability resolution keeps them so
+  // spawn(fn(...)) edges survive. Two further narrowings fight
+  // bare-name aliasing: awaited calls prefer coroutine candidates (only
+  // awaitables can follow co_await), and — when `caller_scope` (the
+  // calling function's class/namespace chain) is given — unqualified
+  // non-member calls prefer candidates of the caller's own scope.
+  std::vector<std::size_t> resolve(const CallSite& call, bool for_effects,
+                                   const std::string& caller_scope = "") const;
+
+  // Union of post-propagation effects over resolve(call, true).
+  unsigned call_effects(const CallSite& call) const;
+
+  // "f -> g -> `getenv` (file.cc:12)" — the chain from fns_[idx] to the
+  // definition that directly owns `bit`. Empty when idx lacks the bit.
+  std::string explain(std::size_t idx, unsigned bit) const;
+
+  // True when fns_[idx] is a coroutine or reachable from one.
+  bool sim_reachable(std::size_t idx) const;
+  // "run_map_task -> charge_cpu -> f" root-first path witnessing
+  // sim_reachable; just the function's own name when it is a root.
+  std::string sim_root_path(std::size_t idx) const;
+
+  // Also records Status/Result/void-like return kinds (declarations and
+  // definitions) under their qualified names into `reg`, shrinking the
+  // bare-name ambiguity drop set (see FunctionRegistry).
+  void fill_registry(FunctionRegistry* reg) const;
+
+  // {"schema":"hmr-callgraph-v1","functions":[...]} for the CI artifact.
+  Json to_json() const;
+
+ private:
+  friend struct CallGraphTestPeer;
+  std::vector<FunctionDef> fns_;
+  std::map<std::string, std::vector<std::size_t>> by_name_;
+  // Qualified-name return kinds for fill_registry.
+  struct RetDecl {
+    std::string qualified;
+    int kind = 0;  // 0 other, 1 Status, 2 Result, 3 void-like
+  };
+  std::vector<RetDecl> ret_decls_;
+  // Receiver typing, the defense against bare-name aliasing on member
+  // calls. Declarations feed two structures: names with a
+  // `std::`-qualified type (`std::priority_queue<...> heap_;`) whose
+  // member calls are library methods and resolve to nothing, and a
+  // name -> declared-class-name map (`PrefetchCache cache_;`) that
+  // narrows `cache_.get(...)` to PrefetchCache::get. Member calls on
+  // receivers declared nowhere (range-for variables, call-result
+  // chains) resolve to nothing rather than union every same-named
+  // method in the repo; `this->` calls use the caller's own scope.
+  std::set<std::string> std_members_;
+  std::map<std::string, std::set<std::string>> member_types_;
+  std::vector<int> sim_parent_;  // BFS parent; -2 unreachable, -1 root
+  bool finalized_ = false;
+};
+
+// Rule family: parallel-purity. Scans `file` (src/ only) for
+// `.parallel(host, <lambda>)` call sites and checks the lambda body and
+// everything reachable from it against the full effect lattice. Calls
+// on the lambda's ParallelEffects parameter are the sanctioned staging
+// channel and are exempt.
+void check_parallel_purity(const LexedFile& file, const CallGraph& graph,
+                           std::vector<Finding>* out);
+
+// Rule family: transitive-determinism. Flags rand/srand/getenv calls in
+// functions of `file` that are coroutines or reachable from one, with
+// the witnessing root path in the message.
+void check_transitive_determinism(const LexedFile& file,
+                                  const CallGraph& graph,
+                                  std::vector<Finding>* out);
+
+// Rule family: coroutine-borrow. Inside co_await-containing bodies in
+// `file`, flags KvView variables (and spans borrowed from an arena) that
+// are used again after a co_await suspends between declaration and use.
+// Name-based: keep borrow variable names unique within a function.
+void check_coroutine_borrow(const LexedFile& file, const CallGraph& graph,
+                            std::vector<Finding>* out);
+
+}  // namespace hmr::lint

@@ -141,6 +141,9 @@ class Scanner {
         }
         break;
       }
+      // A trailing // comment is not part of the directive; leave it for
+      // the main loop so lint:ignore suppressions on #include lines work.
+      if (c == '/' && peek(1) == '/') break;
       body.push_back(c);
       ++pos_;
     }

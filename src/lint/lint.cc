@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "lint/callgraph.h"
 #include "lint/registry.h"
 
 namespace hmr::lint {
@@ -17,12 +18,19 @@ bool has_prefix(const std::string& path, std::string_view prefix) {
 }
 
 const std::set<std::string, std::less<>> kKnownRules = {
-    "determinism", "status-discipline", "config-registry", "metric-registry",
-    "thread-discipline"};
+    "determinism",      "status-discipline",      "config-registry",
+    "metric-registry",  "thread-discipline",      "parallel-purity",
+    "coroutine-borrow", "transitive-determinism"};
 
 // Drops findings waived by a justified suppression on the same line or
-// the line above; reports malformed suppressions.
-void apply_suppressions(const LexedFile& file, std::vector<Finding>* findings,
+// the line above; reports malformed suppressions. A justified
+// suppression that names only rules *active for this file* yet waives
+// nothing is stale and reported (the stale-waiver audit): waivers must
+// die with the finding they cover. Suppressions naming a rule the file
+// is out of scope for (e.g. determinism in tests/) are left alone.
+void apply_suppressions(const LexedFile& file,
+                        const std::set<std::string>& active_rules,
+                        std::vector<Finding>* findings,
                         std::vector<Finding>* out) {
   for (const Suppression& s : file.suppressions) {
     if (s.rules.empty()) {
@@ -43,17 +51,45 @@ void apply_suppressions(const LexedFile& file, std::vector<Finding>* findings,
                       "lint:ignore(<rule>): <why this is safe>"});
     }
   }
+  std::vector<bool> waived_any(file.suppressions.size(), false);
   for (Finding& f : *findings) {
     bool waived = false;
-    for (const Suppression& s : file.suppressions) {
-      if (!s.justified) continue;
-      if (s.line != f.line && s.line != f.line - 1) continue;
-      if (std::find(s.rules.begin(), s.rules.end(), f.rule) != s.rules.end()) {
-        waived = true;
-        break;
+    // Same-line suppressions bind first so a trailing waiver owns its
+    // own line; otherwise a line-above waiver could steal the finding
+    // and leave the trailing one falsely stale.
+    for (const int delta : {0, 1}) {
+      for (size_t si = 0; si < file.suppressions.size() && !waived; ++si) {
+        const Suppression& s = file.suppressions[si];
+        if (!s.justified || s.line != f.line - delta) continue;
+        if (std::find(s.rules.begin(), s.rules.end(), f.rule) !=
+            s.rules.end()) {
+          waived = true;
+          waived_any[si] = true;
+        }
       }
+      if (waived) break;
     }
     if (!waived) out->push_back(std::move(f));
+  }
+  for (size_t si = 0; si < file.suppressions.size(); ++si) {
+    const Suppression& s = file.suppressions[si];
+    if (!s.justified || s.rules.empty() || waived_any[si]) continue;
+    const bool all_active =
+        std::all_of(s.rules.begin(), s.rules.end(),
+                    [&](const std::string& rule) {
+                      return active_rules.count(rule) != 0;
+                    });
+    if (!all_active) continue;
+    std::string rules;
+    for (const std::string& rule : s.rules) {
+      if (!rules.empty()) rules += ",";
+      rules += rule;
+    }
+    out->push_back({"suppression", file.path, s.line,
+                    "stale suppression: lint:ignore(" + rules +
+                        ") waives no finding on this or the next line; "
+                        "delete it (waivers must die with the finding "
+                        "they covered)"});
   }
 }
 
@@ -63,13 +99,18 @@ Report lint_files(const std::vector<SourceFile>& files, const Options& opts) {
   std::vector<LexedFile> lexed;
   lexed.reserve(files.size());
   FunctionRegistry fn_registry;
+  CallGraph graph;
   for (const SourceFile& f : files) {
     lexed.push_back(lex(f.path, f.text));
     collect_function_returns(lexed.back(), &fn_registry);
+    graph.add_file(lexed.back());
   }
+  graph.finalize();  // resolve edges, propagate effects, find sim roots
+  graph.fill_registry(&fn_registry);
   fn_registry.finalize();  // drop names with conflicting void-like decls
 
   Report report;
+  report.callgraph = graph.to_json();
   std::vector<NameUse> config_uses;
   std::vector<NameUse> metric_uses;
   for (const LexedFile& f : lexed) {
@@ -77,18 +118,30 @@ Report lint_files(const std::vector<SourceFile>& files, const Options& opts) {
     const bool in_tools = has_prefix(f.path, "tools/");
 
     std::vector<Finding> local;
-    if (in_src) check_determinism(f, &local);
-    // sim/parallel.{h,cc} is the one sanctioned home for raw threads and
-    // locks (the WorkerPool); its own includes carry justified
-    // suppressions, and everything else in src/ must stay thread-free.
-    if (in_src && !has_prefix(f.path, "src/sim/parallel.")) {
+    std::set<std::string> active_rules = {"status-discipline"};
+    if (in_src) {
+      check_determinism(f, &local);
+      // No blanket exemption anymore: sim/parallel.{h,cc} (the one
+      // sanctioned home for raw threads) now carries a per-site
+      // justified waiver on every lock/thread token instead, so any
+      // *new* raw threading there is a finding too.
       check_thread_discipline(f, &local);
+      check_parallel_purity(f, graph, &local);
+      check_transitive_determinism(f, graph, &local);
+      check_coroutine_borrow(f, graph, &local);
+      active_rules.insert({"determinism", "thread-discipline",
+                           "parallel-purity", "transitive-determinism",
+                           "coroutine-borrow", "metric-registry",
+                           "config-registry"});
     }
     check_status_discipline(f, fn_registry,
                             /*check_value_guard=*/in_src || in_tools, &local);
-    if (in_src || in_tools) extract_config_keys(f, &config_uses, &local);
+    if (in_src || in_tools) {
+      extract_config_keys(f, &config_uses, &local);
+      active_rules.insert("config-registry");
+    }
     if (in_src) extract_metric_names(f, &metric_uses, &local);
-    apply_suppressions(f, &local, &report.findings);
+    apply_suppressions(f, active_rules, &local, &report.findings);
   }
 
   if (!opts.config_doc.empty()) {

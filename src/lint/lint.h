@@ -1,18 +1,28 @@
 // hmr-lint: repo-aware static analysis for the OSU-IB reproduction.
 //
-// Four rule families (see docs/TESTING.md "Lint workflow"):
-//   determinism       — no wall clocks, OS randomness, getenv, or
-//                       unordered containers in sim-facing code (src/)
-//   status-discipline — no discarded Status/Result call results, no
-//                       .value()/deref without a visible ok() check
-//   config-registry   — every Conf key literal documented in
-//                       docs/CONFIG.md, and vice versa
-//   metric-registry   — every metric name literal dot-separated
-//                       lowercase and documented in docs/METRICS.md,
-//                       and vice versa
+// Rule families (see docs/LINT.md for the full reference):
+//   determinism            — no wall clocks, library RNG types, or
+//                            unordered containers in sim-facing code
+//   status-discipline      — no discarded Status/Result call results,
+//                            no .value()/deref without an ok() check
+//   config-registry        — every Conf key literal documented in
+//                            docs/CONFIG.md, and vice versa
+//   metric-registry        — every metric name literal dot-separated
+//                            lowercase and documented in docs/METRICS.md
+//   thread-discipline      — raw std:: threading confined to the
+//                            WorkerPool (per-site waivers only)
+//   parallel-purity        — engine.parallel lambdas and everything
+//                            reachable from them stay effect-free
+//   coroutine-borrow       — no KvView/arena borrows held across
+//                            co_await
+//   transitive-determinism — rand/srand/getenv flagged when reachable
+//                            from a sim context (call-graph based)
 //
-// The library is pure (files in, findings out) so tests can feed it
-// fixture sources; tools/hmr_lint.cc adds the filesystem walk and CLI.
+// The last three ride on the repo-wide call graph (lint/callgraph.h).
+// A stale-waiver audit reports lint:ignore suppressions that no longer
+// waive anything. The library is pure (files in, findings out) so tests
+// can feed it fixture sources; tools/hmr_lint.cc adds the filesystem
+// walk and CLI.
 #pragma once
 
 #include <string>
@@ -43,14 +53,19 @@ struct Report {
   std::vector<std::string> config_keys;   // sorted unique, full literals
   std::vector<std::string> metric_names;  // sorted unique, full literals
   std::vector<std::string> metric_name_suffixes;  // from concatenated names
+  // {"schema":"hmr-callgraph-v1",...} — the full per-function effect
+  // analysis, written by `hmr_lint --callgraph FILE` for the CI artifact.
+  Json callgraph;
 
   bool clean() const { return findings.empty(); }
   // {"schema":"hmr-lint-v1","findings":[...],"counts":{...},...}
   Json to_json() const;
 };
 
-// Runs every rule family over `files`. Scope by path prefix:
-//   src/    all four families (+ function-return collection)
+// Runs every rule family over `files`. The call graph is built from
+// *all* files (so test coroutines count as sim roots), then rules are
+// scoped by path prefix:
+//   src/    every family (+ function-return collection)
 //   tools/  status-discipline, config-registry
 //   tests/  status-discipline (discard checks only)
 // lint:ignore suppressions are applied here; malformed ones surface as

@@ -70,11 +70,62 @@ bool std_qualified(std::string_view s, size_t start) {
 
 }  // namespace
 
+namespace {
+
+// True when some entry of `qualified` is exactly `qualifier::name` or
+// ends with `::qualifier::name` — i.e. the written qualification is a
+// suffix of the declaration's full scope chain.
+bool qualified_match(const std::set<std::string>& qualified,
+                     const std::string& qualifier, const std::string& name) {
+  const std::string suffix = qualifier + "::" + name;
+  for (const std::string& q : qualified) {
+    if (q == suffix) return true;
+    if (q.size() > suffix.size() + 2 &&
+        q.compare(q.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+        q.compare(q.size() - suffix.size() - 2, 2, "::") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 void FunctionRegistry::finalize() {
   for (const auto& name : void_like_fns) {
     status_fns.erase(name);
     result_fns.erase(name);
   }
+  for (const auto& name : qualified_void_fns) {
+    qualified_status_fns.erase(name);
+    qualified_result_fns.erase(name);
+  }
+}
+
+bool FunctionRegistry::is_status_call(const std::string& name,
+                                      const std::string& qualifier) const {
+  if (!qualifier.empty()) {
+    if (qualified_match(qualified_status_fns, qualifier, name)) return true;
+    // A qualified void-like match is definitive: don't fall back to the
+    // (aliased) bare name.
+    if (qualified_match(qualified_void_fns, qualifier, name) ||
+        qualified_match(qualified_result_fns, qualifier, name)) {
+      return false;
+    }
+  }
+  return is_status(name);
+}
+
+bool FunctionRegistry::is_result_call(const std::string& name,
+                                      const std::string& qualifier) const {
+  if (!qualifier.empty()) {
+    if (qualified_match(qualified_result_fns, qualifier, name)) return true;
+    if (qualified_match(qualified_void_fns, qualifier, name) ||
+        qualified_match(qualified_status_fns, qualifier, name)) {
+      return false;
+    }
+  }
+  return is_result(name);
 }
 
 void collect_function_returns(const LexedFile& file, FunctionRegistry* reg) {
@@ -172,10 +223,8 @@ void check_determinism(const LexedFile& file, std::vector<Finding>* out) {
        {"library RNG bypasses seed-stream derivation; use hmr::Rng "
         "(common/rng.h)",
         false}},
-      {"rand",
-       {"libc randomness breaks replay; use hmr::Rng (common/rng.h)", true}},
-      {"srand",
-       {"libc randomness breaks replay; use hmr::Rng (common/rng.h)", true}},
+      // rand/srand/getenv are *call-time* hazards and moved to the
+      // reachability-based transitive-determinism family (callgraph.h).
       {"system_clock",
        {"wall clock in sim-facing code; simulated time flows through "
         "sim::Engine::now()",
@@ -188,10 +237,6 @@ void check_determinism(const LexedFile& file, std::vector<Finding>* out) {
        {"wall clock in sim-facing code; simulated time flows through "
         "sim::Engine::now()",
         false}},
-      {"getenv",
-       {"environment reads make runs host-dependent; plumb the setting "
-        "through Conf",
-        true}},
   };
   static const char* kBannedHeaders[] = {"<unordered_map>", "<unordered_set>",
                                          "<random>", "<chrono>"};
@@ -386,15 +431,26 @@ void check_status_discipline(const LexedFile& file,
       continue;
     }
 
-    // Walk an `a.b().c(...)`-shaped chain; remember the last called name.
+    // Walk an `a.b().c(...)`-shaped chain; remember the last called name
+    // and, for `A::f(...)` shapes, the written qualifier — it lets the
+    // registry resolve names whose bare form is ambiguous.
     std::string last_ident = toks[k].text;
+    std::string last_qualifier;
     std::string called;
+    std::string called_qualifier;
     ++k;
     bool ended_with_semicolon = false;
     while (k < toks.size()) {
       if (is_punct(toks[k], ".") || is_punct(toks[k], "->") ||
           is_punct(toks[k], "::")) {
         if (k + 1 >= toks.size() || toks[k + 1].kind != TokKind::kIdent) break;
+        if (is_punct(toks[k], "::")) {
+          last_qualifier = last_qualifier.empty()
+                               ? last_ident
+                               : last_qualifier + "::" + last_ident;
+        } else {
+          last_qualifier.clear();
+        }
         last_ident = toks[k + 1].text;
         k += 2;
         continue;
@@ -403,6 +459,8 @@ void check_status_discipline(const LexedFile& file,
         const size_t close = match_paren(toks, k);
         if (close == std::string::npos) break;
         called = last_ident;
+        called_qualifier = last_qualifier;
+        last_qualifier.clear();
         k = close + 1;
         continue;
       }
@@ -412,8 +470,9 @@ void check_status_discipline(const LexedFile& file,
       break;
     }
     if (!ended_with_semicolon || called.empty()) continue;
-    if (!reg.is_checked(called)) continue;
-    const char* kind = reg.is_status(called) ? "Status" : "Result";
+    if (!reg.is_checked_call(called, called_qualifier)) continue;
+    const char* kind =
+        reg.is_status_call(called, called_qualifier) ? "Status" : "Result";
     out->push_back(
         {"status-discipline", file.path, toks[i].line,
          std::string("result of `") + called + "` (" + kind + ") is " +

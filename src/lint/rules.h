@@ -23,16 +23,24 @@ struct Finding {
 
 // Names of functions declared anywhere in the scanned tree to return
 // Status or Result<T> (directly or wrapped, e.g. sim::Task<Status>).
-// Name-based, so an unrelated same-named function aliases into the set.
-// Two escape hatches keep that workable: names that are *also* declared
-// somewhere with a void-like return (`void close()`, `sim::Task<>
-// append(...)`) are ambiguous and dropped by finalize(), and the callers
-// skip `std::`-qualified calls entirely. Remaining collisions take a
-// justified status-discipline suppression at the call site.
+// The bare-name sets are name-based, so an unrelated same-named
+// function aliases into them; names that are *also* declared somewhere
+// with a void-like return (`void close()`, `sim::Task<> append(...)`)
+// are ambiguous and dropped by finalize(), and the callers skip
+// `std::`-qualified calls entirely. The qualified_* sets — filled from
+// the CallGraph pre-pass (lint/callgraph.h), which knows each
+// declaration's namespace/class scope chain — recover precision at
+// qualified call sites (`Disk::close(...)`): a qualified match decides
+// the return kind even when the bare name was dropped as ambiguous.
+// Remaining collisions take a justified status-discipline suppression.
 struct FunctionRegistry {
   std::set<std::string> status_fns;
   std::set<std::string> result_fns;
   std::set<std::string> void_like_fns;
+  // Scope-qualified declarations ("sim::Disk::write"), "::"-joined.
+  std::set<std::string> qualified_status_fns;
+  std::set<std::string> qualified_result_fns;
+  std::set<std::string> qualified_void_fns;
 
   bool is_status(const std::string& name) const {
     return status_fns.count(name) != 0;
@@ -44,10 +52,23 @@ struct FunctionRegistry {
     return is_status(name) || is_result(name);
   }
 
+  // Call-site lookups: `qualifier` is the written qualification
+  // ("Disk" in `Disk::write(...)`), empty for unqualified calls. A
+  // qualified-set suffix match wins over the bare-name fallback.
+  bool is_status_call(const std::string& name,
+                      const std::string& qualifier) const;
+  bool is_result_call(const std::string& name,
+                      const std::string& qualifier) const;
+  bool is_checked_call(const std::string& name,
+                       const std::string& qualifier) const {
+    return is_status_call(name, qualifier) || is_result_call(name, qualifier);
+  }
+
   // Drops ambiguous names (declared both Status/Result-returning and
-  // void-like) from the checked sets. Call once after the pre-pass has
-  // seen every file. Missing a genuine discard of the surviving overload
-  // is the accepted cost of not flagging every void call of the other.
+  // void-like) from the bare-name checked sets, and likewise for exact
+  // qualified duplicates. Call once after the pre-pass has seen every
+  // file. Missing a genuine discard of the surviving overload is the
+  // accepted cost of not flagging every void call of the other.
   void finalize();
 };
 
@@ -57,9 +78,12 @@ struct FunctionRegistry {
 // FunctionRegistry::finalize() to drop ambiguous names.
 void collect_function_returns(const LexedFile& file, FunctionRegistry* reg);
 
-// Rule family 1: bans wall clocks, OS randomness, environment reads,
-// and unordered containers in sim-facing code. Callers apply this only
-// to src/ paths (tools and tests run on the host and may use them).
+// Rule family 1: bans wall clocks, library RNG types, and unordered
+// containers in sim-facing code. Callers apply this only to src/ paths
+// (tools and tests run on the host and may use them). The call-time
+// bans (rand/srand/getenv) live in the reachability-based
+// transitive-determinism family (lint/callgraph.h), which fires only
+// when the call is reachable from a sim context.
 void check_determinism(const LexedFile& file, std::vector<Finding>* out);
 
 // Rule family 2: discarded Status/Result call results (including

@@ -177,10 +177,19 @@ sim::Task<> VanillaShuffleEngine::servlet_conn_loop(
     }
 
     auto slice = info.output->partition_bytes(reduce_id);
+    // The checksum scan is a real CPU kernel: run it as a parallel work
+    // event (byte-identical to serial; see sim/parallel.h).
+    std::uint32_t slice_crc = 0;
+    co_await job.engine.parallel(
+        tracker.host->id(), [&](sim::ParallelEffects& effects) {
+          slice_crc = crc32c(slice);
+          effects.instant(tracker.host->name(), "crc",
+                          "servlet_crc_m" + std::to_string(map_id));
+        });
     ByteWriter prefix;
     prefix.put_u32(std::uint32_t(map_id));
     prefix.put_u32(std::uint32_t(reduce_id));
-    prefix.put_u32(crc32c(slice));
+    prefix.put_u32(slice_crc);
     Bytes body = prefix.take();
     body.insert(body.end(), slice.begin(), slice.end());
     const auto modeled = info.modeled_partition_bytes(reduce_id);
@@ -209,8 +218,15 @@ sim::Task<> VanillaShuffleEngine::in_memory_merge(JobRuntime& job,
   }
   dataplane::StreamMerger merger(std::move(sources));
   ByteWriter writer(&merged);
-  dataplane::KvView view;
-  while (merger.next_view(&view)) dataplane::encode_kv(view, writer);
+  // The k-way merge drain is a parallel work event: it only touches the
+  // merger, the local writer, and work-local views.
+  co_await job.engine.parallel(
+      state.host.id(), [&](sim::ParallelEffects& effects) {
+        dataplane::KvView kv;
+        while (merger.next_view(&kv)) dataplane::encode_kv(kv, writer);
+        effects.instant(state.host.name(), "merge",
+                        "in_mem_merge_r" + std::to_string(state.reduce_id));
+      });
 
   co_await job.charge_cpu(state.host, modeled, job.cost.merge_cpu_bw);
   const std::string path = "shuffle/" + job.spec.name + "/r" +
@@ -319,7 +335,14 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
             HMR_CHECK(rest.ok());
             co_await charge_verify_cpu(job, state.host,
                                        event->msg->modeled_bytes);
-            if (crc32c(*rest) != *body_crc) {
+            std::uint32_t got_crc = 0;
+            co_await job.engine.parallel(
+                state.host.id(), [&](sim::ParallelEffects& effects) {
+                  got_crc = crc32c(*rest);
+                  effects.instant(state.host.name(), "crc",
+                                  "verify_crc_m" + std::to_string(map_id));
+                });
+            if (got_crc != *body_crc) {
               job.metric.malformed_msgs.add();
               continue;
             }
@@ -458,8 +481,14 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
     dataplane::StreamMerger merger(std::move(sources));
     Bytes merged;
     ByteWriter writer(&merged);
-    dataplane::KvView view;
-    while (merger.next_view(&view)) dataplane::encode_kv(view, writer);
+    // Merge-pass drain as a parallel work event, like in_memory_merge.
+    co_await job.engine.parallel(
+        host.id(), [&](sim::ParallelEffects& effects) {
+          dataplane::KvView kv;
+          while (merger.next_view(&kv)) dataplane::encode_kv(kv, writer);
+          effects.instant(host.name(), "merge",
+                          "merge_pass_r" + std::to_string(reduce_id));
+        });
     co_await job.charge_cpu(host, modeled, job.cost.merge_cpu_bw);
     const std::string path = "shuffle/" + job.spec.name + "/r" +
                              std::to_string(reduce_id) + "/pass" +

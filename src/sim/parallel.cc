@@ -14,16 +14,19 @@ WorkerPool::WorkerPool(int workers) : workers_(workers) {
 
 WorkerPool::~WorkerPool() {
   {
+    // lint:ignore(thread-discipline): WorkerPool shutdown handshake
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   start_cv_.notify_all();
+  // lint:ignore(thread-discipline): join the pool's own helper threads
   for (std::thread& t : threads_) t.join();
 }
 
 void WorkerPool::run(const std::vector<std::vector<ParallelWork*>>& chains) {
   if (chains.empty()) return;
   {
+    // lint:ignore(thread-discipline): publish the batch under the pool lock
     std::lock_guard<std::mutex> lock(mu_);
     chains_ = &chains;
     done_chains_ = 0;
@@ -35,6 +38,7 @@ void WorkerPool::run(const std::vector<std::vector<ParallelWork*>>& chains) {
   // so a single-chain batch never pays a thread handoff.
   while (run_one_chain()) {
   }
+  // lint:ignore(thread-discipline): barrier wait; the release below is the happens-before edge
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return done_chains_ == chains.size(); });
   // The mutex hand-off above is the happens-before edge: every effect a
@@ -50,6 +54,7 @@ bool WorkerPool::run_one_chain() {
     // Snapshot and claim under one lock: a helper that wakes late (or
     // straddles two batches) either claims a chain of the batch that is
     // genuinely current or sees nothing left — never a stale chain.
+    // lint:ignore(thread-discipline): claim ticket must be taken under the pool lock
     std::lock_guard<std::mutex> lock(mu_);
     chains = chains_;
     if (chains == nullptr) return false;
@@ -59,6 +64,7 @@ bool WorkerPool::run_one_chain() {
   }
   for (ParallelWork* work : (*chains)[index]) work->execute();
   {
+    // lint:ignore(thread-discipline): completion count shared with the barrier wait
     std::lock_guard<std::mutex> lock(mu_);
     if (++done_chains_ == chains->size()) done_cv_.notify_all();
   }
@@ -69,6 +75,7 @@ void WorkerPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
+      // lint:ignore(thread-discipline): helper threads sleep on the batch start signal
       std::unique_lock<std::mutex> lock(mu_);
       start_cv_.wait(lock, [&] {
         return stop_ || generation_ != seen_generation;

@@ -146,8 +146,11 @@ class WorkerPool {
   bool run_one_chain();
 
   const int workers_;
+  // lint:ignore(thread-discipline): WorkerPool is the sanctioned owner of raw threads/locks
   std::mutex mu_;
+  // lint:ignore(thread-discipline): batch start signal, guarded by mu_
   std::condition_variable start_cv_;
+  // lint:ignore(thread-discipline): batch completion signal, guarded by mu_
   std::condition_variable done_cv_;
   // Guarded by mu_:
   const std::vector<std::vector<ParallelWork*>>* chains_ = nullptr;
@@ -155,6 +158,7 @@ class WorkerPool {
   std::size_t done_chains_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  // lint:ignore(thread-discipline): the pool's long-lived helper threads
   std::vector<std::thread> threads_;
 };
 

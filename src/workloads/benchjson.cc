@@ -59,7 +59,6 @@ Json BenchJson::to_json() const {
 
 std::string BenchJson::write_file() const {
   std::string path = file_name();
-  // lint:ignore(determinism): HMR_BENCH_DIR only redirects host-side bench report output; nothing in the simulation reads it
   if (const char* dir = std::getenv("HMR_BENCH_DIR")) {
     if (dir[0] != '\0') path = std::string(dir) + "/" + path;
   }

@@ -1,0 +1,26 @@
+// Fixture: borrowed memory held live across a co_await — a KvView
+// (non-owning span into a source's backing buffer) and an arena span,
+// both used again after the coroutine suspends. Never compiled; scanned
+// by lint_test.cc.
+#include "dataplane/merger.h"
+#include "sim/engine.h"
+
+namespace fixture {
+
+void consume(int);
+
+hmr::sim::Task<> drain(hmr::sim::Engine& engine,
+                       hmr::dataplane::StreamMerger& merger) {
+  dataplane::KvView view;
+  merger.next_view(&view);
+  co_await engine.delay(1.0);
+  consume(int(view.key.size()));
+}
+
+hmr::sim::Task<> copy_out(hmr::sim::Engine& engine, hmr::Arena& arena) {
+  auto span = arena.allocate(64);
+  co_await engine.delay(1.0);
+  consume(int(span.size()));
+}
+
+}  // namespace fixture

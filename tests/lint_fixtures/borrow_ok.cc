@@ -1,0 +1,20 @@
+// Fixture: the safe shape — borrowed views are fully consumed (copied
+// out) before the coroutine suspends; only owning copies cross the
+// co_await. Never compiled; scanned by lint_test.cc.
+#include "dataplane/merger.h"
+#include "sim/engine.h"
+
+namespace fixture {
+
+void consume(int);
+
+hmr::sim::Task<> drain(hmr::sim::Engine& engine,
+                       hmr::dataplane::StreamMerger& merger) {
+  dataplane::KvView view;
+  merger.next_view(&view);
+  const int key_bytes = int(view.key.size());
+  co_await engine.delay(1.0);
+  consume(key_bytes);
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: impure fns handed to engine.parallel — a call whose
+// transitive effects are only visible through the call graph (with the
+// offending path in the message), a co_await inside the work fn, a
+// direct banned token, and a non-lambda argument the analysis cannot
+// see into. Never compiled; scanned by lint_test.cc.
+#include "sim/engine.h"
+
+namespace fixture {
+
+int tally(int n) {
+  std::FILE* f = fopen("tally.log", "a");
+  if (f != nullptr) fclose(f);
+  return n + 1;
+}
+
+int scan_chunk(int n) { return tally(n); }
+
+hmr::sim::Task<> shuffle(hmr::sim::Engine& engine, int host, int work) {
+  int acc = 0;
+  co_await engine.parallel(host, [&](hmr::sim::ParallelEffects& effects) {
+    acc = scan_chunk(acc);
+    std::fopen("scan.tmp", "r");
+    co_await engine.delay(1.0);
+    effects.instant("h0", "crc", "scan_done");
+  });
+  co_await engine.parallel(host, work);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: a well-behaved parallel work fn — closure state, a pure
+// helper, and side effects staged through the ParallelEffects buffer.
+// Never compiled; scanned by lint_test.cc.
+#include "sim/engine.h"
+
+namespace fixture {
+
+int checksum(int n) { return n * 33 + 7; }
+
+hmr::sim::Task<> scan(hmr::sim::Engine& engine, int host) {
+  int acc = 0;
+  co_await engine.parallel(host, [&](hmr::sim::ParallelEffects& effects) {
+    acc = checksum(acc);
+    effects.instant("h0", "crc", "scan_done");
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: a justified suppression whose finding no longer exists — the
+// stale-waiver audit flags it so waivers die with the finding they
+// covered. Never compiled; scanned by lint_test.cc.
+#include "common/status.h"
+
+namespace fixture {
+
+hmr::Status poke();
+
+void tidy() {
+  // lint:ignore(status-discipline): this discard was fixed long ago
+  const hmr::Status s = poke();
+  if (!s.ok()) return;
+}
+
+}  // namespace fixture

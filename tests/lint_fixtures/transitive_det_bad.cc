@@ -1,0 +1,19 @@
+// Fixture: call-time determinism bans (rand, getenv) reachable from a
+// sim context. `rand` sits two calls below the coroutine, so only the
+// transitive analysis can see it; the finding carries the witnessing
+// root path. Never compiled; scanned by lint_test.cc.
+#include "sim/engine.h"
+
+namespace fixture {
+
+int jitter() { return rand(); }
+
+int backoff() { return jitter() % 100; }
+
+hmr::sim::Task<> retry_loop(hmr::sim::Engine& engine) {
+  co_await engine.delay(double(backoff()));
+  const char* trace = getenv("HMR_TRACE");
+  (void)trace;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: the same rand/getenv call sites as transitive_det_bad.cc,
+// but nothing here is a coroutine or reachable from one, so the
+// transitive-determinism rule stays silent — host-side tooling may read
+// the environment. Never compiled; scanned by lint_test.cc.
+
+namespace fixture {
+
+int jitter() { return rand(); }
+
+int host_tool() {
+  const char* dir = getenv("HMR_BENCH_DIR");
+  (void)dir;
+  return jitter();
+}
+
+}  // namespace fixture

@@ -347,5 +347,48 @@ TEST(ParallelStressTest, Terasort256NodesByteIdenticalAcrossWidths) {
   }
 }
 
+// The vanilla engine's parallelized kernels — the servlet/copier
+// checksum scans and the in-memory + merge-pass k-way merge drains —
+// serialize byte-identically across worker widths on the 256-node
+// terasort. A small shuffle buffer and io.sort.factor force both merge
+// kernels to run; integrity checks exercise the CRC scans end to end.
+TEST(ParallelStressTest, Terasort256VanillaKernelsByteIdenticalAcrossWidths) {
+  constexpr double kScale = 8192.0;
+  const auto run_with = [&](int workers) {
+    workloads::TestbedSpec spec;
+    spec.nodes = 256;
+    spec.hdfs.block_size = 32 * kMiB;
+    spec.parallel_workers = workers;
+    workloads::Testbed bed(spec);
+
+    workloads::DataGenSpec gen;
+    gen.dir = "/in";
+    gen.modeled_total = 2048 * kMiB;  // 64 map tasks at 32 MiB blocks
+    gen.part_modeled = 32 * kMiB;
+    gen.scale = kScale;
+    gen.seed = 11;
+    EXPECT_TRUE(bed.generate("teragen", gen).ok());
+
+    Conf conf;
+    conf.set(mapred::kShuffleEngine, "vanilla");
+    conf.set_int(mapred::kNumReduces, 64);
+    conf.set_double(mapred::kKvInflation, kScale);
+    conf.set_bytes(mapred::kMaxRecordBytes, std::uint64_t(102.0 * kScale));
+    conf.set_bool(mapred::kIntegrityEnabled, true);
+    conf.set_bytes(mapred::kShuffleBufferBytes, 4 * kMiB);
+    conf.set_int(mapred::kIoSortFactor, 3);
+    const auto result =
+        bed.run_job(workloads::terasort_job(bed.dfs(), "/in", "/out", conf));
+    EXPECT_EQ(result.num_maps, 64);
+    EXPECT_EQ(result.num_reduces, 64);
+    return job_result_json(result);
+  };
+  const std::string serial = run_with(1);
+  ASSERT_FALSE(serial.empty());
+  for (int workers : {2, 4, 8}) {
+    EXPECT_EQ(run_with(workers), serial) << "workers=" << workers;
+  }
+}
+
 }  // namespace
 }  // namespace hmr::simfuzz
