@@ -1,0 +1,190 @@
+// bench/speculation: job-latency percentiles vs slow-node fraction with
+// speculative execution on and off, for all three shuffle engines. Each
+// cell runs a seeded set of TeraSort trials on a 10-DataNode testbed
+// where `fraction` of the hosts get a permanent 4x CPU degrade
+// (sim.fault.cpu.* conf keys, armed at t=1s) and reports p50/p95/p99
+// job latency across the trials; the "seconds" column bench_check diffs
+// is the p95. With LATE speculation on, backups of the degraded hosts'
+// tasks land on healthy nodes and the tail collapses — the p99 row at
+// the 10% fraction is the ISSUE-10 acceptance series. Its
+// BENCH_speculation.json is diffed against
+// bench/baselines/BENCH_speculation.json in the CI bench-speculation
+// job; regenerate the baseline with
+//   HMR_BENCH_DIR=bench/baselines ./build/bench/speculation
+// after any intentional scheduling or performance change.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "mapred/types.h"
+#include "sim/fault.h"
+#include "workloads/experiment.h"
+
+using namespace hmr;
+using namespace hmr::workloads;
+
+namespace {
+
+constexpr int kNodes = 10;
+constexpr int kTrials = 5;
+
+struct Percentiles {
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+Percentiles percentiles(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const size_t idx = size_t(q * double(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  return Percentiles{at(0.50), at(0.95), at(0.99)};
+}
+
+// Comma-joined host ids 1..slow_nodes (datanodes are hosts 1..kNodes).
+std::string slow_host_list(int slow_nodes) {
+  std::string hosts;
+  for (int h = 1; h <= slow_nodes; ++h) {
+    if (!hosts.empty()) hosts += ",";
+    hosts += std::to_string(h);
+  }
+  return hosts;
+}
+
+RunConfig config_for(const EngineSetup& engine, double fraction,
+                     bool speculative, std::uint64_t seed) {
+  RunConfig config;
+  config.setup = engine;
+  config.workload = "terasort";
+  config.nodes = kNodes;
+  config.sort_modeled_bytes = 160 * kMiB;  // one 16 MiB split per node
+  config.block_size = 16 * kMiB;
+  config.target_real_bytes = 512 * kKiB;
+  config.seed = seed;
+
+  const int slow_nodes = int(fraction * kNodes + 0.5);
+  if (slow_nodes > 0) {
+    // Conf-driven compute faults: the listed hosts run all compute at
+    // quarter speed from t=1s for the rest of the job (no restore), the
+    // canonical "one bad node doubles the tail" straggler shape.
+    config.setup.extra.set(sim::kCpuFaultHosts, slow_host_list(slow_nodes));
+    config.setup.extra.set_double(sim::kCpuFaultAtSec, 1.0);
+    config.setup.extra.set_double(sim::kCpuFaultFactor, 0.25);
+  }
+  config.setup.extra.set_bool(mapred::kSpeculativeExecution, speculative);
+  config.setup.extra.set_bool(mapred::kReduceSpeculativeExecution,
+                              speculative);
+  return config;
+}
+
+Json run_cell(const std::string& series, double fraction,
+              const Percentiles& latency, bool validated,
+              std::uint64_t attempts, std::uint64_t wins) {
+  // hmr-bench-v1 row: size_gb carries the swept slow-node fraction and
+  // seconds the p95 job latency; single-job phase breakdowns do not
+  // aggregate across trials, so phases are reported as zeros.
+  Json phases = Json::object();
+  for (const char* phase : {"map", "shuffle", "merge", "reduce"}) {
+    phases.set(phase, Json(0.0));
+  }
+  Json pcts = Json::object();
+  pcts.set("p50", Json(latency.p50));
+  pcts.set("p95", Json(latency.p95));
+  pcts.set("p99", Json(latency.p99));
+
+  Json run = Json::object();
+  run.set("series", Json(series));
+  run.set("size_gb", Json(fraction));
+  run.set("seconds", Json(latency.p95));
+  run.set("phases", std::move(phases));
+  run.set("overlap_fraction", Json(0.0));
+  run.set("cache_hit_rate", Json(0.0));
+  run.set("validated", Json(validated));
+  run.set("latency", std::move(pcts));
+  run.set("speculative_attempts", Json(std::int64_t(attempts)));
+  run.set("speculative_wins", Json(std::int64_t(wins)));
+  return run;
+}
+
+void write_doc(const Json& doc) {
+  std::string path = "BENCH_speculation.json";
+  if (const char* dir = std::getenv("HMR_BENCH_DIR")) {
+    if (dir[0] != '\0') path = std::string(dir) + "/" + path;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string body = doc.dump() + "\n";
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "  wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> fractions = {0.0, 0.1, 0.2};
+  const std::vector<EngineSetup> engines = {
+      EngineSetup::ipoib(), EngineSetup::hadoop_a(), EngineSetup::osu_ib()};
+
+  std::printf(
+      "== Speculation: TeraSort p95 latency vs slow-node fraction, "
+      "%d DataNodes, %d trials per cell ==\n",
+      kNodes, kTrials);
+  std::vector<std::string> headers{"Slow-node fraction"};
+  for (const auto& engine : engines) {
+    headers.push_back(engine.label + " spec=off");
+    headers.push_back(engine.label + " spec=on");
+  }
+  Table table(std::move(headers));
+
+  Json runs = Json::array();
+  for (const double fraction : fractions) {
+    std::vector<std::string> cells{Table::num(fraction, 2)};
+    for (const auto& engine : engines) {
+      for (const bool speculative : {false, true}) {
+        std::fprintf(stderr, "  %s spec=%s fraction=%.2f...\n",
+                     engine.label.c_str(), speculative ? "on" : "off",
+                     fraction);
+        std::vector<double> samples;
+        bool validated = true;
+        std::uint64_t attempts = 0, wins = 0;
+        for (int trial = 0; trial < kTrials; ++trial) {
+          const auto outcome = run_experiment(config_for(
+              engine, fraction, speculative, std::uint64_t(trial) + 1));
+          samples.push_back(outcome.seconds());
+          validated = validated && outcome.validated;
+          attempts += outcome.job.speculative_attempts;
+          wins += outcome.job.speculative_wins;
+        }
+        const Percentiles latency = percentiles(std::move(samples));
+        runs.push_back(run_cell(
+            engine.label + (speculative ? " spec=on" : " spec=off"),
+            fraction, latency, validated, attempts, wins));
+        cells.push_back(Table::num(latency.p95, 1));
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("(p95 job latency in seconds; lower is better)\n\n");
+  std::fflush(stdout);
+
+  Json doc = Json::object();
+  doc.set("schema", Json("hmr-bench-v1"));
+  doc.set("figure", Json("speculation"));
+  doc.set("title",
+          Json("Speculative execution vs slow-node fraction"));
+  doc.set("workload", Json("terasort"));
+  doc.set("nodes", Json(std::int64_t(kNodes)));
+  doc.set("runs", std::move(runs));
+  write_doc(doc);
+  return 0;
+}

@@ -83,6 +83,17 @@ Status NameNode::remove(const std::string& path) {
   return Status::Ok();
 }
 
+Status NameNode::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("hdfs: " + from);
+  if (files_.contains(to)) return Status::AlreadyExists(to);
+  FileInfo info = std::move(it->second);
+  files_.erase(it);
+  info.path = to;
+  files_.emplace(to, std::move(info));
+  return Status::Ok();
+}
+
 void NameNode::decommission(int host_id) {
   datanode_hosts_.erase(
       std::remove(datanode_hosts_.begin(), datanode_hosts_.end(), host_id),

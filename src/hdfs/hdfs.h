@@ -76,6 +76,10 @@ class NameNode {
   void decommission(int host_id);
   bool exists(const std::string& path) const;
   Status remove(const std::string& path);
+  // Metadata-only move (the task-commit primitive): fails NotFound when
+  // `from` is missing, AlreadyExists when `to` is taken. Block placement
+  // and payloads are untouched.
+  Status rename(const std::string& from, const std::string& to);
   std::vector<std::string> list(const std::string& prefix) const;
   std::uint64_t next_block_id() { return next_block_id_++; }
 
@@ -160,6 +164,12 @@ class MiniDfs {
   std::vector<std::string> list(const std::string& prefix) const {
     return namenode_.list(prefix);
   }
+  // Untimed namespace operations a task commit uses (they ride the same
+  // heartbeat RPCs the timed paths already charge).
+  Status rename(const std::string& from, const std::string& to) {
+    return namenode_.rename(from, to);
+  }
+  Status remove(const std::string& path) { return namenode_.remove(path); }
   // Concatenated payload without timing (for output validation).
   Result<Bytes> peek(const std::string& path) const;
 

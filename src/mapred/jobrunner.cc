@@ -45,8 +45,6 @@ sim::Task<> JobRunner::map_worker(JobRuntime& job,
       job.spec.conf.get_double(kStragglerProb, 0.0);
   const double straggler_slowdown =
       job.spec.conf.get_double(kStragglerSlowdown, 4.0);
-  const bool speculative =
-      job.spec.conf.get_bool(kSpeculativeExecution, false);
   // One stream per worker slot: the four slots on a host would otherwise
   // share a stream name and draw identical failure/straggler sequences.
   auto rng = job.engine.make_rng("map.fault." +
@@ -72,50 +70,52 @@ sim::Task<> JobRunner::map_worker(JobRuntime& job,
     co_await jt_rpc(*tracker.host);  // heartbeat + task assignment
     // Fault injection (§VI future work): an attempt may die partway;
     // the JobTracker reschedules it, up to mapred.map.max.attempts.
-    int attempt = 1;
+    int attempt_no = 1;
     while (failure_prob > 0.0 && rng.chance(failure_prob) &&
-           attempt < max_attempts) {
+           attempt_no < max_attempts) {
+      TaskAttempt& failed = job.start_attempt(
+          TaskKind::kMap, pick, tracker.host->id(),
+          /*speculative=*/false, /*rerun=*/false);
       co_await run_failed_map_attempt(job, pick, tracker, rng.uniform());
+      job.finish_attempt(failed, AttemptState::kFailed);
       co_await jt_rpc(*tracker.host);  // report failure, get re-assignment
-      ++attempt;
+      ++attempt_no;
     }
-    HMR_CHECK_MSG(attempt <= max_attempts,
+    HMR_CHECK_MSG(attempt_no <= max_attempts,
                   "map task exceeded mapred.map.max.attempts");
+    // A speculative backup may have committed the task while this
+    // worker's failed attempts burned the failure window.
+    if (job.maps.at(pick).done) continue;
     double slowdown = 1.0;
     if (straggler_prob > 0.0 && rng.chance(straggler_prob)) {
       slowdown = straggler_slowdown;
       job.maps.at(pick).straggling = true;
     }
-    job.maps.at(pick).attempts_running = 1;
-    job.maps.at(pick).first_started_at = job.engine.now();
-    co_await run_map_task(job, pick, tracker, slowdown);
-    job.maps.at(pick).attempts_running = 0;
+    TaskAttempt& attempt = job.start_attempt(
+        TaskKind::kMap, pick, tracker.host->id(),
+        /*speculative=*/false, /*rerun=*/false);
+    co_await run_map_task(job, pick, tracker, slowdown, &attempt);
   }
 
-  // Speculative execution: idle slots launch backup attempts for the
-  // longest-running unfinished maps (Hadoop's backup tasks); the first
-  // attempt to finish wins, the other is discarded.
-  while (speculative) {
-    int candidate = -1;
-    double earliest = 0;
-    for (const auto& map : job.maps) {
-      if (map.done || map.attempts_running != 1) continue;
-      if (map.first_started_at < 0) continue;
-      if (candidate < 0 || map.first_started_at < earliest) {
-        candidate = map.map_id;
-        earliest = map.first_started_at;
-      }
+  // LATE speculative execution (mapred/attempt.h): once this slot runs
+  // out of fresh splits it polls for straggling originals and runs at
+  // most one backup per claim; the first attempt to commit wins and the
+  // loser is killed.
+  while (job.speculation.maps && job.maps_completed < int(job.maps.size())) {
+    TaskAttempt* backup =
+        job.try_claim_backup(TaskKind::kMap, tracker.host->id());
+    if (backup == nullptr) {
+      co_await job.engine.delay(job.speculation.interval);
+      continue;
     }
-    if (candidate < 0) break;
-    ++job.maps.at(candidate).attempts_running;
-    ++job.result.speculative_attempts;
     auto slot = co_await sim::hold(tracker.map_slots);
     co_await jt_rpc(*tracker.host);
-    co_await run_map_task(job, candidate, tracker);
-    --job.maps.at(candidate).attempts_running;
-    if (job.maps.at(candidate).ran_on == tracker.host->id()) {
-      ++job.result.speculative_wins;
+    if (job.maps.at(backup->task_id).done) {
+      // The original finished while this backup waited for its slot.
+      job.finish_attempt(*backup, AttemptState::kKilled);
+      continue;
     }
+    co_await run_map_task(job, backup->task_id, tracker, 1.0, backup);
   }
   done.done();
 }
@@ -130,7 +130,28 @@ sim::Task<> JobRunner::reduce_worker(JobRuntime& job,
     pending.pop_front();
     auto slot = co_await sim::hold(tracker.reduce_slots);
     co_await jt_rpc(*tracker.host);
-    co_await run_reduce_task(job, reduce_id, tracker);
+    TaskAttempt& attempt = job.start_attempt(
+        TaskKind::kReduce, reduce_id, tracker.host->id(),
+        /*speculative=*/false, /*rerun=*/false);
+    co_await run_reduce_task(job, reduce_id, tracker, &attempt);
+  }
+
+  // LATE backups for straggling reducers; same shape as the map loop,
+  // gated on the commit count (first-commit-wins via try_commit_reduce).
+  while (job.speculation.reduces && !job.all_reduces_committed()) {
+    TaskAttempt* backup =
+        job.try_claim_backup(TaskKind::kReduce, tracker.host->id());
+    if (backup == nullptr) {
+      co_await job.engine.delay(job.speculation.interval);
+      continue;
+    }
+    auto slot = co_await sim::hold(tracker.reduce_slots);
+    co_await jt_rpc(*tracker.host);
+    if (job.reduces.at(size_t(backup->task_id)).committed) {
+      job.finish_attempt(*backup, AttemptState::kKilled);
+      continue;
+    }
+    co_await run_reduce_task(job, backup->task_id, tracker, backup);
   }
   done.done();
 }
@@ -166,6 +187,22 @@ sim::Task<JobResult> JobRunner::run(JobSpec spec) {
   HMR_CHECK_MSG(disk_faults.ok(), disk_faults.status().to_string());
   if (!disk_faults->empty()) cluster_.arm_disk_faults(*disk_faults);
 
+  // Conf-driven compute-fault plans (sim.fault.cpu.* / sim.fault.task.*),
+  // same strict validation. cpu.degrade alters host state, so it is armed
+  // on the cluster once per runner (a multi-job run would otherwise stack
+  // the degrade per job); task hang/slow windows are pure (host, time)
+  // queries consulted at attempt checkpoints through job->compute_faults.
+  auto compute_faults = sim::ComputeFaults::from_conf(job->spec.conf);
+  HMR_CHECK_MSG(compute_faults.ok(), compute_faults.status().to_string());
+  if (!compute_faults->cpu.empty() && !cpu_faults_armed_) {
+    cpu_faults_armed_ = true;
+    cluster_.arm_cpu_degrades(compute_faults->cpu);
+  }
+  job->compute_faults = std::move(*compute_faults);
+  if (job->spec.faults != nullptr) {
+    job->compute_faults.merge(job->spec.faults->compute_faults());
+  }
+
   // Worker-pool width for parallel work events. Defaults to whatever the
   // engine already runs (the testbed may have set it), so only jobs that
   // carry the key change it.
@@ -197,7 +234,12 @@ sim::Task<JobResult> JobRunner::run(JobSpec spec) {
     }
   }
   co_await workers.wait();
-  job->result.finish_time = job->engine.now();
+  // The job is finished when its last reduce committed, not when the
+  // speculation pollers noticed and unwound (they sleep up to one poll
+  // interval past the final commit).
+  job->result.finish_time = job->reduces_done_time > 0
+                                ? job->reduces_done_time
+                                : job->engine.now();
   co_await shuffle->stop(*job);
   if (job->spec.conf.get_bool(kMetricsSnapshot, true)) {
     // After stop(): engines fold their cache stats into the result and

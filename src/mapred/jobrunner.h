@@ -56,6 +56,9 @@ class JobRunner {
   // slot conf.
   std::vector<std::unique_ptr<TaskTrackerState>> trackers_;
   int next_job_id_ = 1;
+  // Conf-driven cpu.degrade timers are armed once per runner: they mutate
+  // Host speed, and every job a JobTracker dispatches shares the conf.
+  bool cpu_faults_armed_ = false;
 };
 
 }  // namespace hmr::mapred

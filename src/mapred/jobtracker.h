@@ -84,6 +84,12 @@ struct TenantStats {
   double total_queue_wait = 0;  // seconds, dispatched jobs
   double total_latency = 0;     // seconds, completed jobs
   double charged_cost = 0;      // fair-share charge accumulated
+  // Speculative-execution rollup: backup slots a pool's jobs burned are
+  // charged to its fair share at completion (one split-equivalent per
+  // backup attempt), so a speculation-heavy tenant cannot starve others.
+  std::uint64_t speculative_attempts = 0;
+  std::uint64_t speculative_wins = 0;
+  std::uint64_t speculative_kills = 0;
 };
 
 class JobTracker {

@@ -8,15 +8,38 @@
 
 namespace hmr::mapred {
 
+namespace {
+
+// A killed attempt unwinds here: drop any intermediate spill file it may
+// have left (best effort — the disk may be faulted) and reach the
+// terminal state. The final output file is never written by a killed
+// attempt, so nothing else needs undoing.
+void abandon_map_attempt(JobRuntime& job, TaskAttempt& attempt, Host& host,
+                         const std::string& path) {
+  const Status removed = host.fs().remove(path + ".spills");
+  (void)removed;
+  job.finish_attempt(attempt, AttemptState::kKilled);
+}
+
+}  // namespace
+
 sim::Task<> run_map_task(JobRuntime& job, int map_id,
-                         TaskTrackerState& tracker, double slowdown) {
+                         TaskTrackerState& tracker, double slowdown,
+                         TaskAttempt* attempt) {
   MapTaskInfo& task = job.maps.at(map_id);
   Host& host = *tracker.host;
   auto span = sim::maybe_span(job.engine.tracer(), host.name(), "map",
                               "map_" + std::to_string(map_id));
+  const std::string path = "mapout/" + job.spec.name + "/map_" +
+                           std::to_string(map_id) + "_h" +
+                           std::to_string(host.id());
 
   // Task JVM launch / localization.
   co_await host.compute(job.cost.task_startup);
+  if (!co_await job.attempt_checkpoint(attempt, host, 0.05)) {
+    abandon_map_attempt(job, *attempt, host, path);
+    co_return;
+  }
 
   // Read the split. Input part files are written block-sized, so this is
   // one block in practice; locality decides whether it touches the
@@ -34,6 +57,10 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
     split = co_await job.dfs.read(host, task.input_file);
   }
   HMR_CHECK_MSG(split.ok(), "map input read failed: " + split.status().to_string());
+  if (!co_await job.attempt_checkpoint(attempt, host, 0.2)) {
+    abandon_map_attempt(job, *attempt, host, path);
+    co_return;
+  }
 
   // Decode records and run the user map function into the sort buffer.
   // This is pure compute over the split bytes and the task-local builder
@@ -68,13 +95,25 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
       std::int64_t(builder.pending_records());
   job.result.counters["MAP_OUTPUT_BYTES"] += static_cast<std::int64_t>(
       double(builder.pending_bytes()) * job.data_scale);
+  if (!co_await job.attempt_checkpoint(attempt, host, 0.4)) {
+    abandon_map_attempt(job, *attempt, host, path);
+    co_return;
+  }
 
-  // CPU: record parsing + map function + in-memory sort.
+  // CPU: record parsing + map function + in-memory sort. Any active
+  // task.slow window scales the attempt's effective throughput down
+  // (slow < 1), composing with the straggler slowdown.
+  const double slow =
+      job.compute_faults.slow_factor(host.id(), job.engine.now());
   const auto output_real = builder.pending_bytes();
   const auto output_modeled =
       static_cast<std::uint64_t>(double(output_real) * job.data_scale);
   co_await job.charge_cpu(host, task.modeled_bytes + output_modeled,
-                          job.cost.map_cpu_bw / slowdown);
+                          job.cost.map_cpu_bw * slow / slowdown);
+  if (!co_await job.attempt_checkpoint(attempt, host, 0.6)) {
+    abandon_map_attempt(job, *attempt, host, path);
+    co_return;
+  }
 
   dataplane::CombineFn combiner;
   if (job.spec.combine_fn) {
@@ -98,6 +137,10 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
     job.result.counters["COMBINE_OUTPUT_RECORDS"] +=
         std::int64_t(combine_out);
   }
+  if (!co_await job.attempt_checkpoint(attempt, host, 0.75)) {
+    abandon_map_attempt(job, *attempt, host, path);
+    co_return;
+  }
 
   // Spill accounting: every spill writes the full buffer once; more than
   // one spill adds a read-merge-write pass over the whole output.
@@ -109,9 +152,6 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
   job.result.counters["SPILLED_RECORDS"] +=
       std::int64_t(double(input_records) * double(spills));
 
-  const std::string path = "mapout/" + job.spec.name + "/map_" +
-                           std::to_string(map_id) + "_h" +
-                           std::to_string(host.id());
   if (spills > 1) {
     // Intermediate spill files + merge pass, checksum-verified: an
     // injected IO error retries, a corrupt spill is rewritten, a full
@@ -128,6 +168,10 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
                   "map spill merge read failed: " + merged.status().to_string());
     co_await job.charge_cpu(host, output_modeled, job.cost.merge_cpu_bw);
     HMR_CHECK(host.fs().remove(path + ".spills").ok());
+  }
+  if (!co_await job.attempt_checkpoint(attempt, host, 0.9)) {
+    abandon_map_attempt(job, *attempt, host, path);
+    co_return;
   }
 
   // Final partitioned output file; the served MapOutput shares the
@@ -149,7 +193,21 @@ sim::Task<> run_map_task(JobRuntime& job, int map_id,
   info.created_at = job.engine.now();
   info.output = std::make_shared<const dataplane::MapOutput>(std::move(output));
   info.scale = job.data_scale;
-  job.record_map_output(std::move(info));
+  const bool committed = job.record_map_output(std::move(info));
+  if (attempt != nullptr) {
+    if (committed) {
+      if (attempt->speculative) {
+        ++job.result.speculative_wins;
+        job.metric.speculation_wins.add();
+      }
+      job.finish_attempt(*attempt, AttemptState::kSucceeded);
+      job.kill_siblings(TaskKind::kMap, map_id, attempt);
+    } else {
+      // Lost the commit race at the wire: record_map_output unlinked the
+      // duplicate file; this attempt dies KILLED like any other loser.
+      job.finish_attempt(*attempt, AttemptState::kKilled);
+    }
+  }
 }
 
 sim::Task<> run_failed_map_attempt(JobRuntime& job, int map_id,

@@ -12,8 +12,12 @@ namespace hmr::mapred {
 // JobRuntime::record_map_output.
 // `slowdown` > 1 models a straggling attempt (degraded node): its CPU
 // work runs that many times slower.
+// With `attempt` (nullable), the run reports progress at checkpoints,
+// serves task.hang windows, honors kill requests (unwinding without
+// committing), and drives the attempt to a terminal state itself.
 sim::Task<> run_map_task(JobRuntime& job, int map_id,
-                         TaskTrackerState& tracker, double slowdown = 1.0);
+                         TaskTrackerState& tracker, double slowdown = 1.0,
+                         TaskAttempt* attempt = nullptr);
 
 // A failed attempt: the task dies after `progress` (0..1) of its work —
 // the JVM crash / node fault path. Charges the wasted startup, split

@@ -9,8 +9,13 @@ namespace hmr::mapred {
 
 // Runs reduce task `reduce_id` on `tracker`'s host, using
 // job.shuffle->fetch_and_merge for the shuffle/merge phases.
+// With `attempt` (nullable), the reducer writes to a per-attempt temp
+// file and commits via JobRuntime::try_commit_reduce + NameNode rename
+// (first-commit-wins); a killed or race-losing attempt drains its sink,
+// removes its temp file, and finishes KILLED.
 sim::Task<> run_reduce_task(JobRuntime& job, int reduce_id,
-                            TaskTrackerState& tracker);
+                            TaskTrackerState& tracker,
+                            TaskAttempt* attempt = nullptr);
 
 // Output file name for a reduce (Hadoop's part-00000 convention).
 std::string reduce_output_path(const JobSpec& spec, int reduce_id);

@@ -58,6 +58,218 @@ JobRuntime::JobRuntime(Cluster& cluster, Network& network,
   HMR_CHECK_MSG(num_reduces > 0, "job needs at least one reduce");
   result.num_maps = int(maps.size());
   result.num_reduces = num_reduces;
+
+  speculation = SpeculationPolicy::from_conf(spec.conf);
+  reduces.resize(size_t(num_reduces));
+  for (int r = 0; r < num_reduces; ++r) reduces[size_t(r)].reduce_id = r;
+  reduce_expected_modeled.assign(size_t(num_reduces), 0);
+}
+
+TaskAttempt& JobRuntime::start_attempt(TaskKind kind, int task_id, int host_id,
+                                       bool speculative, bool rerun) {
+  auto owned = std::make_unique<TaskAttempt>(engine);
+  TaskAttempt& attempt = *owned;
+  attempt.attempt_id = int(attempts.size());
+  attempt.kind = kind;
+  attempt.task_id = task_id;
+  attempt.host_id = host_id;
+  attempt.speculative = speculative;
+  attempt.rerun = rerun;
+  attempt.started_at = engine.now();
+  attempt.progress_at = engine.now();
+  attempts.push_back(std::move(owned));
+  if (speculative) {
+    ++speculative_running;
+    ++result.speculative_attempts;
+    metric.speculation_attempts.add();
+  }
+  if (!rerun) {
+    if (kind == TaskKind::kMap) {
+      auto& task = maps.at(size_t(task_id));
+      ++task.attempts_running;
+      if (task.first_started_at < 0) task.first_started_at = engine.now();
+      (speculative ? task.backup : task.running) = &attempt;
+    } else {
+      auto& task = reduces.at(size_t(task_id));
+      (speculative ? task.backup : task.running) = &attempt;
+    }
+  }
+  if (auto* tracer = engine.tracer()) {
+    tracer->instant(cluster.host(size_t(host_id)).name(), "attempt",
+                    "start " + attempt.name() +
+                        (speculative ? " (speculative)" : ""));
+  }
+  return attempt;
+}
+
+void JobRuntime::finish_attempt(TaskAttempt& attempt, AttemptState state) {
+  if (!attempt.running()) return;
+  HMR_CHECK_MSG(state != AttemptState::kRunning,
+                "finish_attempt needs a terminal state");
+  attempt.state = state;
+  if (state == AttemptState::kSucceeded) {
+    attempt.progress = 1.0;
+    attempt.progress_at = engine.now();
+    if (!attempt.rerun) {
+      const double duration = engine.now() - attempt.started_at;
+      if (attempt.kind == TaskKind::kMap) {
+        map_duration_sum += duration;
+        ++map_durations;
+      } else {
+        reduce_duration_sum += duration;
+        ++reduce_durations;
+      }
+    }
+  } else if (state == AttemptState::kKilled) {
+    ++result.speculative_kills;
+    metric.speculation_kills.add();
+  }
+  if (attempt.speculative) --speculative_running;
+  if (!attempt.rerun) {
+    if (attempt.kind == TaskKind::kMap) {
+      auto& task = maps.at(size_t(attempt.task_id));
+      --task.attempts_running;
+      if (task.running == &attempt) task.running = nullptr;
+      if (task.backup == &attempt) task.backup = nullptr;
+    } else {
+      auto& task = reduces.at(size_t(attempt.task_id));
+      if (task.running == &attempt) task.running = nullptr;
+      if (task.backup == &attempt) task.backup = nullptr;
+    }
+  }
+  attempt.wake.set();  // never reset: late watchers must still wake
+}
+
+void JobRuntime::request_kill(TaskAttempt& attempt) {
+  if (!attempt.running() || attempt.kill_requested) return;
+  attempt.kill_requested = true;
+  attempt.wake.set();
+}
+
+void JobRuntime::kill_siblings(TaskKind kind, int task_id,
+                               const TaskAttempt* winner) {
+  TaskAttempt* linked[2] = {nullptr, nullptr};
+  if (kind == TaskKind::kMap) {
+    linked[0] = maps.at(size_t(task_id)).running;
+    linked[1] = maps.at(size_t(task_id)).backup;
+  } else {
+    linked[0] = reduces.at(size_t(task_id)).running;
+    linked[1] = reduces.at(size_t(task_id)).backup;
+  }
+  for (TaskAttempt* attempt : linked) {
+    if (attempt != nullptr && attempt != winner) request_kill(*attempt);
+  }
+}
+
+TaskAttempt* JobRuntime::try_claim_backup(TaskKind kind, int on_host_id) {
+  const bool enabled =
+      kind == TaskKind::kMap ? speculation.maps : speculation.reduces;
+  if (!enabled) return nullptr;
+  const double now = engine.now();
+
+  // Running original attempts of this kind whose task has neither
+  // finished nor already has a backup, and which would land on a
+  // different host.
+  struct Candidate {
+    TaskAttempt* attempt;
+    double est_total;
+  };
+  std::vector<Candidate> candidates;
+  double running_est_sum = 0;
+  int running_est_count = 0;
+  auto consider = [&](TaskAttempt* original, TaskAttempt* backup,
+                      bool task_done) {
+    if (original == nullptr || !original->running()) return;
+    const double age = now - original->started_at;
+    // est_total = age / progress, with progress floored so a stuck
+    // attempt (progress ~ 0) yields a large finite estimate.
+    const double est_total = age / std::max(original->progress, 0.05);
+    running_est_sum += est_total;
+    ++running_est_count;
+    if (task_done || backup != nullptr) return;
+    if (original->host_id == on_host_id) return;
+    if (age < speculation.min_runtime) return;
+    candidates.push_back({original, est_total});
+  };
+  if (kind == TaskKind::kMap) {
+    for (auto& task : maps) consider(task.running, task.backup, task.done);
+  } else {
+    for (auto& task : reduces) {
+      consider(task.running, task.backup, task.committed);
+    }
+  }
+  if (candidates.empty()) return nullptr;
+
+  // LATE reference: mean completed duration of the kind; before anything
+  // completes, the mean running estimate.
+  const int completed =
+      kind == TaskKind::kMap ? map_durations : reduce_durations;
+  const double completed_sum =
+      kind == TaskKind::kMap ? map_duration_sum : reduce_duration_sum;
+  const double reference = completed > 0
+                               ? completed_sum / double(completed)
+                               : running_est_sum / double(running_est_count);
+
+  // Flag outliers and pick the one with the most estimated work left
+  // (id-order tiebreak keeps the choice deterministic).
+  TaskAttempt* pick = nullptr;
+  double pick_remaining = -1;
+  for (const auto& candidate : candidates) {
+    if (candidate.est_total <= speculation.slow_factor * reference) continue;
+    const double remaining =
+        candidate.est_total - (now - candidate.attempt->started_at);
+    if (remaining > pick_remaining) {
+      pick = candidate.attempt;
+      pick_remaining = remaining;
+    }
+  }
+  if (pick == nullptr) return nullptr;
+
+  // Budget checks after the pick so a blocked claim is visible as a
+  // deferral rather than silently never considered.
+  const int launched =
+      kind == TaskKind::kMap ? map_backups_launched : reduce_backups_launched;
+  const int tasks = kind == TaskKind::kMap ? int(maps.size()) : num_reduces;
+  if (launched >= speculation.cap_count(tasks) ||
+      speculative_running >= speculation.slots) {
+    ++result.speculative_cap_deferrals;
+    metric.speculation_cap_deferrals.add();
+    return nullptr;
+  }
+  ++(kind == TaskKind::kMap ? map_backups_launched : reduce_backups_launched);
+  // No suspension between the pick and the link (start_attempt sets
+  // task.backup synchronously), so concurrent claimers cannot double-
+  // launch a backup for the same task.
+  return &start_attempt(kind, pick->task_id, on_host_id,
+                        /*speculative=*/true, /*rerun=*/false);
+}
+
+bool JobRuntime::try_commit_reduce(int reduce_id) {
+  auto& task = reduces.at(size_t(reduce_id));
+  if (task.committed) return false;
+  task.committed = true;
+  ++reduces_committed;
+  if (reduces_committed >= num_reduces) reduces_done_time = engine.now();
+  return true;
+}
+
+sim::Task<bool> JobRuntime::attempt_checkpoint(TaskAttempt* attempt,
+                                               Host& host, double progress) {
+  if (attempt == nullptr) co_return true;
+  if (attempt->kill_requested) co_return false;
+  // Serve any active task.hang window: the attempt stays alive but
+  // stops progressing until the window closes (or it gets killed).
+  for (;;) {
+    const double until = compute_faults.hang_until(host.id(), engine.now());
+    if (until <= engine.now()) break;
+    co_await engine.delay(until - engine.now());
+    if (attempt->kill_requested) co_return false;
+  }
+  if (progress > attempt->progress) {
+    attempt->progress = progress;
+    attempt->progress_at = engine.now();
+  }
+  co_return !attempt->kill_requested;
 }
 
 TaskTrackerState& JobRuntime::tracker_for_host(int host_id) {
@@ -72,7 +284,7 @@ TaskTrackerState& JobRuntime::tracker_of_map(int map_id) {
   return tracker_for_host(maps.at(map_id).ran_on);
 }
 
-void JobRuntime::record_map_output(MapOutputInfo info) {
+bool JobRuntime::record_map_output(MapOutputInfo info) {
   const int map_id = info.map_id;
   const int host_id = info.host_id;
   if (maps.at(map_id).done) {
@@ -84,11 +296,21 @@ void JobRuntime::record_map_output(MapOutputInfo info) {
           std::pair{job_id, map_id}, std::move(info));
       maps.at(map_id).ran_on = host_id;
       if (shuffle != nullptr) shuffle->on_map_finished(*this, map_id, host_id);
-      return;
+      return true;
     }
-    // A speculative duplicate lost the race; its output is discarded
-    // (the JobTracker kills the slower attempt in real Hadoop).
-    return;
+    // A speculative duplicate lost the race; its output file is
+    // unlinked (best effort — the disk may be faulted) so the loser
+    // releases its spill space.
+    const Status removed =
+        tracker_for_host(host_id).host->fs().remove(info.local_path);
+    (void)removed;
+    return false;
+  }
+  // First to finish wins: the committed output fixes which partition
+  // bytes every reduce will fetch, so accumulate the reduce progress
+  // denominators from it before handing the info over.
+  for (int r = 0; r < num_reduces; ++r) {
+    reduce_expected_modeled.at(size_t(r)) += info.modeled_partition_bytes(r);
   }
   tracker_for_host(host_id).map_outputs.emplace(
       std::pair{job_id, map_id}, std::move(info));
@@ -109,6 +331,7 @@ void JobRuntime::record_map_output(MapOutputInfo info) {
     result.maps_done_time = engine.now();
     all_maps_done.set();
   }
+  return true;
 }
 
 sim::Task<> JobRuntime::charge_cpu(Host& host, std::uint64_t modeled_bytes,
@@ -165,7 +388,11 @@ sim::Task<> JobRuntime::ensure_fetchable(int map_id) {
     rerunning_maps.insert(map_id);
     {
       auto slot = co_await sim::hold(target->map_slots);
-      co_await run_map_task(*this, map_id, *target);
+      TaskAttempt& attempt =
+          start_attempt(TaskKind::kMap, map_id, target->host->id(),
+                        /*speculative=*/false, /*rerun=*/true);
+      co_await run_map_task(*this, map_id, *target, 1.0, &attempt);
+      if (attempt.running()) finish_attempt(attempt, AttemptState::kSucceeded);
     }
     rerun_done.set();
     reruns.erase(map_id);

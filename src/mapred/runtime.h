@@ -14,6 +14,7 @@
 
 #include "dataplane/segment.h"
 #include "hdfs/hdfs.h"
+#include "mapred/attempt.h"
 #include "mapred/recovery.h"
 #include "mapred/types.h"
 #include "net/cluster.h"
@@ -75,10 +76,23 @@ struct MapTaskInfo {
   std::vector<int> replica_hosts;  // candidate local hosts
   int ran_on = -1;
   bool done = false;
-  // Speculation bookkeeping.
+  // Attempt bookkeeping (mapred/attempt.h): the original attempt and
+  // its speculative backup, when live. Recovery reruns are not linked
+  // here (the task is already done).
+  TaskAttempt* running = nullptr;
+  TaskAttempt* backup = nullptr;
   int attempts_running = 0;
   double first_started_at = -1.0;
   bool straggling = false;  // fault injection marked an attempt slow
+};
+
+struct ReduceTaskInfo {
+  int reduce_id = -1;
+  // First-commit-wins gate: set by JobRuntime::try_commit_reduce for
+  // exactly one attempt; the loser unlinks its attempt output file.
+  bool committed = false;
+  TaskAttempt* running = nullptr;
+  TaskAttempt* backup = nullptr;
 };
 
 class ShuffleEngine;
@@ -106,7 +120,12 @@ struct ShuffleMetrics {
         mapout_unserved(registry.counter("storage.mapout.unserved")),
         io_retries(registry.counter("storage.io.retries")),
         checksum_mismatches(
-            registry.counter("integrity.checksum.mismatches")) {}
+            registry.counter("integrity.checksum.mismatches")),
+        speculation_attempts(registry.counter("speculation.attempts")),
+        speculation_wins(registry.counter("speculation.wins")),
+        speculation_kills(registry.counter("speculation.kills")),
+        speculation_cap_deferrals(
+            registry.counter("speculation.cap_deferrals")) {}
 
   Counter& fetch_requests;
   Counter& fetch_timeouts;
@@ -119,6 +138,10 @@ struct ShuffleMetrics {
   Counter& mapout_unserved;
   Counter& io_retries;
   Counter& checksum_mismatches;
+  Counter& speculation_attempts;
+  Counter& speculation_wins;
+  Counter& speculation_kills;
+  Counter& speculation_cap_deferrals;
 };
 
 // Everything a task or engine needs to reach the simulated world.
@@ -141,6 +164,7 @@ struct JobRuntime {
   ShuffleMetrics metric;
 
   std::vector<MapTaskInfo> maps;
+  std::vector<ReduceTaskInfo> reduces;
   int num_reduces = 0;
   // Owned by the JobRunner; shared with concurrently running jobs.
   std::vector<TaskTrackerState*> trackers;
@@ -168,10 +192,73 @@ struct JobRuntime {
   std::set<int> rerunning_maps;
   std::map<int, std::unique_ptr<sim::Event>> reruns;
 
+  // --- task-attempt lifecycle (mapred/attempt.h) ------------------------
+  SpeculationPolicy speculation;
+  // Merged compute faults: conf keys (sim.fault.cpu/task.*, parsed by
+  // the JobRunner) plus the spec's FaultPlan. Task hang/slow windows are
+  // consulted at attempt checkpoints; cpu windows are timer-armed on
+  // the cluster.
+  sim::ComputeFaults compute_faults;
+  // Stable storage for every attempt of this job; raw pointers into it
+  // (MapTaskInfo/ReduceTaskInfo links, engine cancel watchers) stay
+  // valid for the job's lifetime.
+  std::vector<std::unique_ptr<TaskAttempt>> attempts;
+  int speculative_running = 0;  // live backups, vs speculation.slots
+  int map_backups_launched = 0;
+  int reduce_backups_launched = 0;
+  int reduces_committed = 0;
+  // Sim time the last reduce committed; this is the job's finish_time.
+  // The speculation backup pollers may take up to one poll interval to
+  // notice completion and exit, and that bookkeeping tail must not
+  // inflate the reported job latency.
+  double reduces_done_time = 0;
+  // Completed-duration stats per kind (reruns excluded): the LATE
+  // reference once at least one task of the kind has finished.
+  double map_duration_sum = 0;
+  int map_durations = 0;
+  double reduce_duration_sum = 0;
+  int reduce_durations = 0;
+  // Modeled bytes expected by each reduce from committed map outputs;
+  // grows as maps finish. The reduce progress estimator's denominator.
+  std::vector<std::uint64_t> reduce_expected_modeled;
+
+  // Registers a new RUNNING attempt and links it to its task (unless
+  // `rerun`). Speculative attempts count against the slot budget.
+  TaskAttempt& start_attempt(TaskKind kind, int task_id, int host_id,
+                             bool speculative, bool rerun);
+  // Moves a RUNNING attempt to a terminal state, unlinks it, updates
+  // duration stats / speculation counters, and wakes watchers.
+  // Idempotent for already-terminal attempts.
+  void finish_attempt(TaskAttempt& attempt, AttemptState state);
+  // Asks a RUNNING attempt to die; it observes the flag at its next
+  // checkpoint (engines also watch `attempt.wake`).
+  void request_kill(TaskAttempt& attempt);
+  // Kills whichever of the task's linked attempts is not `winner`.
+  void kill_siblings(TaskKind kind, int task_id, const TaskAttempt* winner);
+  // LATE: claims a backup for the slowest-estimated-finish straggling
+  // task of `kind` eligible to run on `on_host_id`, creating and
+  // returning its attempt; nullptr when nothing qualifies (cap- or
+  // slot-blocked picks count speculation.cap_deferrals).
+  TaskAttempt* try_claim_backup(TaskKind kind, int on_host_id);
+  // First-commit-wins gate for reduce output; true for exactly one
+  // caller per reduce.
+  bool try_commit_reduce(int reduce_id);
+  bool all_reduces_committed() const {
+    return reduces_committed >= num_reduces;
+  }
+  // Task checkpoint: serves any active task.hang window on `host`,
+  // reports `progress`, and returns false when the attempt should
+  // abandon (kill requested). Null attempt: always true, no-op.
+  sim::Task<bool> attempt_checkpoint(TaskAttempt* attempt, Host& host,
+                                     double progress);
+
   TaskTrackerState& tracker_for_host(int host_id);
   TaskTrackerState& tracker_of_map(int map_id);
   // Registers a finished map's output and fires completion events.
-  void record_map_output(MapOutputInfo info);
+  // Returns true when the output was committed (first attempt to finish,
+  // or a recovery rerun re-homing the served copy); false for a
+  // speculative loser, whose output file is unlinked.
+  bool record_map_output(MapOutputInfo info);
 
   bool tracker_blacklisted(int host_id) const {
     return blacklisted_trackers.contains(host_id);
@@ -215,8 +302,12 @@ class ShuffleEngine {
   }
   // Reduce-side: fetch every map's partition `reduce_id`, merge to sorted
   // order, and deliver batches into `sink` (closing it at the end).
+  // `attempt` (nullable) is the reduce attempt this fetch serves; when it
+  // is killed mid-shuffle the engine must abandon in-flight fetches,
+  // release its buffers, and still close `sink`.
   virtual sim::Task<> fetch_and_merge(JobRuntime& job, int reduce_id,
-                                      Host& host, KvSink& sink) = 0;
+                                      Host& host, KvSink& sink,
+                                      TaskAttempt* attempt = nullptr) = 0;
   // True when the engine pipelines merged output into a concurrently
   // running reduce (§III-B4); false enforces the vanilla barrier.
   virtual bool overlaps_reduce(const JobRuntime& job) const = 0;

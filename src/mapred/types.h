@@ -75,6 +75,20 @@ inline constexpr const char* kStragglerSlowdown =
     "mapred.fault.straggler.slowdown";
 inline constexpr const char* kSpeculativeExecution =
     "mapred.map.tasks.speculative.execution";
+inline constexpr const char* kReduceSpeculativeExecution =
+    "mapred.reduce.tasks.speculative.execution";
+// LATE-style backup-attempt policy (mapred/attempt.h): lifetime cap as
+// a fraction of tasks per kind, concurrent-backup slots per job,
+// idle-slot poll cadence, minimum attempt age before flagging, and the
+// estimated-duration outlier threshold.
+inline constexpr const char* kSpeculativeCap = "mapred.speculative.cap";
+inline constexpr const char* kSpeculativeSlots = "mapred.speculative.slots";
+inline constexpr const char* kSpeculativeIntervalSec =
+    "mapred.speculative.interval.sec";
+inline constexpr const char* kSpeculativeMinRuntimeSec =
+    "mapred.speculative.min.runtime.sec";
+inline constexpr const char* kSpeculativeSlowFactor =
+    "mapred.speculative.slow.factor";
 
 // Shuffle-fetch recovery (both engines; see mapred/recovery.h and
 // docs/CONFIG.md). A fetch with no response within the timeout is
@@ -191,8 +205,14 @@ struct JobResult {
   std::uint64_t cache_misses = 0;
   std::uint64_t spills = 0;
   std::uint64_t failed_map_attempts = 0;
-  std::uint64_t speculative_attempts = 0;
-  std::uint64_t speculative_wins = 0;  // backup finished before original
+  // Speculation counters (mapred/attempt.h). Each has a metric twin
+  // (`speculation.*`); the simfuzz oracle checks they agree and that
+  // every backup race produced exactly one killed loser
+  // (speculative_kills == speculative_attempts once the job drains).
+  std::uint64_t speculative_attempts = 0;  // backup attempts launched
+  std::uint64_t speculative_wins = 0;   // backup committed before original
+  std::uint64_t speculative_kills = 0;  // race losers killed
+  std::uint64_t speculative_cap_deferrals = 0;  // picks blocked by cap/slots
 
   // Shuffle recovery counters (mapred/recovery.h).
   std::uint64_t fetch_timeouts = 0;    // requests with no response in time

@@ -59,6 +59,13 @@ struct VanillaShuffleEngine::ReduceShuffleState {
   sim::Engine& engine;
   int reduce_id;
   Host& host;
+  // The reduce attempt this shuffle serves (nullable). When its kill is
+  // requested, copiers stop issuing fetches, merges are skipped, and the
+  // engine unwinds straight to cleanup.
+  TaskAttempt* attempt = nullptr;
+  bool cancelled() const {
+    return attempt != nullptr && attempt->kill_requested;
+  }
   sim::Channel<int> ready;  // map ids in completion order
 
   // One keep-alive connection per tracker host. Shared-owned: the pump
@@ -246,6 +253,9 @@ sim::Task<> VanillaShuffleEngine::copier_loop(JobRuntime& job,
                                  std::to_string(state.reduce_id) + ".c" +
                                  std::to_string(copier_id));
   while (auto map_id = co_await state.ready.recv()) {
+    // A killed attempt drains the ready channel without fetching, so the
+    // completion fetcher and sibling copiers wind down normally.
+    if (state.cancelled()) continue;
     co_await fetch_one(job, state, *map_id, rng);
   }
 }
@@ -262,6 +272,10 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
   int attempt = 0;
   bool refetching = false;
   while (true) {
+    // Abandon between exchanges once the reduce attempt is killed; an
+    // in-flight request/response is bounded by the watchdog, so the
+    // loser never parks past one fetch timeout here.
+    if (state.cancelled()) co_return;
     const int server_host = job.maps.at(map_id).ran_on;
 
     // Dial once per tracker; the pump turns socket deliveries into fetch
@@ -423,17 +437,36 @@ sim::Task<> VanillaShuffleEngine::fetch_one(JobRuntime& job,
 
 sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
                                                   int reduce_id, Host& host,
-                                                  KvSink& sink) {
+                                                  KvSink& sink,
+                                                  TaskAttempt* attempt) {
   ReduceShuffleState state(job, reduce_id, host);
+  state.attempt = attempt;
+
+  // Kill watcher: a killed attempt's completion fetcher may be parked on
+  // completion_pulse with no map about to finish, so pulse it awake (a
+  // spurious pulse is benign — every waiter re-checks its own state).
+  // The watcher always completes: `wake` is also set on the terminal
+  // transition, and it touches only job-level state.
+  if (attempt != nullptr) {
+    job.engine.spawn([](JobRuntime& job, TaskAttempt& attempt) -> sim::Task<> {
+      co_await attempt.wake.wait();
+      if (attempt.kill_requested) {
+        job.completion_pulse.set();
+        job.completion_pulse.reset();
+      }
+    }(job, *attempt));
+  }
 
   // Map Completion Fetcher: feed map ids to the copiers in completion
-  // order.
+  // order. `ready` is sized for every map, so send never parks; on a
+  // kill the fetcher exits at the next pulse (the watcher guarantees
+  // one) or when the last map completes.
   sim::WaitGroup fetch_done(job.engine);
   fetch_done.add();
   job.engine.spawn([](JobRuntime& job, ReduceShuffleState& state,
                       sim::WaitGroup& done) -> sim::Task<> {
     size_t seen = 0;
-    while (seen < job.maps.size()) {
+    while (seen < job.maps.size() && !state.cancelled()) {
       while (seen < job.completion_log.size()) {
         co_await state.ready.send(int(job.completion_log[seen++]));
       }
@@ -457,12 +490,20 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
   }
   co_await fetch_done.wait();
   co_await copiers.wait();
-  job.result.shuffle_done_time = job.engine.now();
+  // A speculation loser may unwind its fetches after the job's last
+  // reduce committed (the commit and the kill request are issued without
+  // suspension, so kill_requested is an exact "past finish_time" test);
+  // its bookkeeping must not push shuffle_done_time past finish_time.
+  if (attempt == nullptr || !attempt->kill_requested) {
+    job.result.shuffle_done_time = job.engine.now();
+  }
 
   // --- merge phase: reduce starts only after this setup completes ------
   // Local-FS merge passes keep at most io.sort.factor disk segments.
+  // A killed attempt skips the merges entirely and falls through to
+  // cleanup (spill removal, connection close, sink close).
   const int factor = int(job.spec.conf.get_int(kIoSortFactor, 10));
-  while (int(state.on_disk.size()) > factor) {
+  while (!state.cancelled() && int(state.on_disk.size()) > factor) {
     std::vector<Segment> group(state.on_disk.begin(),
                                state.on_disk.begin() + factor);
     state.on_disk.erase(state.on_disk.begin(),
@@ -504,16 +545,18 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
   }
 
   // Final merge: disk segments (read back) + memory remainder, streamed
-  // into the reduce sink.
+  // into the reduce sink. A killed attempt feeds the merger nothing.
   std::vector<std::unique_ptr<dataplane::KvSource>> sources;
-  for (const auto& segment : state.on_disk) {
-    auto view = co_await read_file_verified(job, host, segment.disk_path);
-    HMR_CHECK_MSG(view.ok(), "final-merge read failed: " +
-                                 view.status().to_string());
-    sources.push_back(std::make_unique<dataplane::BytesSource>(view->data));
-  }
-  for (const auto& segment : state.in_mem) {
-    sources.push_back(std::make_unique<dataplane::BytesSource>(segment.data));
+  if (!state.cancelled()) {
+    for (const auto& segment : state.on_disk) {
+      auto view = co_await read_file_verified(job, host, segment.disk_path);
+      HMR_CHECK_MSG(view.ok(), "final-merge read failed: " +
+                                   view.status().to_string());
+      sources.push_back(std::make_unique<dataplane::BytesSource>(view->data));
+    }
+    for (const auto& segment : state.in_mem) {
+      sources.push_back(std::make_unique<dataplane::BytesSource>(segment.data));
+    }
   }
   dataplane::StreamMerger merger(std::move(sources));
 
@@ -522,7 +565,7 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
   batch.reserve(kBatchPairs);
   KvPair pair;
   std::uint64_t batch_real = 0;
-  while (merger.next(&pair)) {
+  while (!state.cancelled() && merger.next(&pair)) {
     batch_real += pair.serialized_size();
     batch.push_back(std::move(pair));
     if (batch.size() >= kBatchPairs) {
@@ -536,7 +579,7 @@ sim::Task<> VanillaShuffleEngine::fetch_and_merge(JobRuntime& job,
       batch_real = 0;
     }
   }
-  if (!batch.empty()) {
+  if (!batch.empty() && !state.cancelled()) {
     co_await job.charge_cpu(
         host, static_cast<std::uint64_t>(double(batch_real) * job.data_scale),
         job.cost.merge_cpu_bw);

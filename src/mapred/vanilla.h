@@ -21,7 +21,8 @@ class VanillaShuffleEngine final : public ShuffleEngine {
 
   sim::Task<> start(JobRuntime& job) override;
   sim::Task<> fetch_and_merge(JobRuntime& job, int reduce_id, Host& host,
-                              KvSink& sink) override;
+                              KvSink& sink,
+                              TaskAttempt* attempt = nullptr) override;
   bool overlaps_reduce(const JobRuntime& job) const override {
     (void)job;
     return false;  // reduce starts only after all merges complete

@@ -23,13 +23,15 @@ Host::Host(sim::Engine& engine, int id, const HostSpec& spec,
 
 sim::Task<> Host::compute(double seconds) {
   auto guard = co_await sim::hold(cpu_);
-  co_await engine_.delay(seconds);
+  co_await engine_.delay(seconds / cpu_speed_);
 }
 
 void Host::degrade_nic(double factor) {
   egress_.bw *= factor;
   ingress_.bw *= factor;
 }
+
+void Host::degrade_cpu(double factor) { cpu_speed_ *= factor; }
 
 Cluster::Cluster(sim::Engine& engine, const NetProfile& profile,
                  const std::vector<HostSpec>& specs)
@@ -47,15 +49,39 @@ Cluster::Cluster(sim::Engine& engine, const NetProfile& profile,
 void Cluster::inject_faults(const sim::FaultPlan& plan) {
   for (const auto& degrade : plan.nic_degrades()) {
     engine_.metrics().counter("cluster.nic_degrades_armed").add();
+    if (degrade.restore_at >= 0) {
+      engine_.metrics().counter("cluster.nic_restores_armed").add();
+    }
     Host& host = *hosts_.at(size_t(degrade.host_id));
     engine_.spawn([](sim::Engine& engine, Host& host, double at,
-                     double factor) -> sim::Task<> {
+                     double factor, double restore_at) -> sim::Task<> {
       const double dt = at - engine.now();
       if (dt > 0) co_await engine.delay(dt);
       host.degrade_nic(factor);
-    }(engine_, host, degrade.at, degrade.factor));
+      if (restore_at < 0) co_return;
+      const double window = restore_at - engine.now();
+      if (window > 0) co_await engine.delay(window);
+      host.degrade_nic(1.0 / factor);
+    }(engine_, host, degrade.at, degrade.factor, degrade.restore_at));
   }
+  arm_cpu_degrades(plan.compute_faults().cpu);
   arm_disk_faults(plan.disk_faults());
+}
+
+void Cluster::arm_cpu_degrades(const std::vector<sim::CpuDegrade>& degrades) {
+  for (const auto& degrade : degrades) {
+    engine_.metrics().counter("cluster.cpu_degrades_armed").add();
+    Host& host = *hosts_.at(size_t(degrade.host_id));
+    engine_.spawn([](sim::Engine& engine, Host& host, double at,
+                     double factor, double duration) -> sim::Task<> {
+      const double dt = at - engine.now();
+      if (dt > 0) co_await engine.delay(dt);
+      host.degrade_cpu(factor);
+      if (duration <= 0) co_return;
+      co_await engine.delay(duration);
+      host.degrade_cpu(1.0 / factor);
+    }(engine_, host, degrade.at, degrade.factor, degrade.duration));
+  }
 }
 
 void Cluster::arm_disk_faults(const std::map<int, sim::DiskFault>& faults) {

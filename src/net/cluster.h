@@ -49,13 +49,19 @@ class Host {
   SharedLink& egress() { return egress_; }
   SharedLink& ingress() { return ingress_; }
 
-  // Occupies one core for `seconds` of simulated time.
+  // Occupies one core for `seconds` of simulated time (scaled by the
+  // host's current compute speed factor).
   sim::Task<> compute(double seconds);
 
   // Fault injection: multiplies both NIC directions' bandwidth by
   // `factor`. Flows in progress see the new share on their next
   // transmit step.
   void degrade_nic(double factor);
+  // Fault injection: multiplies the host's compute speed by `factor`
+  // (< 1 slows every subsequent compute()). Restores compose: degrading
+  // by f and later by 1/f returns to the original speed.
+  void degrade_cpu(double factor);
+  double cpu_speed() const { return cpu_speed_; }
 
  private:
   sim::Engine& engine_;
@@ -66,6 +72,7 @@ class Host {
   std::unique_ptr<storage::LocalFS> fs_;
   SharedLink egress_;
   SharedLink ingress_;
+  double cpu_speed_ = 1.0;
 };
 
 class Cluster {
@@ -89,6 +96,11 @@ class Cluster {
   // The disk half alone — also the entry point for conf-driven plans
   // (`sim.fault.disk.*`, see sim::FaultPlan::disk_faults_from_conf).
   void arm_disk_faults(const std::map<int, sim::DiskFault>& faults);
+  // The cpu.degrade half alone — also the entry point for conf-driven
+  // plans (`sim.fault.cpu.*`, see sim::ComputeFaults::from_conf). Task
+  // hang/slow windows are not armed here: they are consulted per
+  // attempt checkpoint by mapred.
+  void arm_cpu_degrades(const std::vector<sim::CpuDegrade>& degrades);
 
   // Uniform cluster of n hosts named host0..host{n-1}.
   static std::vector<HostSpec> uniform(int n, int disks_per_host,

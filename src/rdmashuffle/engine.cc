@@ -405,6 +405,13 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
     int map_id, double kv_inflation, std::uint64_t max_record_modeled,
     sim::WaitGroup& done) {
   co_await job.map_done.at(map_id)->wait();
+  if (stream->cancelled) {
+    // The reduce attempt was killed while this stream waited for its
+    // map; nothing was routed or fetched yet.
+    stream->chunks.close();
+    done.done();
+    co_return;
+  }
   if (job.tracker_blacklisted(job.maps.at(map_id).ran_on)) {
     // The serving tracker was blacklisted before this stream started:
     // wait for (or trigger) re-execution on a healthy tracker.
@@ -533,10 +540,16 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
           : job.real_from_modeled(options_.packet_bytes);
   bool first_request = true;
   while (true) {
+    // Abandon between exchanges once the attempt is killed (the watcher
+    // pulses `demand` so waits here don't outlive the race); any chunk
+    // already sent is drained — and its memory charge released — by the
+    // merge's cancellation drain.
+    if (stream->cancelled) break;
     if (!first_request && !options_.pipelined_refill && !stream->urgent) {
       // Network-levitated merge: wait until the merge actually needs
       // the next packet of this segment.
       co_await stream->demand.wait();
+      if (stream->cancelled) break;
     }
     first_request = false;
 
@@ -565,6 +578,7 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
       // the merge actually blocks on this stream, then deliver as an
       // uncharged emergency chunk (or charged, if memory freed up).
       co_await stream->demand.wait();
+      if (stream->cancelled) break;  // no charge held yet
       charged = state->mem.try_acquire(std::int64_t(charge));
     }
 
@@ -617,7 +631,11 @@ sim::Task<> RdmaShuffleEngine::copier_driver(
 
 sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
                                                int reduce_id, Host& host,
-                                               KvSink& sink) {
+                                               KvSink& sink,
+                                               mapred::TaskAttempt* attempt) {
+  const auto cancelled = [attempt] {
+    return attempt != nullptr && attempt->kill_requested;
+  };
   const std::uint64_t mem_bytes = job.spec.conf.get_bytes(
       mapred::kShuffleBufferBytes, mapred::kDefaultShuffleBufferBytes);
   auto state = std::make_shared<CopierState>(job.engine, mem_bytes);
@@ -632,6 +650,24 @@ sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
   streams.reserve(job.maps.size());
   for (size_t m = 0; m < job.maps.size(); ++m) {
     streams.push_back(std::make_shared<MapStream>(job.engine));
+  }
+
+  // Kill watcher: flags every stream cancelled and pulses its demand
+  // event so drivers parked waiting for the merge wake up and unwind.
+  // Streams are captured by shared_ptr value, and `wake` is also set on
+  // the terminal transition, so the watcher always completes safely.
+  if (attempt != nullptr) {
+    job.engine.spawn(
+        [](mapred::TaskAttempt& attempt,
+           std::vector<std::shared_ptr<MapStream>> streams) -> sim::Task<> {
+          co_await attempt.wake.wait();
+          if (!attempt.kill_requested) co_return;
+          for (auto& stream : streams) {
+            stream->cancelled = true;
+            stream->demand.set();
+            stream->demand.reset();
+          }
+        }(*attempt, streams));
   }
 
   // --- RdmaCopier: one driver per map stream -------------------------
@@ -698,7 +734,11 @@ sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
     }
   }
   std::make_heap(heap.begin(), heap.end(), greater);
-  job.result.shuffle_done_time = job.engine.now();
+  // Speculation losers cancelled after the job's final commit must not
+  // push shuffle_done_time past finish_time (see mapred/vanilla.cc).
+  if (attempt == nullptr || !attempt->kill_requested) {
+    job.result.shuffle_done_time = job.engine.now();
+  }
 
   constexpr size_t kBatchPairs = 256;
   std::vector<KvBatch> held_back;  // used when overlap is disabled
@@ -722,6 +762,7 @@ sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
   };
 
   while (!heap.empty()) {
+    if (cancelled()) break;
     std::pop_heap(heap.begin(), heap.end(), greater);
     HeapItem item = heap.back();
     heap.pop_back();
@@ -741,9 +782,34 @@ sim::Task<> RdmaShuffleEngine::fetch_and_merge(JobRuntime& job,
       std::push_heap(heap.begin(), heap.end(), greater);
     }
   }
-  co_await flush_batch();
+  if (cancelled()) {
+    // Cancellation drain: every stream must be received to completion so
+    // parked drivers can finish (Channel::close requires no parked
+    // senders) and every chunk's shuffle-memory charge is released.
+    for (size_t s = 0; s < streams.size(); ++s) {
+      Cursor& cursor = cursors[s];
+      if (cursor.mem_charge != 0) {
+        state->mem.release(std::int64_t(cursor.mem_charge));
+        cursor.mem_charge = 0;
+      }
+      while (true) {
+        if (streams[s]->chunks.empty()) {
+          streams[s]->urgent = true;
+          streams[s]->demand.set();
+          streams[s]->demand.reset();
+        }
+        auto chunk = co_await streams[s]->chunks.recv();
+        if (!chunk) break;
+        if (chunk->mem_charge != 0) {
+          state->mem.release(std::int64_t(chunk->mem_charge));
+        }
+      }
+    }
+  } else {
+    co_await flush_batch();
+  }
   co_await drivers.wait();
-  if (!options_.overlap_reduce) {
+  if (!options_.overlap_reduce && !cancelled()) {
     for (auto& held : held_back) co_await sink.send(std::move(held));
   }
   sink.close();

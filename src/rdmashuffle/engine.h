@@ -104,7 +104,8 @@ class RdmaShuffleEngine : public mapred::ShuffleEngine {
   // cache.pressure.evictions, distinct from integrity evictions).
   void on_disk_pressure(JobRuntime& job, int host_id) override;
   sim::Task<> fetch_and_merge(JobRuntime& job, int reduce_id, Host& host,
-                              KvSink& sink) override;
+                              KvSink& sink,
+                              mapred::TaskAttempt* attempt = nullptr) override;
   bool overlaps_reduce(const JobRuntime& job) const override {
     (void)job;
     return options_.overlap_reduce;
@@ -134,6 +135,9 @@ class RdmaShuffleEngine : public mapred::ShuffleEngine {
     sim::Channel<mapred::FetchEvent> events;
     sim::Channel<StreamChunk> chunks;
     std::uint64_t timer_seq = 0;  // id of the current request's watchdog
+    // Set by the kill watcher when the reduce attempt loses its race:
+    // the driver abandons between exchanges and closes its chunk queue.
+    bool cancelled = false;
     // Set by the merge while it is blocked on this stream: the driver may
     // deliver uncharged instead of waiting for shuffle memory, and
     // on-demand (non-pipelined) drivers may issue the next request.

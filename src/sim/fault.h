@@ -14,11 +14,24 @@
 //                     delayed with the given probability (flaky HCA,
 //                     overloaded responder pool).
 //  * degrade_nic    — at `at` the host's NIC bandwidth is multiplied by
-//                     `factor` (cable renegotiation, failed bonding leg).
+//                     `factor` (cable renegotiation, failed bonding leg);
+//                     an optional restore time turns it into a transient
+//                     congestion window.
 //  * disk_fault     — per-host storage faults (DiskFault below):
 //                     transient IO errors, silent bit-flip corruption,
 //                     a disk-full window, and slow-disk degrade. Armed
 //                     on the host's LocalFS by Cluster::inject_faults.
+//  * compute faults — straggler injection (ComputeFaults below):
+//                     cpu.degrade multiplies a host's compute speed for
+//                     a timer-armed window; task.hang freezes attempt
+//                     progress on a host for a bounded window (the
+//                     attempt stays alive — the case watchdog timeouts
+//                     alone catch late); task.slow_progress multiplies
+//                     task compute bandwidth. All windows are bounded or
+//                     merely slow, never fatal: every attempt still
+//                     completes, so a speculation-disabled replay of the
+//                     same plan terminates (the byte-identity oracle
+//                     depends on this).
 //
 // Queries are deterministic given the seed, so faulty runs replay
 // exactly — the recovery tests depend on this.
@@ -53,6 +66,26 @@ inline constexpr const char* kDiskFullDurationSec =
 inline constexpr const char* kDiskSlowAtSec = "sim.fault.disk.slow.at.sec";
 inline constexpr const char* kDiskSlowFactor = "sim.fault.disk.slow.factor";
 
+// --- compute fault conf keys (docs/CONFIG.md) ---------------------------
+// Flat-key straggler injection, parsed by ComputeFaults::from_conf with
+// the same strictness as the disk keys (both parsers share one known-key
+// universe, so either accepts the other family's keys and rejects
+// anything else under `sim.fault.`).
+inline constexpr const char* kCpuFaultHosts = "sim.fault.cpu.hosts";
+inline constexpr const char* kCpuFaultAtSec = "sim.fault.cpu.at.sec";
+inline constexpr const char* kCpuFaultFactor = "sim.fault.cpu.factor";
+inline constexpr const char* kCpuFaultDurationSec =
+    "sim.fault.cpu.duration.sec";
+inline constexpr const char* kTaskHangHosts = "sim.fault.task.hang.hosts";
+inline constexpr const char* kTaskHangAtSec = "sim.fault.task.hang.at.sec";
+inline constexpr const char* kTaskHangDurationSec =
+    "sim.fault.task.hang.duration.sec";
+inline constexpr const char* kTaskSlowHosts = "sim.fault.task.slow.hosts";
+inline constexpr const char* kTaskSlowAtSec = "sim.fault.task.slow.at.sec";
+inline constexpr const char* kTaskSlowDurationSec =
+    "sim.fault.task.slow.duration.sec";
+inline constexpr const char* kTaskSlowFactor = "sim.fault.task.slow.factor";
+
 // One host's storage fault profile. Probabilities are per LocalFS
 // operation; times are absolute sim seconds (< 0 disables the window).
 struct DiskFault {
@@ -71,6 +104,56 @@ struct DiskFault {
     return io_error_prob > 0 || read_corrupt_prob > 0 ||
            write_corrupt_prob > 0 || cache_corrupt_prob > 0 || full_at >= 0;
   }
+};
+
+// Host compute-speed degradation: at `at`, the host's effective CPU
+// speed is multiplied by `factor` (< 1 slows every compute() on the
+// host — map/reduce functions, merges, protocol charges). When
+// `duration` > 0 the original speed is restored at `at + duration`
+// (timer-armed by Cluster::inject_faults); otherwise permanent.
+struct CpuDegrade {
+  int host_id = -1;
+  double at = 0.0;
+  double factor = 1.0;
+  double duration = 0.0;  // <= 0: permanent
+};
+
+// Task-level fault window on a host, consulted at attempt progress
+// checkpoints (mapred/attempt.h) rather than timer-armed: a kHang
+// window freezes the attempt until the window closes (duration must be
+// > 0 — a permanent hang would never complete); a kSlow window
+// multiplies task compute bandwidth by `factor` (< 1 slows, duration
+// <= 0 permanent).
+struct TaskFault {
+  enum class Kind { kHang, kSlow };
+  Kind kind = Kind::kSlow;
+  int host_id = -1;
+  double at = 0.0;
+  double duration = 0.0;
+  double factor = 1.0;  // kSlow only
+};
+
+// The straggler half of a fault plan. Pure data, no RNG: queries are
+// functions of (host, now), so speculation on/off cannot perturb the
+// replay of other fault classes.
+struct ComputeFaults {
+  std::vector<CpuDegrade> cpu;
+  std::vector<TaskFault> task;
+
+  bool empty() const { return cpu.empty() && task.empty(); }
+  void merge(const ComputeFaults& other);
+
+  // End of the latest hang window active on host_id at `now`, or 0 when
+  // the host is not hung (hang windows have duration > 0, so any active
+  // window ends strictly after now > 0).
+  double hang_until(int host_id, double now) const;
+  // Product of the compute-bandwidth factors of every slow window
+  // active on host_id at `now`; 1.0 when none.
+  double slow_factor(int host_id, double now) const;
+
+  // Parses the flat `sim.fault.cpu.*` / `sim.fault.task.*` keys, with
+  // the same strictness contract as disk_faults_from_conf below.
+  static Result<ComputeFaults> from_conf(const Conf& conf);
 };
 
 class FaultPlan {
@@ -93,10 +176,31 @@ class FaultPlan {
     fault.stall_prob = prob;
     fault.stall_seconds = stall_seconds;
   }
-  // At time `at`, multiply host_id's NIC bandwidth by `factor`.
-  void degrade_nic(int host_id, double at, double factor) {
-    degrades_.push_back(NicDegrade{host_id, at, factor});
+  // At time `at`, multiply host_id's NIC bandwidth by `factor`. When
+  // `restore_at` >= 0, the degradation is undone at that time (a
+  // transient congestion window rather than a permanent failure).
+  void degrade_nic(int host_id, double at, double factor,
+                   double restore_at = -1.0) {
+    degrades_.push_back(NicDegrade{host_id, at, factor, restore_at});
   }
+  // At time `at`, multiply host_id's compute speed by `factor`; restored
+  // after `duration` seconds when duration > 0.
+  void degrade_cpu(int host_id, double at, double factor,
+                   double duration = 0.0) {
+    compute_.cpu.push_back(CpuDegrade{host_id, at, factor, duration});
+  }
+  // Freeze task-attempt progress on host_id in [at, at + duration).
+  void hang_tasks(int host_id, double at, double duration) {
+    compute_.task.push_back(
+        TaskFault{TaskFault::Kind::kHang, host_id, at, duration, 1.0});
+  }
+  // Multiply task compute bandwidth on host_id by `factor` in
+  // [at, at + duration) (duration <= 0: from `at` onward).
+  void slow_tasks(int host_id, double at, double duration, double factor) {
+    compute_.task.push_back(
+        TaskFault{TaskFault::Kind::kSlow, host_id, at, duration, factor});
+  }
+  const ComputeFaults& compute_faults() const { return compute_; }
   // Storage faults for host_id (armed on its LocalFS by
   // Cluster::inject_faults; one profile per host, last call wins).
   void disk_fault(int host_id, const DiskFault& fault) {
@@ -127,6 +231,7 @@ class FaultPlan {
     int host_id = -1;
     double at = 0.0;
     double factor = 1.0;
+    double restore_at = -1.0;  // < 0: permanent
   };
   const std::vector<NicDegrade>& nic_degrades() const { return degrades_; }
 
@@ -141,6 +246,7 @@ class FaultPlan {
   std::map<int, ResponseFault> response_faults_;
   std::vector<NicDegrade> degrades_;
   std::map<int, DiskFault> disk_faults_;
+  ComputeFaults compute_;
   std::uint64_t seed_ = 1;
   Rng rng_;
 };

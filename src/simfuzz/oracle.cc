@@ -136,6 +136,9 @@ std::string job_result_json(const mapred::JobResult& job) {
   j.set("failed_map_attempts", Json(std::int64_t(job.failed_map_attempts)));
   j.set("speculative_attempts", Json(std::int64_t(job.speculative_attempts)));
   j.set("speculative_wins", Json(std::int64_t(job.speculative_wins)));
+  j.set("speculative_kills", Json(std::int64_t(job.speculative_kills)));
+  j.set("speculative_cap_deferrals",
+        Json(std::int64_t(job.speculative_cap_deferrals)));
   j.set("fetch_timeouts", Json(std::int64_t(job.fetch_timeouts)));
   j.set("fetch_retries", Json(std::int64_t(job.fetch_retries)));
   j.set("trackers_blacklisted", Json(std::int64_t(job.trackers_blacklisted)));
@@ -302,6 +305,39 @@ void check_engine_run(const Scenario& scenario, const EngineRun& run,
   twin("disk_full_events", job.disk_full_events, "storage.disk_full.events");
   twin("cache_integrity_evictions", job.cache_integrity_evictions,
        "cache.integrity.evictions");
+  twin("speculative_attempts", job.speculative_attempts,
+       "speculation.attempts");
+  twin("speculative_wins", job.speculative_wins, "speculation.wins");
+  twin("speculative_kills", job.speculative_kills, "speculation.kills");
+  twin("speculative_cap_deferrals", job.speculative_cap_deferrals,
+       "speculation.cap_deferrals");
+  // Speculation conservation (DESIGN.md §6.2/§6.5): every backup launch
+  // creates a race that exactly one attempt loses, so kills == attempts
+  // (the winner may be the original or the backup, never both), and
+  // wins — backups that committed — can never exceed launches.
+  if (job.speculative_kills != job.speculative_attempts) {
+    add(verdict, "conservation.speculation_kills", e,
+        fmt("%llu backups launched but %llu attempts killed",
+            (unsigned long long)job.speculative_attempts,
+            (unsigned long long)job.speculative_kills));
+  }
+  if (job.speculative_wins > job.speculative_attempts) {
+    add(verdict, "conservation.speculation_wins", e,
+        fmt("%llu wins from %llu backups",
+            (unsigned long long)job.speculative_wins,
+            (unsigned long long)job.speculative_attempts));
+  }
+  if (!scenario.speculative &&
+      (job.speculative_attempts != 0 || job.speculative_wins != 0 ||
+       job.speculative_kills != 0 || job.speculative_cap_deferrals != 0)) {
+    add(verdict, "conservation.speculation_disabled", e,
+        fmt("speculation off but attempts=%llu wins=%llu kills=%llu "
+            "deferrals=%llu",
+            (unsigned long long)job.speculative_attempts,
+            (unsigned long long)job.speculative_wins,
+            (unsigned long long)job.speculative_kills,
+            (unsigned long long)job.speculative_cap_deferrals));
+  }
   // Every checksum mismatch must be accounted for by exactly one recovery
   // (or terminal-failure) action: a run cannot detect corruption and then
   // silently do nothing about it.
@@ -525,6 +561,46 @@ void check_queue_equivalence(const Scenario& scenario, const EngineRun& ref,
   }
 }
 
+void check_speculation_identity(const Scenario& scenario,
+                                const EngineRun& ref, Verdict* verdict) {
+  if (!scenario.speculative) return;
+  // Same seed, same fault plan, same conf except the two speculation
+  // switches: the replay's FaultPlan RNG stream is untouched by
+  // speculation (compute faults are pure (host, time) queries), so the
+  // two runs see identical injected faults.
+  Scenario twin = scenario;
+  twin.speculative = false;
+  const EngineRun off = run_engine(twin, ref.engine);
+  if (off.output_present != ref.output_present) {
+    add(verdict, "speculation.result_identity", ref.engine,
+        fmt("output %s with speculation, %s without",
+            ref.output_present ? "present" : "missing",
+            off.output_present ? "present" : "missing"));
+    return;
+  }
+  if (!ref.output_present) return;
+  if (off.validation.digest != ref.validation.digest) {
+    add(verdict, "speculation.result_identity", ref.engine,
+        fmt("records %llu/checksum %016llx with speculation vs "
+            "%llu/%016llx without",
+            (unsigned long long)ref.validation.digest.records,
+            (unsigned long long)ref.validation.digest.checksum,
+            (unsigned long long)off.validation.digest.records,
+            (unsigned long long)off.validation.digest.checksum));
+  }
+  if (off.validation.per_part_sorted != ref.validation.per_part_sorted ||
+      off.validation.globally_sorted != ref.validation.globally_sorted) {
+    add(verdict, "speculation.result_identity", ref.engine,
+        "sort-order validation diverged between speculation on and off");
+  }
+  if (off.job.output_records != ref.job.output_records) {
+    add(verdict, "speculation.result_identity", ref.engine,
+        fmt("JobResult output_records %llu with speculation vs %llu without",
+            (unsigned long long)ref.job.output_records,
+            (unsigned long long)off.job.output_records));
+  }
+}
+
 void check_parallel_identity(const Scenario& scenario, const EngineRun& ref,
                              Verdict* verdict) {
   // Replay at the opposite pool width: a parallel scenario gets a serial
@@ -560,6 +636,10 @@ Verdict check_scenario(const Scenario& scenario) {
   // Serial-vs-parallel on the paper's engine, always on: worker threads
   // may change where fn bodies run, never the simulated outcome.
   check_parallel_identity(scenario, runs[1], &verdict);
+  // Speculation-on vs -off on the paper's engine (no-op unless the
+  // scenario speculates): backups may change when tasks finish, never
+  // the bytes the job writes.
+  check_speculation_identity(scenario, runs[1], &verdict);
   if (scenario.check_determinism) {
     const EngineRun rerun = run_engine(scenario, "osu-ib");
     if (rerun.result_json != runs[1].result_json) {

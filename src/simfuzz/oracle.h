@@ -99,6 +99,17 @@ void check_multi_job(const Scenario& scenario, Verdict* verdict);
 void check_queue_equivalence(const Scenario& scenario, const EngineRun& ref,
                              Verdict* verdict);
 
+// Speculation byte-identity oracle (always on; no-op when the scenario
+// runs without speculation): replays one engine with speculative
+// execution disabled and demands the same output digest, record count,
+// and sort order. Speculation is a scheduling optimization — first
+// commit wins and the loser's output is discarded — so it may change
+// *when* a task finishes, never *what* the job writes. Timings and
+// counters legitimately differ, so only output-content fields are
+// compared, not the serialized JobResult.
+void check_speculation_identity(const Scenario& scenario,
+                                const EngineRun& ref, Verdict* verdict);
+
 // Serial-vs-parallel identity oracle (always on): replays one engine at
 // the opposite worker-pool width (serial scenarios get workers=2,
 // parallel scenarios get workers=1) and demands a byte-identical

@@ -37,6 +37,36 @@ bool is_disk_kind(FaultSite::Kind kind) {
   }
 }
 
+bool is_compute_kind(FaultSite::Kind kind) {
+  return kind == FaultSite::Kind::kCpuDegrade ||
+         kind == FaultSite::Kind::kTaskHang ||
+         kind == FaultSite::Kind::kTaskSlow;
+}
+
+// One random compute-fault (straggler) site. Values stay in the ranges
+// sim::ComputeFaults accepts — bounded hang windows, positive speed
+// factors — so every scenario completes and its speculation-disabled
+// replay (the speculation.result_identity oracle) terminates too.
+FaultSite random_compute_site(Rng& rng, int nodes) {
+  FaultSite fault;
+  fault.host = int(rng.range(1, nodes));
+  fault.at = 20.0 * rng.uniform();
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 40) {
+    fault.kind = FaultSite::Kind::kCpuDegrade;
+    fault.factor = 0.25 + 0.5 * rng.uniform();  // 4x .. 1.3x slower
+    fault.seconds = rng.chance(0.5) ? 5.0 + 15.0 * rng.uniform() : 0.0;
+  } else if (roll < 70) {
+    fault.kind = FaultSite::Kind::kTaskHang;
+    fault.seconds = 1.0 + 7.0 * rng.uniform();  // hangs must be bounded
+  } else {
+    fault.kind = FaultSite::Kind::kTaskSlow;
+    fault.factor = 0.3 + 0.5 * rng.uniform();
+    fault.seconds = rng.chance(0.5) ? 5.0 + 15.0 * rng.uniform() : 0.0;
+  }
+  return fault;
+}
+
 // Faults that take the host's shuffle service out of rotation. NIC and
 // disk degradation only slow a host down, and disk corruption/errors are
 // recovered per-operation, so neither disqualifies a tracker.
@@ -108,6 +138,9 @@ const char* fault_kind_name(FaultSite::Kind kind) {
     case FaultSite::Kind::kDiskCacheCorrupt: return "disk_cache_corrupt";
     case FaultSite::Kind::kDiskFull: return "disk_full";
     case FaultSite::Kind::kDiskSlow: return "disk_slow";
+    case FaultSite::Kind::kCpuDegrade: return "cpu_degrade";
+    case FaultSite::Kind::kTaskHang: return "task_hang";
+    case FaultSite::Kind::kTaskSlow: return "task_slow";
   }
   return "?";
 }
@@ -220,6 +253,20 @@ Scenario Scenario::generate(std::uint64_t seed) {
     }
   }
   {
+    // Straggler injection (compute faults): slow or frozen hosts are the
+    // scenarios speculative execution exists for, so pair the two —
+    // a scenario that draws compute faults also forces speculation on
+    // half the time beyond the independent `speculative` draw.
+    auto rng = field_rng(seed, "compute.faults");
+    if (s.nodes >= 2 && rng.chance(0.3)) {
+      const int sites = int(rng.range(1, 2));
+      for (int i = 0; i < sites; ++i) {
+        s.faults.push_back(random_compute_site(rng, s.nodes));
+      }
+      if (rng.chance(0.5)) s.speculative = true;
+    }
+  }
+  {
     // Kept rare: each multi-job scenario costs a concurrent run plus a
     // serial comparator on top of the three per-engine runs.
     auto rng = field_rng(seed, "multijob");
@@ -289,6 +336,15 @@ sim::FaultPlan Scenario::build_fault_plan() const {
         disk[fault.host].slow_at = fault.at;
         disk[fault.host].slow_factor = fault.factor;
         break;
+      case FaultSite::Kind::kCpuDegrade:
+        plan.degrade_cpu(fault.host, fault.at, fault.factor, fault.seconds);
+        break;
+      case FaultSite::Kind::kTaskHang:
+        plan.hang_tasks(fault.host, fault.at, fault.seconds);
+        break;
+      case FaultSite::Kind::kTaskSlow:
+        plan.slow_tasks(fault.host, fault.at, fault.seconds, fault.factor);
+        break;
     }
   }
   for (const auto& [host, fault] : disk) plan.disk_fault(host, fault);
@@ -297,13 +353,19 @@ sim::FaultPlan Scenario::build_fault_plan() const {
 
 bool Scenario::has_shuffle_faults() const {
   return std::any_of(faults.begin(), faults.end(), [](const FaultSite& f) {
-    return !is_disk_kind(f.kind);
+    return !is_disk_kind(f.kind) && !is_compute_kind(f.kind);
   });
 }
 
 bool Scenario::has_disk_faults() const {
   return std::any_of(faults.begin(), faults.end(), [](const FaultSite& f) {
     return is_disk_kind(f.kind);
+  });
+}
+
+bool Scenario::has_compute_faults() const {
+  return std::any_of(faults.begin(), faults.end(), [](const FaultSite& f) {
+    return is_compute_kind(f.kind);
   });
 }
 
@@ -326,7 +388,11 @@ Conf Scenario::base_conf() const {
     conf.set_double(mapred::kStragglerProb, straggler_prob);
   }
   conf.set_bool(mapred::kSpeculativeExecution, speculative);
-  if (has_shuffle_faults() || has_disk_faults()) {
+  conf.set_bool(mapred::kReduceSpeculativeExecution, speculative);
+  if (has_shuffle_faults() || has_disk_faults() || has_compute_faults()) {
+    // Compute faults are included: a 4x-degraded host serves fetches
+    // slowly enough that a watchdog could fire, and recovery must be
+    // armed wherever a timeout is possible.
     // Recovery must be armed or a killed tracker hangs the job (and an
     // unreadable map output, dropped by the responder, needs the fetch
     // watchdog to trigger re-execution). The timeout is far above any
@@ -468,6 +534,12 @@ Result<Scenario> Scenario::from_json(const Json& json) {
         fault.kind = FaultSite::Kind::kDiskFull;
       } else if (kind == "disk_slow") {
         fault.kind = FaultSite::Kind::kDiskSlow;
+      } else if (kind == "cpu_degrade") {
+        fault.kind = FaultSite::Kind::kCpuDegrade;
+      } else if (kind == "task_hang") {
+        fault.kind = FaultSite::Kind::kTaskHang;
+      } else if (kind == "task_slow") {
+        fault.kind = FaultSite::Kind::kTaskSlow;
       } else {
         return Status::InvalidArgument("scenario: unknown fault kind " + kind);
       }
@@ -491,6 +563,12 @@ Result<Scenario> Scenario::from_json(const Json& json) {
       }
       if (fault.factor <= 0.0) {
         return Status::InvalidArgument("scenario: fault factor <= 0");
+      }
+      if (fault.kind == FaultSite::Kind::kTaskHang && fault.seconds <= 0.0) {
+        // A permanent hang would never complete; ComputeFaults rejects it
+        // too, but fail at load time with the file named.
+        return Status::InvalidArgument(
+            "scenario: task_hang requires seconds > 0");
       }
       s.faults.push_back(fault);
     }

@@ -29,10 +29,15 @@ struct FaultSite {
   // Network/service faults plus the storage fault classes of
   // sim::DiskFault (DESIGN.md §6.2); disk kinds reuse the same scalar
   // fields (prob = per-op probability, at/seconds = disk-full window,
-  // at/factor = slow-disk degrade).
+  // at/factor = slow-disk degrade). Compute kinds (the straggler
+  // injection of sim::ComputeFaults, DESIGN.md §6.5) reuse them too:
+  // at = arm time, seconds = window length (0 = permanent for
+  // cpu_degrade/task_slow; task_hang windows must be bounded), factor =
+  // speed multiplier.
   enum class Kind { kKillTracker, kDropResponses, kStallResponses,
                     kDegradeNic, kDiskIoErrors, kDiskCorrupt,
-                    kDiskCacheCorrupt, kDiskFull, kDiskSlow };
+                    kDiskCacheCorrupt, kDiskFull, kDiskSlow,
+                    kCpuDegrade, kTaskHang, kTaskSlow };
   Kind kind = Kind::kDropResponses;
   int host = 1;          // compute hosts are 1..nodes (0 is the master)
   double at = 0.0;       // kill/degrade/full/slow arm time, seconds
@@ -110,8 +115,9 @@ struct Scenario {
 
   // Rebuilds the seeded fault plan this scenario describes.
   sim::FaultPlan build_fault_plan() const;
-  bool has_shuffle_faults() const;  // any kill/drop/stall/degrade site
+  bool has_shuffle_faults() const;  // any kill/drop/stall/degrade-NIC site
   bool has_disk_faults() const;     // any kDisk* site
+  bool has_compute_faults() const;  // any cpu-degrade/task-hang/-slow site
 
   // Conf shared by every engine run of this scenario (engine selection
   // is layered on top by the runner).

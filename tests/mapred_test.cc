@@ -607,6 +607,123 @@ TEST(FaultPlanTest, NicDegradesAreRecordedInOrder) {
   EXPECT_EQ(plan.nic_degrades()[0].at, 5.0);
   EXPECT_EQ(plan.nic_degrades()[0].factor, 0.25);
   EXPECT_EQ(plan.nic_degrades()[1].host_id, 2);
+  // Without a restore time the degrade is permanent.
+  EXPECT_LT(plan.nic_degrades()[0].restore_at, 0.0);
+}
+
+TEST(FaultPlanTest, NicRestoreTimeIsRecorded) {
+  sim::FaultPlan plan;
+  plan.degrade_nic(1, 5.0, 0.25, /*restore_at=*/12.0);
+  ASSERT_EQ(plan.nic_degrades().size(), 1u);
+  EXPECT_EQ(plan.nic_degrades()[0].restore_at, 12.0);
+}
+
+TEST(ComputeFaultTest, FromConfParsesAllThreeClasses) {
+  Conf conf;
+  conf.set(sim::kCpuFaultHosts, "1,2");
+  conf.set_double(sim::kCpuFaultAtSec, 3.0);
+  conf.set_double(sim::kCpuFaultFactor, 0.25);
+  conf.set_double(sim::kCpuFaultDurationSec, 10.0);
+  conf.set(sim::kTaskHangHosts, "2");
+  conf.set_double(sim::kTaskHangAtSec, 4.0);
+  conf.set_double(sim::kTaskHangDurationSec, 5.0);
+  conf.set(sim::kTaskSlowHosts, "1");
+  conf.set_double(sim::kTaskSlowAtSec, 1.0);
+  conf.set_double(sim::kTaskSlowFactor, 0.5);
+  auto faults = sim::ComputeFaults::from_conf(conf);
+  ASSERT_TRUE(faults.ok());
+  ASSERT_EQ(faults->cpu.size(), 2u);
+  EXPECT_EQ(faults->cpu[0].host_id, 1);
+  EXPECT_EQ(faults->cpu[1].host_id, 2);
+  EXPECT_EQ(faults->cpu[0].factor, 0.25);
+  EXPECT_EQ(faults->cpu[0].duration, 10.0);
+  ASSERT_EQ(faults->task.size(), 2u);
+}
+
+TEST(ComputeFaultTest, StrictKeysRejected) {
+  {
+    Conf conf;
+    conf.set(sim::kCpuFaultHosts, "1");
+    conf.set_double("sim.fault.cpu.facter", 0.5);  // typo must abort parse
+    EXPECT_FALSE(sim::ComputeFaults::from_conf(conf).ok());
+  }
+  {
+    // A hang window must be bounded: a permanent hang never completes.
+    Conf conf;
+    conf.set(sim::kTaskHangHosts, "1");
+    conf.set_double(sim::kTaskHangDurationSec, 0.0);
+    EXPECT_FALSE(sim::ComputeFaults::from_conf(conf).ok());
+  }
+  {
+    // Hosts key is required once any sibling key appears.
+    Conf conf;
+    conf.set_double(sim::kCpuFaultFactor, 0.5);
+    EXPECT_FALSE(sim::ComputeFaults::from_conf(conf).ok());
+  }
+}
+
+TEST(ComputeFaultTest, WindowQueriesArePure) {
+  sim::ComputeFaults faults;
+  faults.task.push_back(
+      {sim::TaskFault::Kind::kHang, /*host_id=*/1, /*at=*/5.0,
+       /*duration=*/3.0, /*factor=*/1.0});
+  faults.task.push_back(
+      {sim::TaskFault::Kind::kSlow, /*host_id=*/1, /*at=*/2.0,
+       /*duration=*/0.0, /*factor=*/0.5});
+  // Hang: inactive before, end-of-window inside, closed after.
+  EXPECT_EQ(faults.hang_until(1, 4.9), 0.0);
+  EXPECT_EQ(faults.hang_until(1, 6.0), 8.0);
+  EXPECT_EQ(faults.hang_until(1, 8.0), 0.0);
+  EXPECT_EQ(faults.hang_until(2, 6.0), 0.0);  // other hosts untouched
+  // Slow: duration <= 0 is permanent from `at` onward.
+  EXPECT_EQ(faults.slow_factor(1, 1.0), 1.0);
+  EXPECT_EQ(faults.slow_factor(1, 100.0), 0.5);
+  EXPECT_EQ(faults.slow_factor(2, 100.0), 1.0);
+}
+
+TEST(SpeculationTest, KillsMatchAttemptsUnderCombinedChaos) {
+  // DESIGN.md §6.2: every speculative race is launched by exactly one
+  // backup attempt and settled by exactly one kill, so a drained job
+  // must hold speculative_kills == speculative_attempts even when
+  // compute, network, and disk faults fire in the same run — and the
+  // killed losers must stay distinct from fault re-executions.
+  SmallJob small;
+  small.bed_spec.nodes = 4;
+  Testbed bed(small.bed_spec);
+  auto digest = bed.generate("teragen", small.gen);
+  ASSERT_TRUE(digest.ok());
+  sim::FaultPlan plan(41);
+  plan.slow_tasks(/*host_id=*/2, /*at=*/0.0, /*duration=*/0.0,
+                  /*factor=*/0.1);
+  plan.drop_responses(/*host_id=*/3, /*prob=*/0.1);
+  Conf conf;
+  conf.set_bool(kSpeculativeExecution, true);
+  conf.set_bool(kReduceSpeculativeExecution, true);
+  // Tighten the LATE knobs so the tiny job's stragglers are flagged well
+  // inside its few-second lifetime.
+  conf.set_double(kSpeculativeMinRuntimeSec, 0.5);
+  conf.set_double(kSpeculativeIntervalSec, 0.1);
+  conf.set(sim::kDiskFaultHosts, "1");
+  conf.set_double(sim::kDiskIoErrorProb, 0.05);
+  conf.set_double(kFetchTimeoutSec, 2.0);
+  auto job = workloads::terasort_job(bed.dfs(), "/in", "/out", conf);
+  job.faults = &plan;
+  const auto result = bed.run_job(std::move(job));
+  EXPECT_GT(result.speculative_attempts, 0u);
+  EXPECT_EQ(result.speculative_kills, result.speculative_attempts);
+  EXPECT_LE(result.speculative_wins, result.speculative_attempts);
+  auto report = workloads::validate_output(bed.dfs(), "/out");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid_terasort(*digest));
+  // Metric twins walk independent increment paths; they must agree with
+  // the JobResult counters.
+  const auto& m = result.metrics;
+  EXPECT_EQ(std::int64_t(result.speculative_attempts),
+            m.counter("speculation.attempts"));
+  EXPECT_EQ(std::int64_t(result.speculative_kills),
+            m.counter("speculation.kills"));
+  EXPECT_EQ(std::int64_t(result.speculative_wins),
+            m.counter("speculation.wins"));
 }
 
 TEST(FetchRetryPolicyTest, FromConfDefaultsAndOverrides) {

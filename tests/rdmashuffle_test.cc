@@ -380,6 +380,29 @@ TEST(RdmaRecoveryTest, NicDegradeSlowsButCompletes) {
   EXPECT_GT(degraded.job.elapsed(), clean.job.elapsed() * 1.05);
 }
 
+TEST(RdmaRecoveryTest, NicRestoreBoundsTheSlowdown) {
+  // A transient NIC brownout (same near-fatal cut, restored at t=1s)
+  // must cost strictly less than the permanent degrade above, and the
+  // restore arming must be visible in the cluster metrics.
+  sim::FaultPlan permanent;
+  permanent.degrade_nic(1, 0.0, 0.002);
+  auto perm_config = tiny(workloads::EngineSetup::osu_ib());
+  perm_config.faults = &permanent;
+  const auto perm = workloads::run_experiment(perm_config);
+
+  sim::FaultPlan transient;
+  transient.degrade_nic(1, 0.0, 0.002, /*restore_at=*/1.0);
+  auto config = tiny(workloads::EngineSetup::osu_ib());
+  config.faults = &transient;
+  const auto restored = workloads::run_experiment(config);
+
+  ASSERT_TRUE(perm.validated);
+  ASSERT_TRUE(restored.validated);
+  EXPECT_LT(restored.job.elapsed(), perm.job.elapsed());
+  EXPECT_EQ(restored.job.metrics.counter("cluster.nic_restores_armed"), 1);
+  EXPECT_EQ(perm.job.metrics.counter("cluster.nic_restores_armed"), 0);
+}
+
 TEST(RdmaRecoveryTest, KillAfterJobEndIsHarmless) {
   // A kill armed far past the job's lifetime must leave no trace: no
   // timeouts, no blacklisting, byte-identical output to a clean run.

@@ -246,6 +246,56 @@ TEST(JobTrackerTest, NoStarvationUnderSkewedWeightsAndQuotas) {
   EXPECT_EQ(metrics.counter_value("scheduler.jobs.completed"), 8);
 }
 
+TEST(JobTrackerTest, SpeculativeSlotsChargeTheTenantsFairShare) {
+  SchedBed sched;
+  SchedulerConfig config;
+  config.policy = SchedPolicy::kFair;
+  config.max_running_jobs = 1;  // serialize so ordering is observable
+  sched.bed.set_scheduler(config);
+  auto& tracker = sched.bed.tracker();
+
+  // Pool "aspec" runs straggler-heavy speculating jobs; "zplain" runs
+  // the same workload clean. The names are chosen so a fair-share TIE
+  // would dispatch aspec first (lexicographic tie-break): zplain can
+  // only jump the queue if the backup surcharge raised aspec's deficit.
+  auto speculating = [&](int i) {
+    auto job = sched.job(i);
+    job.conf.set_bool(kSpeculativeExecution, true);
+    job.conf.set_double(kStragglerProb, 0.5);
+    job.conf.set_double(kStragglerSlowdown, 30.0);
+    job.conf.set_double(kSpeculativeMinRuntimeSec, 0.5);
+    job.conf.set_double(kSpeculativeIntervalSec, 0.1);
+    return job;
+  };
+  std::vector<std::shared_ptr<SubmittedJob>> handles;
+  handles.push_back(tracker.submit(speculating(0), "aspec"));
+  handles.push_back(tracker.submit(speculating(1), "aspec"));
+  handles.push_back(tracker.submit(sched.job(2), "zplain"));
+  handles.push_back(tracker.submit(sched.job(3), "zplain"));
+  sched.bed.engine().run();
+
+  // The speculating pool never starves the clean one.
+  for (const auto& handle : handles) EXPECT_TRUE(handle->completed);
+  EXPECT_EQ(tracker.queued(), 0);
+
+  const auto& tenants = tracker.tenant_stats();
+  const auto& aspec = tenants.at("aspec");
+  const auto& zplain = tenants.at("zplain");
+  ASSERT_GT(aspec.speculative_attempts, 0u);
+  EXPECT_EQ(aspec.speculative_kills, aspec.speculative_attempts);
+  EXPECT_LE(aspec.speculative_wins, aspec.speculative_attempts);
+  EXPECT_EQ(zplain.speculative_attempts, 0u);
+  // Dispatch-time charge is one split-equivalent per input block (4 per
+  // job here); backups are billed post-hoc at the same rate.
+  EXPECT_EQ(aspec.charged_cost, 8.0 + double(aspec.speculative_attempts));
+  EXPECT_EQ(zplain.charged_cost, 8.0);
+  // After aspec's first job completes, its surcharged deficit exceeds
+  // zplain's entry charge, so zplain's job dispatches next — under a
+  // plain tie aspec would have won.
+  EXPECT_EQ(dispatch_order(handles)[0], "aspec");
+  EXPECT_EQ(dispatch_order(handles)[1], "zplain");
+}
+
 TEST(MultiTenantTest, PoissonTraceOf50JobsReplaysByteIdentically) {
   workloads::MultiTenantSpec spec;
   spec.nodes = 2;

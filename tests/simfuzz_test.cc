@@ -326,6 +326,33 @@ TEST(FuzzerTest, ReproRecordRoundTripsThroughLoader) {
 
 // The committed corpus pins down scenario classes the generator only
 // rarely emits; each file must load and pass the full oracle battery.
+// ISSUE 10 acceptance: with speculation enabled under cpu.degrade and
+// task.hang chaos, job output is byte-identical to the
+// speculation-disabled replay, across all three engines and parallel
+// workers {1, 4}. The oracle itself runs the spec-off twin.
+TEST(OracleTest, SpeculationIdentityUnderComputeChaos) {
+  Scenario s = small_scenario();
+  s.nodes = 4;
+  s.speculative = true;
+  s.faults.push_back({FaultSite::Kind::kCpuDegrade, /*host=*/2,
+                      /*at=*/1.0, /*prob=*/0.0, /*seconds=*/0.0,
+                      /*factor=*/0.25});
+  s.faults.push_back({FaultSite::Kind::kTaskHang, /*host=*/3,
+                      /*at=*/2.0, /*prob=*/0.0, /*seconds=*/4.0,
+                      /*factor=*/1.0});
+  for (int workers : {1, 4}) {
+    s.parallel_workers = workers;
+    for (const char* engine : {"vanilla", "osu-ib", "hadoop-a"}) {
+      const EngineRun run = run_engine(s, engine);
+      ASSERT_FALSE(run.result_json.empty()) << engine;
+      Verdict verdict;
+      check_speculation_identity(s, run, &verdict);
+      EXPECT_TRUE(verdict.ok())
+          << engine << " workers=" << workers << ": " << verdict.summary();
+    }
+  }
+}
+
 TEST(CorpusTest, CommittedScenariosPassAllOracles) {
   const std::filesystem::path corpus(HMR_FUZZ_CORPUS_DIR);
   ASSERT_TRUE(std::filesystem::is_directory(corpus)) << corpus;
